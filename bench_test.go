@@ -1,0 +1,396 @@
+// Benchmarks regenerating every figure of the MACEDON paper's evaluation at
+// reduced but shape-preserving scale, plus ablations of the design choices
+// DESIGN.md calls out. Full-scale regeneration: go run ./cmd/experiments.
+//
+// Reported custom metrics carry the quantity each figure plots, so one
+// -bench=. run yields the whole paper-vs-measured table of EXPERIMENTS.md.
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"macedon/internal/core"
+	"macedon/internal/dsl"
+	"macedon/internal/harness"
+	"macedon/internal/overlay"
+	"macedon/internal/overlays/chord"
+	"macedon/internal/overlays/pastry"
+	"macedon/internal/simnet"
+	"macedon/internal/topology"
+	"macedon/internal/transport"
+)
+
+// BenchmarkFigure7SpecLines reports the Figure-7 LOC metric for the bundled
+// specifications (mean lines per spec, and total).
+func BenchmarkFigure7SpecLines(b *testing.B) {
+	paths, err := filepath.Glob("specs/*.mac")
+	if err != nil || len(paths) == 0 {
+		b.Fatalf("no specs: %v", err)
+	}
+	var total int
+	for i := 0; i < b.N; i++ {
+		total = 0
+		for _, p := range paths {
+			src, err := os.ReadFile(p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			total += dsl.CountLines(string(src))
+		}
+	}
+	b.ReportMetric(float64(total), "loc_total")
+	b.ReportMetric(float64(total)/float64(len(paths)), "loc_per_spec")
+}
+
+// BenchmarkFigure8NICEStretch runs the NICE site experiment and reports the
+// mean stretch across sites (paper band: ~1–2.5).
+func BenchmarkFigure8NICEStretch(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := harness.RunNICE(harness.NICEParams{
+			Sites: 8, PerSite: 4, Seed: 2004,
+			Settle: 3 * time.Minute, Packets: 20,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var sum float64
+		var n int
+		var far float64
+		for _, s := range res.Sites[1:] {
+			if s.MeanStretch > 0 {
+				sum += s.MeanStretch
+				n++
+				far = s.MeanStretch
+			}
+		}
+		if n > 0 {
+			b.ReportMetric(sum/float64(n), "stretch_mean")
+			b.ReportMetric(far, "stretch_far_site")
+		}
+	}
+}
+
+// BenchmarkFigure9NICELatency reports per-site overlay latency (paper band:
+// ~5–40 ms).
+func BenchmarkFigure9NICELatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := harness.RunNICE(harness.NICEParams{
+			Sites: 8, PerSite: 4, Seed: 2004,
+			Settle: 3 * time.Minute, Packets: 20,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Min and max mean latency across receiving sites: the span of the
+		// figure's per-site bars (overlay detours mean site index is not
+		// strictly monotone, as in the published figure).
+		var lo, hi time.Duration
+		for _, s := range res.Sites[1:] {
+			if s.Received == 0 {
+				continue
+			}
+			if lo == 0 || s.MeanLatency < lo {
+				lo = s.MeanLatency
+			}
+			if s.MeanLatency > hi {
+				hi = s.MeanLatency
+			}
+		}
+		b.ReportMetric(float64(lo.Microseconds())/1000, "min_site_ms")
+		b.ReportMetric(float64(hi.Microseconds())/1000, "max_site_ms")
+	}
+}
+
+// BenchmarkFigure10ChordConvergence reports the final average correct route
+// entries for the three timer policies (paper ordering: 1 s > lsd > 20 s).
+func BenchmarkFigure10ChordConvergence(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := harness.RunChordConvergence(harness.ChordParams{
+			Nodes: 60, Routers: 240, Seed: 2004,
+			JoinWindow: 20 * time.Second, Duration: 100 * time.Second,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		finals := res.FinalValues()
+		b.ReportMetric(finals["MACEDON (1 sec timer)"], "correct_1s")
+		b.ReportMetric(finals["MIT lsd (dynamic)"], "correct_lsd")
+		b.ReportMetric(finals["MACEDON (20 sec timer)"], "correct_20s")
+	}
+}
+
+// BenchmarkFigure11PastryLatency reports MACEDON vs FreePastry-model mean
+// latency at the largest common size (paper: MACEDON ~80% lower).
+func BenchmarkFigure11PastryLatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := harness.RunPastryLatency(harness.PastryParams{
+			Sizes: []int{25, 50}, Seed: 2004,
+			Converge: 90 * time.Second, Measure: 15 * time.Second,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		m := res.MACEDON.Points[len(res.MACEDON.Points)-1].Y
+		f := res.FreePastry.Points[len(res.FreePastry.Points)-1].Y
+		b.ReportMetric(m*1000, "macedon_ms")
+		b.ReportMetric(f*1000, "freepastry_ms")
+		if f > 0 {
+			b.ReportMetric((1-m/f)*100, "reduction_pct")
+		}
+	}
+}
+
+// BenchmarkFigure12SplitStreamBandwidth reports steady-state delivered
+// bandwidth under the two cache policies (paper: 580 vs 500 Kbps at a
+// 600 Kbps target; scaled here).
+func BenchmarkFigure12SplitStreamBandwidth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := harness.RunSplitStream(harness.SplitStreamParams{
+			Nodes: 30, Routers: 150, Seed: 2004,
+			Stripes: 8, Converge: 90 * time.Second, Stream: 60 * time.Second,
+			RateBitsSec: 200_000, PacketSize: 1000,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ss := res.SteadyStateKbps()
+		b.ReportMetric(ss["Avg Bandwidth (no cache evictions)"], "noevict_kbps")
+		b.ReportMetric(ss["Avg Bandwidth (10 sec cache lifetime)"], "ttl10_kbps")
+		b.ReportMetric(float64(res.TargetBitsSec)/1000, "target_kbps")
+	}
+}
+
+// --- ablations -----------------------------------------------------------------
+
+// BenchmarkAblationReadVsWriteLocking measures the paper's control/data
+// transition classification (§2.1.2): concurrent data transitions under
+// read locks vs forced exclusive locks.
+func BenchmarkAblationReadVsWriteLocking(b *testing.B) {
+	run := func(b *testing.B, lock core.LockMode) {
+		g := topology.NewGraph()
+		r := g.AddRouter()
+		g.AttachClient(1, r, topology.DefaultAccess)
+		sched := simnet.NewScheduler(1)
+		net := simnet.New(sched, g, simnet.Config{})
+		probe := &lockProbe{mode: lock}
+		n, err := core.NewNode(core.Config{
+			Addr: 1, Net: net, Bootstrap: 1,
+			Stack: []core.Factory{func() core.Agent { return probe }},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sched.RunFor(time.Millisecond)
+		const workers = 8
+		b.ResetTimer()
+		var wg sync.WaitGroup
+		per := b.N / workers
+		if per == 0 {
+			per = 1
+		}
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < per; i++ {
+					probe.fire(n)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	b.Run("read", func(b *testing.B) { run(b, core.Read) })
+	b.Run("write", func(b *testing.B) { run(b, core.Write) })
+}
+
+// lockProbe is a minimal agent with one data transition whose lock mode is
+// configurable; fire dispatches it directly, bypassing the node queue to
+// exercise true lock concurrency.
+type lockProbe struct {
+	mode core.LockMode
+	spin int
+}
+
+func (p *lockProbe) ProtocolName() string { return "lockprobe" }
+
+func (p *lockProbe) Define(d *core.Def) {
+	d.States("up")
+	d.Addressing(core.IPAddressing)
+	d.UDPTransport("U")
+	d.OnAPI(overlay.APIInit, core.Any, core.Write, func(ctx *core.Context, call *core.APICall) {
+		ctx.StateChange("up")
+	})
+	d.OnAPI(overlay.APIDowncallExt, core.Any, p.mode, func(ctx *core.Context, call *core.APICall) {
+		// Simulated read-only data work.
+		s := 0
+		for i := 0; i < 2000; i++ {
+			s += i
+		}
+		_ = s
+	})
+}
+
+func (p *lockProbe) fire(n *core.Node) {
+	n.Downcall(0, nil)
+}
+
+// BenchmarkAblationTransportPriority measures head-of-line blocking: time
+// for a control frame to cross a congested link when sharing the bulk
+// transport vs using a dedicated instance (§3.1's multiple transports).
+func BenchmarkAblationTransportPriority(b *testing.B) {
+	run := func(b *testing.B, dedicated bool) {
+		var total time.Duration
+		for i := 0; i < b.N; i++ {
+			g := topology.NewGraph()
+			r1, r2 := g.AddRouter(), g.AddRouter()
+			g.AddLink(r1, r2, 5*time.Millisecond, 1_000_000, 20*1500)
+			g.AttachClient(1, r1, topology.DefaultAccess)
+			g.AttachClient(2, r2, topology.DefaultAccess)
+			sched := simnet.NewScheduler(int64(i))
+			net := simnet.New(sched, g, simnet.Config{})
+			ep1, _ := net.Endpoint(1)
+			ep2, _ := net.Endpoint(2)
+			m1 := transport.NewMux(ep1, net)
+			m2 := transport.NewMux(ep2, net)
+			bulk := m1.AddTCP("bulk")
+			ctrl := bulk
+			m2.AddTCP("bulk")
+			if dedicated {
+				ctrl = m1.AddTCP("ctrl")
+				m2.AddTCP("ctrl")
+			}
+			var at time.Duration = -1
+			m2.SetRecv(func(name string, src overlay.Address, frame []byte) {
+				if len(frame) == 6 && at < 0 {
+					at = sched.Elapsed()
+				}
+			})
+			_ = bulk.Send(2, make([]byte, 400_000))
+			_ = ctrl.Send(2, []byte("urgent"))
+			sched.RunFor(30 * time.Second)
+			if at > 0 {
+				total += at
+			}
+		}
+		b.ReportMetric(float64(total.Milliseconds())/float64(b.N), "ctrl_latency_ms")
+	}
+	b.Run("shared", func(b *testing.B) { run(b, false) })
+	b.Run("dedicated", func(b *testing.B) { run(b, true) })
+}
+
+// BenchmarkAblationCacheLifetime sweeps the Pastry location-cache policy
+// (generalizing Figure 12): cache fills per delivered payload.
+func BenchmarkAblationCacheLifetime(b *testing.B) {
+	for _, c := range []struct {
+		name     string
+		lifetime time.Duration
+	}{
+		{"disabled", 0},
+		{"ttl_2s", 2 * time.Second},
+		{"forever", -1},
+	} {
+		b.Run(c.name, func(b *testing.B) {
+			var fills, direct uint64
+			for i := 0; i < b.N; i++ {
+				cl, err := harness.NewCluster(harness.ClusterConfig{Nodes: 16, Routers: 100, Seed: 5})
+				if err != nil {
+					b.Fatal(err)
+				}
+				stack := []core.Factory{pastry.New(pastry.Params{CacheLifetime: c.lifetime})}
+				if err := cl.SpawnAll(func(int) []core.Factory { return stack }); err != nil {
+					b.Fatal(err)
+				}
+				cl.RunFor(60 * time.Second)
+				src := cl.Nodes[cl.Addrs[3]]
+				dest := overlay.Key(0x77777777)
+				for k := 0; k < 20; k++ {
+					_ = src.Route(dest, make([]byte, 100), 1, overlay.PriorityDefault)
+					cl.RunFor(500 * time.Millisecond)
+				}
+				p := src.Instance("pastry").Agent().(*pastry.Protocol)
+				fills += p.CacheFills()
+				direct += p.DirectSends()
+				cl.StopAll()
+			}
+			b.ReportMetric(float64(fills)/float64(b.N), "cache_fills")
+			b.ReportMetric(float64(direct)/float64(b.N), "direct_sends")
+		})
+	}
+}
+
+// BenchmarkAblationChordTimerSweep generalizes Figure 10: convergence level
+// after a fixed window for a range of fix-fingers periods.
+func BenchmarkAblationChordTimerSweep(b *testing.B) {
+	for _, period := range []time.Duration{time.Second, 4 * time.Second, 20 * time.Second} {
+		b.Run(period.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := harness.RunChordConvergence(harness.ChordParams{
+					Nodes: 40, Routers: 160, Seed: 2004,
+					JoinWindow: 15 * time.Second, Duration: 60 * time.Second,
+					Modes: []harness.ChordMode{{Name: "sweep", Period: period}},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.FinalValues()["sweep"], "correct_entries")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationFailureDetector measures detection latency for (g, f)
+// failure-detector settings (§3.1's configurable parameters).
+func BenchmarkAblationFailureDetector(b *testing.B) {
+	for _, c := range []struct {
+		name string
+		g, f time.Duration
+	}{
+		{"g2_f6", 2 * time.Second, 6 * time.Second},
+		{"g5_f20", 5 * time.Second, 20 * time.Second},
+	} {
+		b.Run(c.name, func(b *testing.B) {
+			var total time.Duration
+			for i := 0; i < b.N; i++ {
+				cl, err := harness.NewCluster(harness.ClusterConfig{
+					Nodes: 8, Routers: 80, Seed: int64(i),
+					HeartbeatAfter: c.g, FailAfter: c.f, Sweep: 500 * time.Millisecond,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				stack := []core.Factory{chord.New(chord.Params{})}
+				if err := cl.SpawnAll(func(int) []core.Factory { return stack }); err != nil {
+					b.Fatal(err)
+				}
+				cl.RunFor(45 * time.Second)
+				victim := cl.Addrs[3]
+				_ = cl.Net.SetDown(victim, true)
+				start := cl.Sched.Elapsed()
+				// Wait until someone detects the failure.
+				for cl.Sched.Elapsed()-start < 2*c.f+10*time.Second {
+					cl.RunFor(time.Second)
+					detected := false
+					for _, a := range cl.Addrs {
+						if a == victim {
+							continue
+						}
+						if cl.Nodes[a].Instance("chord").Counters().Failures > 0 {
+							detected = true
+							break
+						}
+					}
+					if detected {
+						break
+					}
+				}
+				total += cl.Sched.Elapsed() - start
+				cl.StopAll()
+			}
+			b.ReportMetric(total.Seconds()/float64(b.N), "detect_s")
+		})
+	}
+}

@@ -1,0 +1,212 @@
+// Cross-cutting integration tests: full stacks under churn and loss, the
+// conditions §1 names as the hard part of building networked systems.
+package main
+
+import (
+	"testing"
+	"time"
+
+	"macedon/internal/core"
+	"macedon/internal/harness"
+	"macedon/internal/metrics"
+	"macedon/internal/overlay"
+	"macedon/internal/overlays/chord"
+	"macedon/internal/overlays/pastry"
+	"macedon/internal/overlays/scribe"
+	"macedon/internal/simnet"
+)
+
+// TestChordUnderChurn kills a quarter of the ring in waves and checks that
+// routing still delivers at the surviving owner afterwards.
+func TestChordUnderChurn(t *testing.T) {
+	c, err := harness.NewCluster(harness.ClusterConfig{
+		Nodes: 20, Routers: 120, Seed: 2718,
+		HeartbeatAfter: 2 * time.Second, FailAfter: 8 * time.Second, Sweep: time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stack := []core.Factory{chord.New(chord.Params{})}
+	if err := c.SpawnAll(func(int) []core.Factory { return stack }); err != nil {
+		t.Fatal(err)
+	}
+	c.RunFor(90 * time.Second)
+
+	victims := []overlay.Address{c.Addrs[4], c.Addrs[9], c.Addrs[14], c.Addrs[19], c.Addrs[7]}
+	for i, v := range victims {
+		_ = c.Net.SetDown(v, true)
+		c.Nodes[v].Stop()
+		c.RunFor(time.Duration(10+5*i) * time.Second)
+	}
+	c.RunFor(2 * time.Minute)
+
+	var live []overlay.Address
+	for _, a := range c.Addrs {
+		dead := false
+		for _, v := range victims {
+			if a == v {
+				dead = true
+			}
+		}
+		if !dead {
+			live = append(live, a)
+		}
+	}
+	oracle := metrics.NewChordOracle(live)
+	delivered := map[overlay.Key]overlay.Address{}
+	for _, a := range live {
+		addr := a
+		c.Nodes[a].RegisterHandlers(core.Handlers{
+			Deliver: func(p []byte, typ int32, src overlay.Address) {
+				delivered[overlay.Key(typ)] = addr
+			},
+		})
+	}
+	keys := []overlay.Key{0x01020304, 0x55555555, 0x7eadbeef, 0x31415926}
+	for _, k := range keys {
+		if err := c.Nodes[live[1]].Route(k, []byte("post-churn"), int32(k), overlay.PriorityDefault); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.RunFor(15 * time.Second)
+	for _, k := range keys {
+		got, ok := delivered[k]
+		if !ok {
+			t.Errorf("key %v undelivered after churn", k)
+			continue
+		}
+		if want := oracle.Successor(k); got != want {
+			t.Errorf("key %v at %v, want %v", k, got, want)
+		}
+	}
+}
+
+// TestScribeTreeSurvivesForwarderFailure kills an interior forwarder and
+// expects the soft-state refresh to regraft its orphans.
+func TestScribeTreeSurvivesForwarderFailure(t *testing.T) {
+	c, err := harness.NewCluster(harness.ClusterConfig{
+		Nodes: 16, Routers: 100, Seed: 31415,
+		HeartbeatAfter: 2 * time.Second, FailAfter: 8 * time.Second, Sweep: time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stack := []core.Factory{
+		pastry.New(pastry.Params{}),
+		scribe.New(scribe.Params{RefreshPeriod: 5 * time.Second}),
+	}
+	if err := c.SpawnAll(func(int) []core.Factory { return stack }); err != nil {
+		t.Fatal(err)
+	}
+	c.RunFor(90 * time.Second)
+	group := overlay.HashString("durable-session")
+	got := map[overlay.Address]int{}
+	for _, a := range c.Addrs[1:] {
+		addr := a
+		c.Nodes[a].RegisterHandlers(core.Handlers{
+			Deliver: func(p []byte, typ int32, src overlay.Address) { got[addr]++ },
+		})
+		_ = c.Nodes[a].Join(group)
+	}
+	c.RunFor(30 * time.Second)
+
+	// Find and kill an interior forwarder (a non-root node with children).
+	var victim overlay.Address
+	for _, a := range c.Addrs[1:] {
+		sc := c.Nodes[a].Instance("scribe").Agent().(*scribe.Protocol)
+		if len(sc.Children(group)) > 0 && sc.Parent(group) != overlay.NilAddress {
+			victim = a
+			break
+		}
+	}
+	if victim == overlay.NilAddress {
+		t.Skip("no interior forwarder under this seed")
+	}
+	_ = c.Net.SetDown(victim, true)
+	c.Nodes[victim].Stop()
+	c.RunFor(45 * time.Second) // refreshes regraft orphans
+
+	for k := range got {
+		delete(got, k)
+	}
+	const packets = 5
+	for i := 0; i < packets; i++ {
+		_ = c.Nodes[c.Addrs[0]].Multicast(group, []byte("after"), 9, overlay.PriorityDefault)
+		c.RunFor(2 * time.Second)
+	}
+	c.RunFor(20 * time.Second)
+	missing := 0
+	for _, a := range c.Addrs[1:] {
+		if a == victim {
+			continue
+		}
+		if got[a] < packets {
+			missing++
+		}
+	}
+	if missing > 1 { // one straggler mid-regraft is tolerable
+		t.Fatalf("%d members lost the stream after forwarder failure", missing)
+	}
+}
+
+// TestChordRoutingUnderPacketLoss checks that UDP control loss slows but
+// does not break ring formation (reliable transports carry the data).
+func TestChordRoutingUnderPacketLoss(t *testing.T) {
+	c, err := harness.NewCluster(harness.ClusterConfig{
+		Nodes: 10, Routers: 100, Seed: 161803,
+		Sim: simnet.Config{LossRate: 0.05},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stack := []core.Factory{chord.New(chord.Params{})}
+	if err := c.SpawnAll(func(int) []core.Factory { return stack }); err != nil {
+		t.Fatal(err)
+	}
+	c.RunFor(3 * time.Minute)
+	var got bool
+	dest := overlay.Key(0x42424242)
+	oracle := metrics.NewChordOracle(c.Addrs)
+	owner := oracle.Successor(dest)
+	c.Nodes[owner].RegisterHandlers(core.Handlers{
+		Deliver: func([]byte, int32, overlay.Address) { got = true },
+	})
+	// Retry the route a few times: individual datagrams may die, the
+	// reliable DATA transport must not.
+	for i := 0; i < 3 && !got; i++ {
+		_ = c.Nodes[c.Addrs[2]].Route(dest, []byte("lossy"), 1, overlay.PriorityDefault)
+		c.RunFor(10 * time.Second)
+	}
+	if !got {
+		t.Fatal("routing failed under 5% per-hop loss")
+	}
+}
+
+// TestDeterministicExperiments re-runs a full experiment and requires
+// byte-identical results: the reproducibility claim of the harness.
+func TestDeterministicExperiments(t *testing.T) {
+	run := func() []float64 {
+		res, err := harness.RunChordConvergence(harness.ChordParams{
+			Nodes: 25, Routers: 120, Seed: 77,
+			JoinWindow: 10 * time.Second, Duration: 40 * time.Second,
+			Modes: []harness.ChordMode{{Name: "d", Period: time.Second}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ys []float64
+		for _, p := range res.Series[0].Points {
+			ys = append(ys, p.Y)
+		}
+		return ys
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("run diverged at sample %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}

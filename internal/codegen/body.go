@@ -1,0 +1,339 @@
+package codegen
+
+import (
+	"fmt"
+	"strings"
+
+	"macedon/internal/dsl"
+)
+
+// softError marks constructs outside the translatable subset (unknown
+// primitives, extensible library calls): the statement degrades to a TODO
+// comment instead of failing the whole generation, mirroring how the paper's
+// translator passes unknown C fragments through.
+type softError struct{ msg string }
+
+func (e softError) Error() string { return e.msg }
+
+func softf(format string, args ...any) error {
+	return softError{msg: fmt.Sprintf(format, args...)}
+}
+
+func isSoft(err error) bool {
+	_, ok := err.(softError)
+	return ok
+}
+
+// stmt translates one action-language statement at the given indent depth.
+func (g *generator) stmt(s dsl.Stmt, depth int) error {
+	ind := strings.Repeat("\t", depth)
+	switch s := s.(type) {
+	case *dsl.AssignStmt:
+		v, ok := g.varTypes[s.Target]
+		if !ok || v.Kind != dsl.VarPlain {
+			return fmt.Errorf("codegen: %s: assignment to undeclared variable %q", s.Pos, s.Target)
+		}
+		val, err := g.expr(s.Value)
+		if err != nil {
+			return err
+		}
+		g.pf("%sa.%s = %s\n", ind, camel(s.Target), val)
+	case *dsl.IfStmt:
+		cond, err := g.expr(s.Cond)
+		if err != nil {
+			return err
+		}
+		g.pf("%sif %s {\n", ind, cond)
+		for _, st := range s.Then {
+			if err := g.stmt(st, depth+1); err != nil {
+				return err
+			}
+		}
+		if len(s.Else) > 0 {
+			g.pf("%s} else {\n", ind)
+			for _, st := range s.Else {
+				if err := g.stmt(st, depth+1); err != nil {
+					return err
+				}
+			}
+		}
+		g.pf("%s}\n", ind)
+	case *dsl.ForeachStmt:
+		g.loopVars[s.Var] = true
+		g.pf("%sfor _, %s := range ctx.Neighbors(%q).Addrs() {\n", ind, s.Var, s.List)
+		for _, st := range s.Body {
+			if err := g.stmt(st, depth+1); err != nil {
+				return err
+			}
+		}
+		g.pf("%s}\n", ind)
+		delete(g.loopVars, s.Var)
+	case *dsl.CallStmt:
+		if err := g.callStmt(s, ind); err != nil {
+			if isSoft(err) {
+				g.opaque++
+				var parts []string
+				for _, a := range s.Args {
+					parts = append(parts, a.String())
+				}
+				g.pf("%s// TODO(macedon): untranslated action: %s(%s)\n", ind, s.Fn, strings.Join(parts, ", "))
+				return nil
+			}
+			return err
+		}
+	case *dsl.OpaqueStmt:
+		g.opaque++
+		g.pf("%s// TODO(macedon): untranslated action: %s\n", ind, s.Text)
+	default:
+		return fmt.Errorf("codegen: unknown statement %T", s)
+	}
+	return nil
+}
+
+func (g *generator) callStmt(s *dsl.CallStmt, ind string) error {
+	// Arguments translate lazily: several primitives take bare names
+	// (states, timers, neighbor lists) that are not value expressions.
+	arg := func(i int) (string, error) { return g.expr(s.Args[i]) }
+	switch s.Fn {
+	case "send":
+		m, ok := g.msgs[s.Msg]
+		if !ok {
+			return fmt.Errorf("codegen: %s: send of undeclared message %q", s.Pos, s.Msg)
+		}
+		var inits []string
+		for _, fi := range s.Fields {
+			found := false
+			for _, f := range m.Fields {
+				if f.Name == fi.Name {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("codegen: %s: message %q has no field %q", s.Pos, s.Msg, fi.Name)
+			}
+			v, err := g.expr(fi.Value)
+			if err != nil {
+				return err
+			}
+			inits = append(inits, fmt.Sprintf("%s: %s", camel(fi.Name), v))
+		}
+		dest, err := arg(0)
+		if err != nil {
+			return err
+		}
+		g.pf("%s_ = ctx.Send(%s, &%s{%s}, overlay.PriorityDefault)\n",
+			ind, dest, msgTypeName(s.Msg), strings.Join(inits, ", "))
+	case "state_change":
+		st, ok := s.Args[0].(dsl.Ident)
+		if !ok {
+			return fmt.Errorf("codegen: %s: state_change needs a state name", s.Pos)
+		}
+		g.pf("%sctx.StateChange(%q)\n", ind, st.Name)
+	case "timer_sched", "timer_resched":
+		t, ok := s.Args[0].(dsl.Ident)
+		if !ok {
+			return fmt.Errorf("codegen: %s: %s needs a timer name", s.Pos, s.Fn)
+		}
+		period := "0"
+		if len(s.Args) > 1 {
+			p1, err := arg(1)
+			if err != nil {
+				return err
+			}
+			period = p1 + "*time.Millisecond"
+		}
+		fn := "TimerSched"
+		if s.Fn == "timer_resched" {
+			fn = "TimerResched"
+		}
+		g.pf("%sctx.%s(%q, %s)\n", ind, fn, t.Name, period)
+	case "timer_cancel":
+		t, ok := s.Args[0].(dsl.Ident)
+		if !ok {
+			return fmt.Errorf("codegen: %s: timer_cancel needs a timer name", s.Pos)
+		}
+		g.pf("%sctx.TimerCancel(%q)\n", ind, t.Name)
+	case "neighbor_add":
+		l, err := g.listArg(s, 0)
+		if err != nil {
+			return err
+		}
+		a1, err := arg(1)
+		if err != nil {
+			return err
+		}
+		g.pf("%sctx.Neighbors(%q).Add(%s)\n", ind, l, a1)
+	case "neighbor_remove":
+		l, err := g.listArg(s, 0)
+		if err != nil {
+			return err
+		}
+		a1, err := arg(1)
+		if err != nil {
+			return err
+		}
+		g.pf("%sctx.Neighbors(%q).Remove(%s)\n", ind, l, a1)
+	case "neighbor_clear":
+		l, err := g.listArg(s, 0)
+		if err != nil {
+			return err
+		}
+		g.pf("%sctx.Neighbors(%q).Clear()\n", ind, l)
+	case "deliver":
+		a0, err := arg(0)
+		if err != nil {
+			return err
+		}
+		a1, err := arg(1)
+		if err != nil {
+			return err
+		}
+		a2, err := arg(2)
+		if err != nil {
+			return err
+		}
+		g.pf("%sctx.Deliver(%s, %s, %s)\n", ind, a0, a1, a2)
+	case "notify":
+		kind, ok := s.Args[0].(dsl.Ident)
+		if !ok {
+			return softf("notify needs a neighbor kind at %s", s.Pos)
+		}
+		l, err := g.listArg(s, 1)
+		if err != nil {
+			return err
+		}
+		g.pf("%sctx.NotifyNeighbors(overlay.NbrType%s, ctx.Neighbors(%q).Addrs())\n",
+			ind, camel(kind.Name), l)
+	case "quash":
+		g.pf("%sev.Quash = true\n", ind)
+	case "upcall_ext":
+		a0, err := arg(0)
+		if err != nil {
+			return err
+		}
+		g.pf("%sctx.UpcallExt(int(%s), nil)\n", ind, a0)
+	default:
+		return softf("unknown primitive statement %q at %s", s.Fn, s.Pos)
+	}
+	return nil
+}
+
+func (g *generator) listArg(s *dsl.CallStmt, i int) (string, error) {
+	id, ok := s.Args[i].(dsl.Ident)
+	if !ok {
+		return "", softf("%s needs a neighbor list name at %s", s.Fn, s.Pos)
+	}
+	if v, declared := g.varTypes[id.Name]; !declared || v.Kind != dsl.VarNeighborList {
+		return "", softf("%q is not a declared neighbor list at %s", id.Name, s.Pos)
+	}
+	return id.Name, nil
+}
+
+// expr translates an action-language expression.
+func (g *generator) expr(e dsl.Expr) (string, error) {
+	switch e := e.(type) {
+	case dsl.IntLit:
+		return e.Value, nil
+	case dsl.Ident:
+		return g.ident(e.Name)
+	case dsl.NotExpr:
+		inner, err := g.expr(e.Inner)
+		if err != nil {
+			return "", err
+		}
+		return "!(" + inner + ")", nil
+	case dsl.BinExpr:
+		l, err := g.expr(e.L)
+		if err != nil {
+			return "", err
+		}
+		r, err := g.expr(e.R)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("(%s %s %s)", l, e.Op, r), nil
+	case dsl.CallExpr:
+		return g.callExpr(e)
+	}
+	return "", fmt.Errorf("codegen: unknown expression %T", e)
+}
+
+func (g *generator) ident(name string) (string, error) {
+	if g.loopVars[name] {
+		return name, nil
+	}
+	switch name {
+	case "self":
+		return "ctx.Self()", nil
+	case "self_key":
+		return "ctx.SelfKey()", nil
+	case "from":
+		return "ev.From", nil
+	case "bootstrap":
+		return "call.Bootstrap", nil
+	case "payload":
+		return "call.Payload", nil
+	case "payload_type":
+		return "call.PayloadType", nil
+	case "dest":
+		return "call.Dest", nil
+	case "dest_ip":
+		return "call.DestIP", nil
+	case "group":
+		return "call.Group", nil
+	case "priority":
+		return "call.Priority", nil
+	case "failed":
+		return "call.Failed", nil
+	}
+	if c, ok := g.consts[name]; ok {
+		return c, nil
+	}
+	if v, ok := g.varTypes[name]; ok && v.Kind == dsl.VarPlain {
+		return "a." + camel(name), nil
+	}
+	return "", fmt.Errorf("codegen: unknown identifier %q", name)
+}
+
+func (g *generator) callExpr(e dsl.CallExpr) (string, error) {
+	switch e.Fn {
+	case "field":
+		id, ok := e.Args[0].(dsl.Ident)
+		if !ok || g.curMsg == nil {
+			return "", fmt.Errorf("codegen: field() outside a message transition")
+		}
+		for _, f := range g.curMsg.Fields {
+			if f.Name == id.Name {
+				return "m." + camel(id.Name), nil
+			}
+		}
+		return "", fmt.Errorf("codegen: message %q has no field %q", g.curMsg.Name, id.Name)
+	case "neighbor_size":
+		id := e.Args[0].(dsl.Ident)
+		return fmt.Sprintf("ctx.Neighbors(%q).Size()", id.Name), nil
+	case "neighbor_query":
+		id := e.Args[0].(dsl.Ident)
+		arg, err := g.expr(e.Args[1])
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("ctx.Neighbors(%q).Contains(%s)", id.Name, arg), nil
+	case "neighbor_full":
+		id := e.Args[0].(dsl.Ident)
+		return fmt.Sprintf("ctx.Neighbors(%q).Full()", id.Name), nil
+	case "neighbor_random":
+		id := e.Args[0].(dsl.Ident)
+		return fmt.Sprintf("nbrRandom(ctx, %q)", id.Name), nil
+	case "neighbor_first":
+		id := e.Args[0].(dsl.Ident)
+		return fmt.Sprintf("nbrFirst(ctx, %q)", id.Name), nil
+	case "hash":
+		arg, err := g.expr(e.Args[0])
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("overlay.HashAddress(%s)", arg), nil
+	}
+	return "", softf("unknown primitive %q", e.Fn)
+}

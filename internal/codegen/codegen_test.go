@@ -1,0 +1,158 @@
+package codegen
+
+import (
+	"go/format"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"macedon/internal/dsl"
+)
+
+func TestCamel(t *testing.T) {
+	cases := map[string]string{
+		"accept": "Accept", "payload_type": "PayloadType", "x": "X",
+		"probe_requester": "ProbeRequester",
+	}
+	for in, want := range cases {
+		if got := camel(in); got != want {
+			t.Errorf("camel(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestGoTypes(t *testing.T) {
+	cases := map[string]string{
+		"int": "int32", "double": "float64", "key": "overlay.Key",
+		"node": "overlay.Address", "buffer": "[]byte", "nodeset": "[]overlay.Address",
+	}
+	for in, want := range cases {
+		if got := goType(in); got != want {
+			t.Errorf("goType(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func loadSpec(t *testing.T, name string) *dsl.Spec {
+	t.Helper()
+	src, err := os.ReadFile(filepath.Join("..", "..", "specs", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := dsl.Parse(string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}
+
+// TestGeneratedSourcesParse generates Go from every bundled spec and
+// verifies the output is syntactically valid Go.
+func TestGeneratedSourcesParse(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("..", "..", "specs", "*.mac"))
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("no specs: %v", err)
+	}
+	for _, path := range paths {
+		name := filepath.Base(path)
+		spec := loadSpec(t, name)
+		res, err := Generate(spec, "gen"+spec.Name)
+		if err != nil {
+			t.Errorf("%s: generate: %v", name, err)
+			continue
+		}
+		fset := token.NewFileSet()
+		if _, err := parser.ParseFile(fset, name+".go", res.Source, 0); err != nil {
+			t.Errorf("%s: generated source does not parse: %v", name, err)
+		}
+		if res.Transitions == 0 {
+			t.Errorf("%s: no transitions generated", name)
+		}
+	}
+}
+
+// TestRandtreeFullyTranslated proves the action-language subset covers the
+// whole RandTree specification: zero TODO fallbacks.
+func TestRandtreeFullyTranslated(t *testing.T) {
+	spec := loadSpec(t, "randtree.mac")
+	res, err := Generate(spec, "genrandtree")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Opaque != 0 {
+		t.Fatalf("randtree left %d untranslated statements", res.Opaque)
+	}
+	if strings.Contains(res.Source, "TODO(macedon)") {
+		t.Fatal("randtree output contains TODO fallbacks")
+	}
+}
+
+// TestCommittedGenRandtreeInSync regenerates genrandtree and diffs it
+// against the committed package, so the generator and its output can never
+// drift apart.
+func TestCommittedGenRandtreeInSync(t *testing.T) {
+	spec := loadSpec(t, "randtree.mac")
+	res, err := Generate(spec, "genrandtree")
+	if err != nil {
+		t.Fatal(err)
+	}
+	formatted, err := format.Source([]byte(res.Source))
+	if err != nil {
+		t.Fatalf("generated source does not format: %v", err)
+	}
+	committed, err := os.ReadFile(filepath.Join("..", "overlays", "genrandtree", "genrandtree.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(committed) != string(formatted) {
+		t.Fatal("internal/overlays/genrandtree is stale: run " +
+			"`go run ./cmd/macedon gen -pkg genrandtree -o internal/overlays/genrandtree/genrandtree.go specs/randtree.mac`")
+	}
+}
+
+// TestOpaqueStatementsBecomeTODOs checks the preservation path.
+func TestOpaqueStatementsBecomeTODOs(t *testing.T) {
+	spec, err := dsl.Parse(`
+protocol p
+transports { UDP u; }
+messages { u m { int x; } }
+transitions { any recv m { some_c_function(a, b); } }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Generate(spec, "genp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Opaque != 1 {
+		t.Fatalf("opaque = %d", res.Opaque)
+	}
+	if !strings.Contains(res.Source, "TODO(macedon)") {
+		t.Fatal("missing TODO marker")
+	}
+}
+
+// TestGenerateErrors exercises translator diagnostics.
+func TestGenerateErrors(t *testing.T) {
+	bad := []string{
+		// assignment to undeclared variable
+		`protocol p transports { UDP u; } messages { u m { } } transitions { any recv m { zz = 1; } }`,
+		// send with unknown field
+		`protocol p transports { UDP u; } messages { u m { int x; } } transitions { any recv m { send m(from, nope = 1); } }`,
+		// field() of unknown field
+		`protocol p transports { UDP u; } messages { u m { int x; } } transitions { any recv m { if (field(nope) == 1) { } } }`,
+	}
+	for i, src := range bad {
+		spec, err := dsl.Parse(src)
+		if err != nil {
+			t.Fatalf("case %d should parse: %v", i, err)
+		}
+		if _, err := Generate(spec, "genp"); err == nil {
+			t.Errorf("case %d: expected generation error", i)
+		}
+	}
+}

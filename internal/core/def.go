@@ -1,0 +1,342 @@
+// Package core is the MACEDON engine: the runtime half of the paper's
+// primary contribution. Protocols — whether hand-written or emitted by the
+// code generator — declare their finite state machine (system states,
+// messages with transport bindings, timers, neighbor lists, and transitions
+// scoped by state expressions) through a Def, and the engine supplies
+// everything §1 lists as shared infrastructure: thread and timer management,
+// network communication, per-transition read/write locking, failure
+// detection, protocol layering with the overlay-generic API of Figure 3,
+// debugging/tracing, and state serialization points.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"macedon/internal/overlay"
+)
+
+// State is an FSM system state ("phase of execution", §2.1.1).
+type State string
+
+// StateInit is the automatic starting state of every protocol.
+const StateInit State = "init"
+
+// StateExpr guards a transition: the grammar's STATE EXPR. Expressions are
+// built from Any, In, and Not.
+type StateExpr interface {
+	Matches(s State) bool
+	String() string
+}
+
+type anyExpr struct{}
+
+func (anyExpr) Matches(State) bool { return true }
+func (anyExpr) String() string     { return "any" }
+
+// Any matches every state: the grammar's "any" scope.
+var Any StateExpr = anyExpr{}
+
+type inExpr []State
+
+func (e inExpr) Matches(s State) bool {
+	for _, st := range e {
+		if st == s {
+			return true
+		}
+	}
+	return false
+}
+
+func (e inExpr) String() string {
+	out := ""
+	for i, st := range e {
+		if i > 0 {
+			out += "|"
+		}
+		out += string(st)
+	}
+	return "(" + out + ")"
+}
+
+// In matches any of the listed states, e.g. In("joined", "probing").
+func In(states ...State) StateExpr { return inExpr(states) }
+
+type notExpr struct{ inner StateExpr }
+
+func (e notExpr) Matches(s State) bool { return !e.inner.Matches(s) }
+func (e notExpr) String() string       { return "!" + e.inner.String() }
+
+// Not negates an expression, e.g. Not(In("joining", "init")) for the
+// paper's "!(joining|init)".
+func Not(e StateExpr) StateExpr { return notExpr{e} }
+
+// LockMode is the transition's serialization class (§2.1.2): control
+// transitions write node state and take the instance lock exclusively; data
+// transitions only read and may run concurrently.
+type LockMode uint8
+
+const (
+	// Write is the default: exclusive access ("control").
+	Write LockMode = iota
+	// Read allows concurrent data transitions ("data").
+	Read
+)
+
+// String names the lock mode as the grammar's locking option does.
+func (m LockMode) String() string {
+	if m == Read {
+		return "read"
+	}
+	return "write"
+}
+
+// Addressing selects the protocol's address family (grammar header).
+type Addressing uint8
+
+const (
+	// HashAddressing routes by 32-bit hash keys.
+	HashAddressing Addressing = iota
+	// IPAddressing routes by node addresses directly.
+	IPAddressing
+)
+
+// Handler kinds.
+type (
+	// MsgHandler runs a message transition (recv or forward).
+	MsgHandler func(ctx *Context, ev *MsgEvent)
+	// TimerHandler runs a timer transition.
+	TimerHandler func(ctx *Context)
+	// APIHandler runs an API transition.
+	APIHandler func(ctx *Context, call *APICall)
+)
+
+type eventKind uint8
+
+const (
+	evRecv eventKind = iota
+	evForward
+	evTimer
+	evAPI
+)
+
+func (k eventKind) String() string {
+	switch k {
+	case evRecv:
+		return "recv"
+	case evForward:
+		return "forward"
+	case evTimer:
+		return "timer"
+	default:
+		return "API"
+	}
+}
+
+type eventKey struct {
+	kind eventKind
+	name string // message name, timer name, or API kind name
+}
+
+type transition struct {
+	guard StateExpr
+	lock  LockMode
+	msg   MsgHandler
+	timer TimerHandler
+	api   APIHandler
+}
+
+type transportDecl struct {
+	name   string
+	kind   overlay.TransportKind
+	window int // SWP only
+}
+
+type messageDecl struct {
+	name      string
+	transport string // default transport instance name
+}
+
+type timerDecl struct {
+	name     string
+	period   time.Duration // default period for Resched-with-default
+	periodic bool          // automatically re-arm after each fire
+}
+
+type neighborDecl struct {
+	name       string
+	max        int
+	failDetect bool
+}
+
+// Def collects a protocol's declaration: everything a .mac file's STATE AND
+// DATA and TRANSITIONS sections contain. The engine constructs one per
+// instance and hands it to the Agent's Define method.
+type Def struct {
+	name       string
+	addressing Addressing
+	traceLevel TraceLevel
+	traceSet   bool
+
+	states     map[State]bool
+	transports []transportDecl
+	messages   map[string]*messageDecl
+	msgOrder   []string
+	registry   *overlay.Registry
+	timers     map[string]*timerDecl
+	neighbors  []neighborDecl
+
+	transitions map[eventKey][]transition
+}
+
+func newDef(name string) *Def {
+	return &Def{
+		name:        name,
+		states:      map[State]bool{StateInit: true},
+		messages:    make(map[string]*messageDecl),
+		registry:    overlay.NewRegistry(name),
+		timers:      make(map[string]*timerDecl),
+		transitions: make(map[eventKey][]transition),
+	}
+}
+
+// Name returns the protocol name.
+func (d *Def) Name() string { return d.name }
+
+// States declares the protocol's FSM states; "init" is always present.
+func (d *Def) States(states ...State) {
+	for _, s := range states {
+		d.states[s] = true
+	}
+}
+
+// Addressing sets the protocol's address family (hash by default).
+func (d *Def) Addressing(a Addressing) { d.addressing = a }
+
+// Trace sets the protocol's tracing level, overriding the node's default.
+func (d *Def) Trace(l TraceLevel) { d.traceLevel, d.traceSet = l, true }
+
+// TCPTransport declares a reliable congestion-friendly transport instance.
+// Transport declaration order is priority order: index 0 is highest.
+func (d *Def) TCPTransport(name string) {
+	d.transports = append(d.transports, transportDecl{name: name, kind: overlay.TCP})
+}
+
+// UDPTransport declares an unreliable transport instance.
+func (d *Def) UDPTransport(name string) {
+	d.transports = append(d.transports, transportDecl{name: name, kind: overlay.UDP})
+}
+
+// SWPTransport declares a reliable congestion-unfriendly sliding-window
+// transport instance. window <= 0 selects the default.
+func (d *Def) SWPTransport(name string, window int) {
+	d.transports = append(d.transports, transportDecl{name: name, kind: overlay.SWP, window: window})
+}
+
+// Message declares a message type bound to a default transport instance.
+// Higher-layer protocols pass transport "" — their messages travel inside
+// the base layer's data messages.
+func (d *Def) Message(name string, factory func() overlay.Message, transport string) {
+	if _, dup := d.messages[name]; dup {
+		panic(fmt.Sprintf("core: message %q declared twice in %q", name, d.name))
+	}
+	d.registry.Register(name, factory)
+	d.messages[name] = &messageDecl{name: name, transport: transport}
+	d.msgOrder = append(d.msgOrder, name)
+}
+
+// Timer declares a timer state variable with a default period.
+func (d *Def) Timer(name string, period time.Duration) {
+	d.timers[name] = &timerDecl{name: name, period: period}
+}
+
+// PeriodicTimer declares a timer that automatically re-arms with its period
+// after every fire, until cancelled.
+func (d *Def) PeriodicTimer(name string, period time.Duration) {
+	d.timers[name] = &timerDecl{name: name, period: period, periodic: true}
+}
+
+// NeighborList declares a neighbor set with a maximum size (<= 0 means
+// unbounded). failDetect asks the engine to monitor members for failure and
+// invoke the error API transition when one goes silent (§3.1).
+func (d *Def) NeighborList(name string, max int, failDetect bool) {
+	d.neighbors = append(d.neighbors, neighborDecl{name: name, max: max, failDetect: failDetect})
+}
+
+// OnRecv declares a message reception transition: the node is the message's
+// destination (or the message is a lowest-layer control message).
+func (d *Def) OnRecv(msg string, guard StateExpr, lock LockMode, h MsgHandler) {
+	d.addTransition(eventKey{evRecv, msg}, transition{guard: guard, lock: lock, msg: h})
+}
+
+// OnForward declares a forward transition: a higher-layer message transiting
+// this node while the base layer routes it. The handler may redirect or
+// quash the message through the MsgEvent.
+func (d *Def) OnForward(msg string, guard StateExpr, lock LockMode, h MsgHandler) {
+	d.addTransition(eventKey{evForward, msg}, transition{guard: guard, lock: lock, msg: h})
+}
+
+// OnTimer declares a timer expiration transition.
+func (d *Def) OnTimer(name string, guard StateExpr, lock LockMode, h TimerHandler) {
+	d.addTransition(eventKey{evTimer, name}, transition{guard: guard, lock: lock, timer: h})
+}
+
+// OnAPI declares an API transition for calls arriving from the layer above
+// (or the application), plus the engine-driven error and notify events.
+func (d *Def) OnAPI(kind overlay.API, guard StateExpr, lock LockMode, h APIHandler) {
+	d.addTransition(eventKey{evAPI, kind.String()}, transition{guard: guard, lock: lock, api: h})
+}
+
+func (d *Def) addTransition(k eventKey, t transition) {
+	if t.guard == nil {
+		t.guard = Any
+	}
+	d.transitions[k] = append(d.transitions[k], t)
+}
+
+// validate checks internal consistency after Define returns.
+func (d *Def) validate() error {
+	for k := range d.transitions {
+		switch k.kind {
+		case evRecv, evForward:
+			if _, ok := d.messages[k.name]; !ok {
+				return fmt.Errorf("core: %s: transition on undeclared message %q", d.name, k.name)
+			}
+		case evTimer:
+			if _, ok := d.timers[k.name]; !ok {
+				return fmt.Errorf("core: %s: transition on undeclared timer %q", d.name, k.name)
+			}
+		}
+	}
+	tnames := make(map[string]bool, len(d.transports))
+	for _, t := range d.transports {
+		if tnames[t.name] {
+			return fmt.Errorf("core: %s: transport %q declared twice", d.name, t.name)
+		}
+		tnames[t.name] = true
+	}
+	for _, m := range d.messages {
+		if m.transport != "" && !tnames[m.transport] {
+			return fmt.Errorf("core: %s: message %q bound to undeclared transport %q", d.name, m.name, m.transport)
+		}
+	}
+	seen := make(map[string]bool, len(d.neighbors))
+	for _, nb := range d.neighbors {
+		if seen[nb.name] {
+			return fmt.Errorf("core: %s: neighbor list %q declared twice", d.name, nb.name)
+		}
+		seen[nb.name] = true
+	}
+	return nil
+}
+
+// Agent is a protocol implementation: what the code generator emits from a
+// specification, or what a developer writes directly against the engine.
+type Agent interface {
+	// Define declares the protocol's FSM on the supplied Def. It is called
+	// exactly once, before any event is dispatched.
+	Define(d *Def)
+}
+
+// Factory constructs a fresh Agent for one node's stack.
+type Factory func() Agent

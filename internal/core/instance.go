@@ -1,0 +1,340 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"macedon/internal/overlay"
+)
+
+// Instance is one protocol layer on one node: the "MACEDON agent" of §3.2.
+// It owns the protocol's FSM state, timers, neighbor lists, and the
+// read/write lock that serializes control transitions against data
+// transitions.
+type Instance struct {
+	node  *Node
+	agent Agent
+	def   *Def
+
+	mu    sync.RWMutex
+	state State
+
+	timers map[string]*timerState
+	nbrs   map[string]*NeighborList
+
+	lower, upper *Instance
+
+	counters Counters
+}
+
+type timerState struct {
+	decl *timerDecl
+	tm   stoppable
+	gen  uint64 // invalidates queued fires after cancel/resched
+}
+
+type stoppable interface{ Stop() bool }
+
+func newInstance(n *Node, agent Agent) (*Instance, error) {
+	i := &Instance{
+		node:   n,
+		agent:  agent,
+		state:  StateInit,
+		timers: make(map[string]*timerState),
+		nbrs:   make(map[string]*NeighborList),
+	}
+	d := newDef(protocolName(agent))
+	agent.Define(d)
+	if err := d.validate(); err != nil {
+		return nil, err
+	}
+	i.def = d
+	for name, td := range d.timers {
+		i.timers[name] = &timerState{decl: td}
+	}
+	for _, nd := range d.neighbors {
+		i.nbrs[nd.name] = newNeighborList(nd)
+	}
+	return i, nil
+}
+
+// protocolName lets agents name themselves through an optional interface;
+// otherwise Define must call Def.SetName via the builder. In practice every
+// agent implements Namer.
+func protocolName(a Agent) string {
+	if n, ok := a.(interface{ ProtocolName() string }); ok {
+		return n.ProtocolName()
+	}
+	return fmt.Sprintf("%T", a)
+}
+
+// Name returns the protocol name.
+func (i *Instance) Name() string { return i.def.name }
+
+// State returns the instance's current FSM state (for tests and tools).
+func (i *Instance) State() State {
+	i.mu.RLock()
+	defer i.mu.RUnlock()
+	return i.state
+}
+
+// Agent returns the protocol implementation (for white-box inspection in
+// experiments: the paper's debugging features dump protocol state the same
+// way).
+func (i *Instance) Agent() Agent { return i.agent }
+
+// Counters returns a snapshot of the instance's engine counters.
+func (i *Instance) Counters() Counters {
+	i.mu.RLock()
+	defer i.mu.RUnlock()
+	return i.counters
+}
+
+// NeighborsSnapshot returns the member addresses of a neighbor list.
+func (i *Instance) NeighborsSnapshot(name string) []overlay.Address {
+	i.mu.RLock()
+	defer i.mu.RUnlock()
+	if l, ok := i.nbrs[name]; ok {
+		return l.Addrs()
+	}
+	return nil
+}
+
+func (i *Instance) trace(l TraceLevel, format string, args ...any) {
+	level := i.node.traceLevel
+	if i.def != nil && i.def.traceSet {
+		level = i.def.traceLevel
+	}
+	if l > level {
+		return
+	}
+	i.node.tracer.tracef(l, i.node.clock.Now(),
+		fmt.Sprintf("%v %s: %s", i.node.addr, i.def.name, fmt.Sprintf(format, args...)))
+}
+
+// dispatch finds the first transition for k whose guard matches the current
+// state and runs it under the declared lock mode. It reports whether a
+// transition ran.
+func (i *Instance) dispatch(k eventKey, run func(t transition, ctx *Context)) bool {
+	ts := i.def.transitions[k]
+	// Guard evaluation reads the state; take the read lock briefly, then the
+	// transition lock. State can only move under the write lock, and control
+	// events are serialized per instance, so re-checking under the
+	// transition lock keeps the race window harmless: a guard that matched
+	// is re-validated before the handler runs.
+	for idx := range ts {
+		t := ts[idx]
+		if t.lock == Read {
+			i.mu.RLock()
+		} else {
+			i.mu.Lock()
+		}
+		if !t.guard.Matches(i.state) {
+			if t.lock == Read {
+				i.mu.RUnlock()
+			} else {
+				i.mu.Unlock()
+			}
+			continue
+		}
+		i.counters.Transitions++
+		i.trace(TraceMed, "%s %s [%s, %s]", k.kind, k.name, t.guard, t.lock)
+		ctx := &Context{inst: i}
+		run(t, ctx)
+		if t.lock == Read {
+			i.mu.RUnlock()
+		} else {
+			i.mu.Unlock()
+		}
+		return true
+	}
+	i.counters.Unhandled++
+	i.trace(TraceMed, "unhandled %s %s in state %s", k.kind, k.name, i.state)
+	return false
+}
+
+// handleFrame demultiplexes a lowest-layer frame into a recv transition.
+func (i *Instance) handleFrame(src overlay.Address, frame []byte) {
+	m, err := overlay.DecodeMessage(i.def.registry, frame)
+	if err != nil {
+		i.trace(TraceLow, "bad frame from %v: %v", src, err)
+		return
+	}
+	i.counters.MsgsRecv++
+	i.counters.BytesRecv += uint64(len(frame))
+	ev := &MsgEvent{Msg: m, From: src}
+	i.dispatch(eventKey{evRecv, m.MsgName()}, func(t transition, ctx *Context) {
+		t.msg(ctx, ev)
+	})
+}
+
+// sendFrame transmits an encoded frame on the lowest layer.
+func (i *Instance) sendFrame(dst overlay.Address, msgName string, frame []byte, pri int) error {
+	tr, err := i.node.transportFor(i.def, msgName, pri)
+	if err != nil {
+		return err
+	}
+	i.counters.MsgsSent++
+	i.counters.BytesSent += uint64(len(frame))
+	i.trace(TraceHigh, "send %s to %v on %s", msgName, dst, tr.Name())
+	return tr.Send(dst, frame)
+}
+
+// schedTimer implements timer_sched / timer_resched.
+func (i *Instance) schedTimer(name string, d time.Duration, replace bool) {
+	ts, ok := i.timers[name]
+	if !ok {
+		panic(fmt.Sprintf("core: %s: undeclared timer %q", i.def.name, name))
+	}
+	if d <= 0 {
+		d = ts.decl.period
+	}
+	if d <= 0 {
+		panic(fmt.Sprintf("core: %s: timer %q scheduled with no period", i.def.name, name))
+	}
+	if ts.tm != nil {
+		if !replace {
+			return
+		}
+		ts.tm.Stop()
+		ts.tm = nil
+	}
+	i.trace(TraceHigh, "timer %s in %v", name, d)
+	i.armTimer(ts, name, d)
+}
+
+// armTimer schedules the timer callback through the node queue so timer
+// transitions serialize with every other event. The generation stamp makes
+// cancellations and reschedules win over already-queued fires.
+func (i *Instance) armTimer(ts *timerState, name string, d time.Duration) {
+	ts.gen++
+	gen := ts.gen
+	ts.tm = i.node.clock.After(d, func() {
+		i.node.post(func() { i.fireTimer(ts, name, gen) })
+	})
+}
+
+func (i *Instance) fireTimer(ts *timerState, name string, gen uint64) {
+	if i.node.stopped || gen != ts.gen {
+		return
+	}
+	ts.tm = nil
+	i.counters.TimerFires++
+	i.dispatch(eventKey{evTimer, name}, func(t transition, ctx *Context) {
+		t.timer(ctx)
+	})
+	if ts.decl.periodic && ts.tm == nil {
+		i.armTimer(ts, name, ts.decl.period)
+	}
+}
+
+// dispatchAPI runs an API transition. Unhandled calls are counted and
+// otherwise ignored, as an overlay with no matching transition would be.
+func (i *Instance) dispatchAPI(call *APICall) {
+	i.dispatch(eventKey{evAPI, call.Kind.String()}, func(t transition, ctx *Context) {
+		t.api(ctx, call)
+	})
+}
+
+// deliverUp implements the deliver() upcall from this layer.
+func (i *Instance) deliverUp(payload []byte, typ int32, src overlay.Address) {
+	i.counters.Delivered++
+	if typ == ProtocolPayload && i.upper != nil {
+		up := i.upper
+		m, err := overlay.DecodeMessage(up.def.registry, payload)
+		if err != nil {
+			up.trace(TraceLow, "bad layered frame from %v: %v", src, err)
+			return
+		}
+		up.counters.MsgsRecv++
+		up.counters.BytesRecv += uint64(len(payload))
+		ev := &MsgEvent{Msg: m, From: src}
+		up.dispatch(eventKey{evRecv, m.MsgName()}, func(t transition, ctx *Context) {
+			t.msg(ctx, ev)
+		})
+		return
+	}
+	if typ >= 0 && i.upper == nil {
+		i.trace(TraceHigh, "deliver type %d from %v to application", typ, src)
+		if h := i.node.handlers.Deliver; h != nil {
+			h(payload, typ, src)
+		}
+		return
+	}
+	i.counters.Unhandled++
+	i.trace(TraceLow, "undeliverable payload type %d from %v", typ, src)
+}
+
+// forwardUp implements the forward() upcall: it gives the layer above (or
+// the application) the chance to redirect, rewrite, or quash a payload this
+// layer is about to forward toward next.
+func (i *Instance) forwardUp(payload []byte, typ int32, next overlay.Address, nextKey overlay.Key) (bool, overlay.Address, []byte) {
+	i.counters.Forwarded++
+	if typ == ProtocolPayload && i.upper != nil {
+		up := i.upper
+		m, err := overlay.DecodeMessage(up.def.registry, payload)
+		if err != nil {
+			up.trace(TraceLow, "bad layered frame in forward: %v", err)
+			return true, next, payload
+		}
+		ev := &MsgEvent{Msg: m, NextHop: next, NextKey: nextKey}
+		handled := up.dispatch(eventKey{evForward, m.MsgName()}, func(t transition, ctx *Context) {
+			t.msg(ctx, ev)
+		})
+		if !handled {
+			return true, next, payload
+		}
+		if ev.Quash {
+			return false, next, payload
+		}
+		// The transition may have mutated the message; re-encode so the
+		// rewritten form travels on (the paper: "intermediate nodes can
+		// change the message or its destination").
+		newPayload, err := overlay.EncodeMessage(up.def.registry, ev.Msg)
+		if err != nil {
+			return true, ev.NextHop, payload
+		}
+		return true, ev.NextHop, newPayload
+	}
+	if typ >= 0 && i.upper == nil {
+		if h := i.node.handlers.Forward; h != nil {
+			return h(payload, typ, next, nextKey), next, payload
+		}
+	}
+	return true, next, payload
+}
+
+// notifyUp implements the notify() upcall.
+func (i *Instance) notifyUp(nt overlay.NeighborType, neighbors []overlay.Address) {
+	if i.upper != nil {
+		i.upper.dispatchAPI(&APICall{Kind: overlay.APINotify, NbrType: nt, Neighbors: neighbors})
+		return
+	}
+	if h := i.node.handlers.Notify; h != nil {
+		h(nt, neighbors)
+	}
+}
+
+// upcallExt implements the extensible upcall_ext.
+func (i *Instance) upcallExt(op int, arg any) int {
+	if i.upper != nil {
+		call := &APICall{Kind: overlay.APIUpcallExt, Op: op, Arg: arg}
+		i.upper.dispatchAPI(call)
+		return call.Return
+	}
+	if h := i.node.handlers.Upcall; h != nil {
+		return h(op, arg)
+	}
+	return 0
+}
+
+// stopTimers cancels all pending protocol timers.
+func (i *Instance) stopTimers() {
+	for _, ts := range i.timers {
+		if ts.tm != nil {
+			ts.tm.Stop()
+			ts.tm = nil
+		}
+	}
+}

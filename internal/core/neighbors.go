@@ -1,0 +1,133 @@
+package core
+
+import (
+	"math/rand"
+
+	"macedon/internal/overlay"
+)
+
+// Neighbor is one entry in a neighbor list: the peer's address plus the
+// per-neighbor fields the grammar lets specifications attach (delay and
+// bandwidth estimates being the common ones, as in the Overcast example of
+// §3.3.2; Value carries any protocol-specific struct).
+type Neighbor struct {
+	Addr      overlay.Address
+	Key       overlay.Key
+	Delay     float64 // round-trip estimate in milliseconds
+	Bandwidth float64 // estimate in bits per second
+	Value     any
+}
+
+// NeighborList is the engine's neighbor-management library (§3.3.2): an
+// ordered set of neighbors with optional capacity. All the MACEDON
+// primitives are here: Add (neighbor_add), Remove, Clear (neighbor_clear),
+// Size (neighbor_size), Contains (neighbor_query), Entry (neighbor_entry),
+// Random (neighbor_random).
+type NeighborList struct {
+	name       string
+	max        int
+	failDetect bool
+	entries    []*Neighbor
+	index      map[overlay.Address]*Neighbor
+}
+
+func newNeighborList(d neighborDecl) *NeighborList {
+	return &NeighborList{
+		name:       d.name,
+		max:        d.max,
+		failDetect: d.failDetect,
+		index:      make(map[overlay.Address]*Neighbor),
+	}
+}
+
+// Name returns the list's declared name.
+func (l *NeighborList) Name() string { return l.name }
+
+// Max returns the declared capacity (0 = unbounded).
+func (l *NeighborList) Max() int { return l.max }
+
+// FailDetect reports whether the engine monitors this list's members.
+func (l *NeighborList) FailDetect() bool { return l.failDetect }
+
+// Size returns the number of neighbors.
+func (l *NeighborList) Size() int { return len(l.entries) }
+
+// Full reports whether the list is at capacity.
+func (l *NeighborList) Full() bool { return l.max > 0 && len(l.entries) >= l.max }
+
+// Add inserts addr and returns its entry. If addr is already present the
+// existing entry is returned; if the list is full, nil.
+func (l *NeighborList) Add(addr overlay.Address) *Neighbor {
+	if n, ok := l.index[addr]; ok {
+		return n
+	}
+	if l.Full() {
+		return nil
+	}
+	n := &Neighbor{Addr: addr, Key: overlay.HashAddress(addr)}
+	l.entries = append(l.entries, n)
+	l.index[addr] = n
+	return n
+}
+
+// Remove deletes addr, reporting whether it was present.
+func (l *NeighborList) Remove(addr overlay.Address) bool {
+	n, ok := l.index[addr]
+	if !ok {
+		return false
+	}
+	delete(l.index, addr)
+	for i, e := range l.entries {
+		if e == n {
+			l.entries = append(l.entries[:i], l.entries[i+1:]...)
+			break
+		}
+	}
+	return true
+}
+
+// Clear empties the list.
+func (l *NeighborList) Clear() {
+	l.entries = l.entries[:0]
+	l.index = make(map[overlay.Address]*Neighbor)
+}
+
+// Contains reports whether addr is in the list.
+func (l *NeighborList) Contains(addr overlay.Address) bool {
+	_, ok := l.index[addr]
+	return ok
+}
+
+// Entry returns addr's entry, or nil.
+func (l *NeighborList) Entry(addr overlay.Address) *Neighbor { return l.index[addr] }
+
+// Random returns a uniformly random entry, or nil if empty.
+func (l *NeighborList) Random(rng *rand.Rand) *Neighbor {
+	if len(l.entries) == 0 {
+		return nil
+	}
+	return l.entries[rng.Intn(len(l.entries))]
+}
+
+// First returns the first entry in insertion order, or nil.
+func (l *NeighborList) First() *Neighbor {
+	if len(l.entries) == 0 {
+		return nil
+	}
+	return l.entries[0]
+}
+
+// Entries returns the entries in insertion order. The slice is a copy; the
+// pointed-to neighbors are live.
+func (l *NeighborList) Entries() []*Neighbor {
+	return append([]*Neighbor(nil), l.entries...)
+}
+
+// Addrs returns the member addresses in insertion order.
+func (l *NeighborList) Addrs() []overlay.Address {
+	out := make([]overlay.Address, len(l.entries))
+	for i, e := range l.entries {
+		out[i] = e.Addr
+	}
+	return out
+}

@@ -1,0 +1,429 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"time"
+
+	"macedon/internal/overlay"
+	"macedon/internal/substrate"
+	"macedon/internal/transport"
+)
+
+// hbTransport is the engine's private UDP channel for failure-detection
+// heartbeats; it is always transport id 0 on every node.
+const hbTransport = "@mac"
+
+// Heartbeat datagram kinds.
+const (
+	hbRequest  = 0
+	hbResponse = 1
+)
+
+// Config assembles one overlay node.
+type Config struct {
+	// Addr is the node's address; it must be attached to the network.
+	Addr overlay.Address
+	// Net supplies the clock and datagram endpoint.
+	Net substrate.Network
+	// Stack lists the protocol factories, lowest layer first. "protocol
+	// scribe uses pastry" is Stack{pastry.New, scribe.New}.
+	Stack []Factory
+	// Bootstrap is the well-known bootstrap node passed to init transitions.
+	Bootstrap overlay.Address
+
+	// Seed for the node's PRNG; 0 derives one from the address.
+	Seed int64
+
+	// TraceLevel and TraceWriter configure engine tracing (default: off to
+	// stderr).
+	TraceLevel  TraceLevel
+	TraceWriter io.Writer
+
+	// Failure-detector parameters (§3.1): silence > HeartbeatAfter triggers
+	// a heartbeat probe; silence > FailAfter invokes the error transition.
+	// Zero values select 5 s and 20 s; Sweep defaults to 1 s.
+	HeartbeatAfter time.Duration
+	FailAfter      time.Duration
+	Sweep          time.Duration
+}
+
+// Node is one overlay participant: a stack of protocol instances over the
+// transport subsystem, plus the application-facing MACEDON API of Figure 3.
+type Node struct {
+	addr overlay.Address
+	key  overlay.Key
+
+	clock substrate.Clock
+	mux   *transport.Mux
+	rng   *rand.Rand
+
+	stack      []*Instance
+	transports map[string]transport.Transport
+	prio       []transport.Transport // declaration order = priority order
+	handlers   Handlers
+	tracer     *Tracer
+	traceLevel TraceLevel
+
+	hbAfter, failAfter, sweepEvery time.Duration
+	lastHeard                      map[overlay.Address]time.Time
+	hbProbed                       map[overlay.Address]bool
+	sweepTimer                     substrate.Timer
+
+	// Deferred-execution queue: every engine event (frame, timer, API call,
+	// cross-layer dispatch) runs through here, one at a time per node.
+	execMu   chan struct{} // buffered(1) semaphore usable from any goroutine
+	queue    []func()
+	queueMu  chan struct{}
+	draining bool
+
+	stopped bool
+}
+
+// NewNode builds and starts a node: transports are created, instances
+// defined and wired, and every layer's init transition dispatched bottom-up.
+func NewNode(cfg Config) (*Node, error) {
+	if len(cfg.Stack) == 0 {
+		return nil, errors.New("core: empty protocol stack")
+	}
+	if cfg.Net == nil {
+		return nil, errors.New("core: no network substrate")
+	}
+	ep, err := cfg.Net.Endpoint(cfg.Addr)
+	if err != nil {
+		return nil, err
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = int64(cfg.Addr)*2654435761 + 1
+	}
+	tw := cfg.TraceWriter
+	if tw == nil {
+		tw = os.Stderr
+	}
+	n := &Node{
+		addr:       cfg.Addr,
+		key:        overlay.HashAddress(cfg.Addr),
+		clock:      cfg.Net,
+		rng:        rand.New(rand.NewSource(seed)),
+		transports: make(map[string]transport.Transport),
+		tracer:     newTracer(tw, cfg.TraceLevel),
+		traceLevel: cfg.TraceLevel,
+		hbAfter:    cfg.HeartbeatAfter,
+		failAfter:  cfg.FailAfter,
+		sweepEvery: cfg.Sweep,
+		lastHeard:  make(map[overlay.Address]time.Time),
+		hbProbed:   make(map[overlay.Address]bool),
+		queueMu:    make(chan struct{}, 1),
+	}
+	n.queueMu <- struct{}{}
+	if n.hbAfter <= 0 {
+		n.hbAfter = 5 * time.Second
+	}
+	if n.failAfter <= 0 {
+		n.failAfter = 20 * time.Second
+	}
+	if n.sweepEvery <= 0 {
+		n.sweepEvery = time.Second
+	}
+
+	n.mux = transport.NewMux(ep, cfg.Net)
+	n.mux.SetRecv(n.onFrame)
+	hb := n.mux.AddUDP(hbTransport)
+	n.transports[hbTransport] = hb
+
+	for _, f := range cfg.Stack {
+		inst, err := newInstance(n, f())
+		if err != nil {
+			return nil, err
+		}
+		n.stack = append(n.stack, inst)
+	}
+	for i := range n.stack {
+		if i > 0 {
+			n.stack[i].lower = n.stack[i-1]
+			n.stack[i-1].upper = n.stack[i]
+		}
+	}
+	// Only the lowest layer's transports are instantiated; higher layers'
+	// messages ride the base layer (§3.1).
+	for _, td := range n.stack[0].def.transports {
+		var t transport.Transport
+		switch td.kind {
+		case overlay.TCP:
+			t = n.mux.AddTCP(td.name)
+		case overlay.UDP:
+			t = n.mux.AddUDP(td.name)
+		case overlay.SWP:
+			t = n.mux.AddSWP(td.name, td.window)
+		}
+		n.transports[td.name] = t
+		n.prio = append(n.prio, t)
+	}
+
+	// Init transitions run bottom-up, then the failure-detector sweep
+	// starts.
+	boot := cfg.Bootstrap
+	n.post(func() {
+		for _, inst := range n.stack {
+			inst.dispatchAPI(&APICall{Kind: overlay.APIInit, Bootstrap: boot})
+		}
+	})
+	n.sweepTimer = n.clock.After(n.sweepEvery, n.sweep)
+	return n, nil
+}
+
+// post enqueues fn on the node's serialized execution queue. If the queue is
+// idle, fn (and everything it posts) runs before post returns; otherwise it
+// runs when the current event chain drains. This is what makes every
+// cross-layer call deferred and every node single-logical-threaded.
+func (n *Node) post(fn func()) {
+	<-n.queueMu
+	n.queue = append(n.queue, fn)
+	if n.draining {
+		n.queueMu <- struct{}{}
+		return
+	}
+	n.draining = true
+	for len(n.queue) > 0 {
+		next := n.queue[0]
+		n.queue = n.queue[1:]
+		n.queueMu <- struct{}{}
+		next()
+		<-n.queueMu
+	}
+	n.draining = false
+	n.queueMu <- struct{}{}
+}
+
+// Addr returns the node's address.
+func (n *Node) Addr() overlay.Address { return n.addr }
+
+// Key returns the node's hash key.
+func (n *Node) Key() overlay.Key { return n.key }
+
+// Stack returns the protocol instances, lowest first.
+func (n *Node) Stack() []*Instance { return append([]*Instance(nil), n.stack...) }
+
+// Instance returns the named protocol instance, or nil.
+func (n *Node) Instance(proto string) *Instance {
+	for _, i := range n.stack {
+		if i.def.name == proto {
+			return i
+		}
+	}
+	return nil
+}
+
+// Top returns the highest-layer instance: the one the application talks to.
+func (n *Node) Top() *Instance { return n.stack[len(n.stack)-1] }
+
+// RegisterHandlers installs the application's upcall handlers
+// (macedon_register_handlers).
+func (n *Node) RegisterHandlers(h Handlers) { n.handlers = h }
+
+// apiToTop defers an API call into the top instance.
+func (n *Node) apiToTop(call *APICall) {
+	top := n.Top()
+	n.post(func() { top.dispatchAPI(call) })
+}
+
+// Route sends payload toward the key dest through the overlay
+// (macedon_route).
+func (n *Node) Route(dest overlay.Key, payload []byte, typ int32, pri int) error {
+	if typ < 0 {
+		return fmt.Errorf("core: application payload types must be >= 0 (got %d)", typ)
+	}
+	n.apiToTop(&APICall{Kind: overlay.APIRoute, Dest: dest, Payload: payload, PayloadType: typ, Priority: pri})
+	return nil
+}
+
+// RouteIP sends payload directly to a node address (macedon_routeIP).
+func (n *Node) RouteIP(dst overlay.Address, payload []byte, typ int32, pri int) error {
+	if typ < 0 {
+		return fmt.Errorf("core: application payload types must be >= 0 (got %d)", typ)
+	}
+	n.apiToTop(&APICall{Kind: overlay.APIRouteIP, DestIP: dst, Payload: payload, PayloadType: typ, Priority: pri})
+	return nil
+}
+
+// Multicast disseminates payload to a session (macedon_multicast).
+func (n *Node) Multicast(group overlay.Key, payload []byte, typ int32, pri int) error {
+	if typ < 0 {
+		return fmt.Errorf("core: application payload types must be >= 0 (got %d)", typ)
+	}
+	n.apiToTop(&APICall{Kind: overlay.APIMulticast, Group: group, Payload: payload, PayloadType: typ, Priority: pri})
+	return nil
+}
+
+// Anycast delivers payload to one member of a session (macedon_anycast).
+func (n *Node) Anycast(group overlay.Key, payload []byte, typ int32, pri int) error {
+	if typ < 0 {
+		return fmt.Errorf("core: application payload types must be >= 0 (got %d)", typ)
+	}
+	n.apiToTop(&APICall{Kind: overlay.APIAnycast, Group: group, Payload: payload, PayloadType: typ, Priority: pri})
+	return nil
+}
+
+// Collect sends payload up the session tree toward the root
+// (macedon_collect).
+func (n *Node) Collect(group overlay.Key, payload []byte, typ int32, pri int) error {
+	if typ < 0 {
+		return fmt.Errorf("core: application payload types must be >= 0 (got %d)", typ)
+	}
+	n.apiToTop(&APICall{Kind: overlay.APICollect, Group: group, Payload: payload, PayloadType: typ, Priority: pri})
+	return nil
+}
+
+// CreateGroup creates a multicast session (macedon_create_group).
+func (n *Node) CreateGroup(group overlay.Key) error {
+	n.apiToTop(&APICall{Kind: overlay.APICreateGroup, Group: group})
+	return nil
+}
+
+// Join subscribes to a session (macedon_join).
+func (n *Node) Join(group overlay.Key) error {
+	n.apiToTop(&APICall{Kind: overlay.APIJoin, Group: group})
+	return nil
+}
+
+// Leave unsubscribes from a session (macedon_leave).
+func (n *Node) Leave(group overlay.Key) error {
+	n.apiToTop(&APICall{Kind: overlay.APILeave, Group: group})
+	return nil
+}
+
+// Downcall issues an extensible downcall into the top protocol.
+func (n *Node) Downcall(op int, arg any) {
+	n.apiToTop(&APICall{Kind: overlay.APIDowncallExt, Op: op, Arg: arg})
+}
+
+// Counters sums the engine counters across the stack.
+func (n *Node) Counters() Counters {
+	var sum Counters
+	for _, i := range n.stack {
+		c := i.Counters()
+		sum.MsgsSent += c.MsgsSent
+		sum.MsgsRecv += c.MsgsRecv
+		sum.BytesSent += c.BytesSent
+		sum.BytesRecv += c.BytesRecv
+		sum.TimerFires += c.TimerFires
+		sum.Transitions += c.Transitions
+		sum.Unhandled += c.Unhandled
+		sum.Delivered += c.Delivered
+		sum.Forwarded += c.Forwarded
+		sum.Failures += c.Failures
+	}
+	return sum
+}
+
+// Transport returns a named lowest-layer transport instance (for tests).
+func (n *Node) Transport(name string) (transport.Transport, bool) {
+	t, ok := n.transports[name]
+	return t, ok
+}
+
+// Stop cancels timers and closes the transports. The node must not be used
+// afterwards.
+func (n *Node) Stop() {
+	n.post(func() {
+		n.stopped = true
+		if n.sweepTimer != nil {
+			n.sweepTimer.Stop()
+		}
+		for _, i := range n.stack {
+			i.stopTimers()
+		}
+		n.mux.Close()
+	})
+}
+
+// transportFor resolves a message's transport by priority override or
+// declaration binding.
+func (n *Node) transportFor(d *Def, msgName string, pri int) (transport.Transport, error) {
+	if pri >= 0 && pri < len(n.prio) {
+		return n.prio[pri], nil
+	}
+	md, ok := d.messages[msgName]
+	if !ok {
+		return nil, fmt.Errorf("core: %s: message %q not declared", d.name, msgName)
+	}
+	if md.transport == "" {
+		return nil, fmt.Errorf("core: %s: message %q has no transport binding and no priority was given", d.name, msgName)
+	}
+	t, ok := n.transports[md.transport]
+	if !ok {
+		return nil, fmt.Errorf("core: %s: transport %q not instantiated", d.name, md.transport)
+	}
+	return t, nil
+}
+
+// onFrame is the mux receive path: heartbeat bookkeeping plus lowest-layer
+// demultiplexing, all through the node queue.
+func (n *Node) onFrame(tname string, src overlay.Address, frame []byte) {
+	// Frames are only valid during the callback: copy before deferring.
+	buf := append([]byte(nil), frame...)
+	n.post(func() {
+		if n.stopped {
+			return
+		}
+		n.lastHeard[src] = n.clock.Now()
+		delete(n.hbProbed, src)
+		if tname == hbTransport {
+			n.handleHeartbeat(src, buf)
+			return
+		}
+		n.stack[0].handleFrame(src, buf)
+	})
+}
+
+func (n *Node) handleHeartbeat(src overlay.Address, frame []byte) {
+	if len(frame) < 1 {
+		return
+	}
+	if frame[0] == hbRequest {
+		_ = n.transports[hbTransport].Send(src, []byte{hbResponse})
+	}
+}
+
+// sweep is the failure detector (§3.1): for every fail_detect neighbor list
+// member, silence beyond HeartbeatAfter solicits communication; silence
+// beyond FailAfter removes the peer and invokes the error transition.
+func (n *Node) sweep() {
+	n.post(func() {
+		if n.stopped {
+			return
+		}
+		now := n.clock.Now()
+		for _, inst := range n.stack {
+			for _, l := range inst.nbrs {
+				if !l.failDetect {
+					continue
+				}
+				for _, nb := range l.Entries() {
+					heard, ok := n.lastHeard[nb.Addr]
+					if !ok {
+						// Never heard: start the clock at first sight.
+						n.lastHeard[nb.Addr] = now
+						continue
+					}
+					silence := now.Sub(heard)
+					switch {
+					case silence > n.failAfter:
+						l.Remove(nb.Addr)
+						inst.counters.Failures++
+						inst.trace(TraceLow, "failure of %v detected on %s", nb.Addr, l.Name())
+						inst.dispatchAPI(&APICall{Kind: overlay.APIError, Failed: nb.Addr})
+					case silence > n.hbAfter && !n.hbProbed[nb.Addr]:
+						n.hbProbed[nb.Addr] = true
+						_ = n.transports[hbTransport].Send(nb.Addr, []byte{hbRequest})
+					}
+				}
+			}
+		}
+		n.sweepTimer = n.clock.After(n.sweepEvery, n.sweep)
+	})
+}

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// TraceLevel is the grammar's four-level tracing header ("trace_ off | low |
+// med | high").
+type TraceLevel uint8
+
+const (
+	// TraceOff disables tracing.
+	TraceOff TraceLevel = iota
+	// TraceLow records state changes and failures.
+	TraceLow
+	// TraceMed additionally records every transition dispatch.
+	TraceMed
+	// TraceHigh additionally records sends, timers, and upcalls.
+	TraceHigh
+)
+
+// String returns the grammar keyword for the level.
+func (l TraceLevel) String() string {
+	switch l {
+	case TraceOff:
+		return "off"
+	case TraceLow:
+		return "low"
+	case TraceMed:
+		return "med"
+	case TraceHigh:
+		return "high"
+	}
+	return fmt.Sprintf("TraceLevel(%d)", uint8(l))
+}
+
+// Tracer serializes trace lines from a node. One tracer per node; cheap when
+// the level filters everything out.
+type Tracer struct {
+	mu    sync.Mutex
+	w     io.Writer
+	level TraceLevel
+}
+
+func newTracer(w io.Writer, level TraceLevel) *Tracer {
+	return &Tracer{w: w, level: level}
+}
+
+// Enabled reports whether lines at level l are emitted.
+func (t *Tracer) Enabled(l TraceLevel) bool {
+	return t != nil && t.w != nil && l != TraceOff && l <= t.level
+}
+
+func (t *Tracer) tracef(l TraceLevel, at time.Time, format string, args ...any) {
+	if !t.Enabled(l) {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	fmt.Fprintf(t.w, "%s %s\n", at.Format("15:04:05.000000"), fmt.Sprintf(format, args...))
+}
+
+// Counters aggregates per-instance engine statistics: the built-in metric
+// tracking the paper lists among MACEDON's evaluation facilities.
+type Counters struct {
+	MsgsSent    uint64
+	MsgsRecv    uint64
+	BytesSent   uint64
+	BytesRecv   uint64
+	TimerFires  uint64
+	Transitions uint64
+	Unhandled   uint64 // events with no matching transition in this state
+	Delivered   uint64 // deliver upcalls issued
+	Forwarded   uint64 // forward upcalls issued
+	Failures    uint64 // error transitions invoked by the failure detector
+}

@@ -1,0 +1,291 @@
+// Package dsl implements the MACEDON domain-specific language of the
+// paper's Figure 4: a lexer, recursive-descent parser, and semantic
+// validator for .mac protocol specifications. The AST it produces drives the
+// code generator (internal/codegen), which emits Go agents for the engine.
+package dsl
+
+import "fmt"
+
+// Spec is a parsed PROTOCOL SPECIFICATION.
+type Spec struct {
+	Name       string // protocol name
+	Uses       string // base protocol for layering ("" when lowest)
+	Addressing string // "hash" (default) or "ip"
+	Trace      string // "off" (default), "low", "med", "high"
+
+	Constants     []Constant
+	States        []string
+	NeighborTypes []NeighborType
+	Transports    []Transport
+	Messages      []Message
+	StateVars     []StateVar
+	Transitions   []Transition
+}
+
+// Constant is one CONSTANTS entry.
+type Constant struct {
+	Name  string
+	Value string
+	Pos   Pos
+}
+
+// NeighborType declares a neighbor set type with per-neighbor fields.
+type NeighborType struct {
+	Name   string
+	Max    string // literal or constant name; "" = 1
+	Fields []Field
+	Pos    Pos
+}
+
+// Transport declares a transport instance: kind TCP, UDP, or SWP.
+type Transport struct {
+	Kind string
+	Name string
+	Pos  Pos
+}
+
+// Message declares a message with an optional default transport binding.
+type Message struct {
+	Transport string // "" for higher-layer messages
+	Name      string
+	Fields    []Field
+	Pos       Pos
+}
+
+// Field is a typed field in a message or neighbor type.
+type Field struct {
+	Type string // int, double, key, node, buffer, string, nodeset, keyset
+	Name string
+	Pos  Pos
+}
+
+// StateVarKind discriminates auxiliary-data entries.
+type StateVarKind int
+
+// State variable kinds.
+const (
+	VarPlain StateVarKind = iota // typed scalar
+	VarTimer
+	VarNeighborList
+)
+
+// StateVar is one auxiliary_data entry.
+type StateVar struct {
+	Kind       StateVarKind
+	Type       string // scalar type, or the neighbor type name
+	Name       string
+	Period     string // timers: default period expression ("" = none)
+	Periodic   bool   // timers: auto re-arm
+	Max        string // neighbor lists: capacity ("" = type default)
+	FailDetect bool   // neighbor lists: engine failure monitoring
+	Pos        Pos
+}
+
+// TransitionKind discriminates the three event classes of §3.1.
+type TransitionKind int
+
+// Transition kinds.
+const (
+	TransAPI TransitionKind = iota
+	TransTimer
+	TransRecv
+	TransForward
+)
+
+// String names the kind as the grammar does.
+func (k TransitionKind) String() string {
+	switch k {
+	case TransAPI:
+		return "API"
+	case TransTimer:
+		return "timer"
+	case TransRecv:
+		return "recv"
+	default:
+		return "forward"
+	}
+}
+
+// Transition is one TRANSITIONS entry.
+type Transition struct {
+	Guard   StateGuard
+	Kind    TransitionKind
+	Name    string // API kind, timer name, or message name
+	Locking string // "read" or "write" (default)
+	Body    []Stmt
+	Pos     Pos
+}
+
+// StateGuard is a parsed STATE EXPR.
+type StateGuard interface {
+	guard()
+	String() string
+}
+
+// GuardAny matches every state.
+type GuardAny struct{}
+
+func (GuardAny) guard()         {}
+func (GuardAny) String() string { return "any" }
+
+// GuardStates matches an alternation of states.
+type GuardStates struct{ States []string }
+
+func (GuardStates) guard() {}
+func (g GuardStates) String() string {
+	s := ""
+	for i, st := range g.States {
+		if i > 0 {
+			s += "|"
+		}
+		s += st
+	}
+	return "(" + s + ")"
+}
+
+// GuardNot negates a guard.
+type GuardNot struct{ Inner StateGuard }
+
+func (GuardNot) guard()           {}
+func (g GuardNot) String() string { return "!" + g.Inner.String() }
+
+// Stmt is one statement of the action language (§3.3). Unrecognized C-style
+// statements parse as Opaque so every published spec round-trips.
+type Stmt interface {
+	stmt()
+	Position() Pos
+}
+
+// CallStmt invokes a primitive: state_change, timer_sched, neighbor_add,
+// deliver, notify, upcall/downcall, or a message transmission
+// ("send <msg>(dest, field=value, ...)").
+type CallStmt struct {
+	Fn   string
+	Args []Expr
+	// Msg is set for transmission statements: the message being sent, with
+	// Args[0] the destination and Fields the named field initializers.
+	Msg    string
+	Fields []FieldInit
+	Pos    Pos
+}
+
+// FieldInit is a named field initializer in a transmission statement.
+type FieldInit struct {
+	Name  string
+	Value Expr
+}
+
+func (s *CallStmt) stmt()         {}
+func (s *CallStmt) Position() Pos { return s.Pos }
+
+// AssignStmt assigns to a declared state variable.
+type AssignStmt struct {
+	Target string
+	Value  Expr
+	Pos    Pos
+}
+
+func (s *AssignStmt) stmt()         {}
+func (s *AssignStmt) Position() Pos { return s.Pos }
+
+// IfStmt is a conditional with optional else.
+type IfStmt struct {
+	Cond Expr
+	Then []Stmt
+	Else []Stmt
+	Pos  Pos
+}
+
+func (s *IfStmt) stmt()         {}
+func (s *IfStmt) Position() Pos { return s.Pos }
+
+// ForeachStmt iterates a neighbor list: "foreach (k in kids) { ... }".
+type ForeachStmt struct {
+	Var  string
+	List string
+	Body []Stmt
+	Pos  Pos
+}
+
+func (s *ForeachStmt) stmt()         {}
+func (s *ForeachStmt) Position() Pos { return s.Pos }
+
+// OpaqueStmt preserves statements outside the translatable subset.
+type OpaqueStmt struct {
+	Text string
+	Pos  Pos
+}
+
+func (s *OpaqueStmt) stmt()         {}
+func (s *OpaqueStmt) Position() Pos { return s.Pos }
+
+// Expr is an action-language expression.
+type Expr interface {
+	expr()
+	String() string
+}
+
+// Ident references a state variable or builtin (from, self, bootstrap).
+type Ident struct{ Name string }
+
+func (Ident) expr()            {}
+func (e Ident) String() string { return e.Name }
+
+// IntLit is an integer literal.
+type IntLit struct{ Value string }
+
+func (IntLit) expr()            {}
+func (e IntLit) String() string { return e.Value }
+
+// CallExpr invokes a value primitive: field(x), neighbor_size(l),
+// neighbor_random(l), neighbor_query(l, e), neighbor_full(l).
+type CallExpr struct {
+	Fn   string
+	Args []Expr
+}
+
+func (CallExpr) expr() {}
+func (e CallExpr) String() string {
+	s := e.Fn + "("
+	for i, a := range e.Args {
+		if i > 0 {
+			s += ", "
+		}
+		s += a.String()
+	}
+	return s + ")"
+}
+
+// BinExpr is a binary operation: == != < > <= >= && || + - .
+type BinExpr struct {
+	Op   string
+	L, R Expr
+}
+
+func (BinExpr) expr() {}
+func (e BinExpr) String() string {
+	return "(" + e.L.String() + " " + e.Op + " " + e.R.String() + ")"
+}
+
+// NotExpr negates a boolean expression.
+type NotExpr struct{ Inner Expr }
+
+func (NotExpr) expr()            {}
+func (e NotExpr) String() string { return "!" + e.Inner.String() }
+
+// Pos locates a construct in the source for error messages.
+type Pos struct {
+	Line, Col int
+}
+
+// String renders the position.
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Error is a positioned specification error.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+// Error implements error.
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }

@@ -1,0 +1,199 @@
+package dsl
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const miniSpec = `
+// comment
+protocol demo
+addressing ip
+trace_low
+constants { MAX = 4; }
+states { joining; joined; }
+neighbor_types {
+  parent_t 1 { }
+  kids_t MAX { double rtt; }
+}
+transports { UDP BE; TCP REL; SWP WIN; }
+messages {
+  BE join { }
+  REL reply { int code; node who; buffer blob; }
+}
+auxiliary_data {
+  node root;
+  int count;
+  timer tick 1000;
+  fail_detect kids_t kids MAX;
+  parent_t parent;
+}
+transitions {
+  init API init { root = bootstrap; state_change(joining); }
+  any recv join [locking read;] { send reply(from, code = 1); }
+  !(joining|init) recv reply { count = field(code); }
+  joined timer tick { timer_sched(tick, 1000); }
+  (joining|joined) API error { neighbor_clear(kids); }
+}
+`
+
+func TestParseMiniSpec(t *testing.T) {
+	spec, err := Parse(miniSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Name != "demo" || spec.Addressing != "ip" || spec.Trace != "low" {
+		t.Fatalf("headers: %+v", spec)
+	}
+	if len(spec.States) != 2 || len(spec.Transports) != 3 || len(spec.Messages) != 2 {
+		t.Fatalf("sections: states=%d transports=%d messages=%d",
+			len(spec.States), len(spec.Transports), len(spec.Messages))
+	}
+	if len(spec.Transitions) != 5 {
+		t.Fatalf("transitions = %d", len(spec.Transitions))
+	}
+	tr := spec.Transitions[2]
+	if tr.Kind != TransRecv || tr.Name != "reply" {
+		t.Fatalf("transition 2 = %+v", tr)
+	}
+	not, ok := tr.Guard.(GuardNot)
+	if !ok {
+		t.Fatalf("guard = %T", tr.Guard)
+	}
+	states, ok := not.Inner.(GuardStates)
+	if !ok || len(states.States) != 2 || states.States[0] != "joining" {
+		t.Fatalf("inner guard = %+v", not.Inner)
+	}
+	if spec.Transitions[1].Locking != "read" {
+		t.Fatal("locking option lost")
+	}
+	if spec.Transitions[0].Locking != "write" {
+		t.Fatal("default locking should be write")
+	}
+	// Statement shapes.
+	body := spec.Transitions[0].Body
+	if _, ok := body[0].(*AssignStmt); !ok {
+		t.Fatalf("stmt 0 = %T", body[0])
+	}
+	if cs, ok := body[1].(*CallStmt); !ok || cs.Fn != "state_change" {
+		t.Fatalf("stmt 1 = %+v", body[1])
+	}
+}
+
+func TestParseLayeredSpec(t *testing.T) {
+	src := `
+protocol mscribe uses pastry
+states { running; }
+messages { joinmsg { key group; } }
+transitions {
+  any recv joinmsg { }
+  any forward joinmsg { quash(); }
+}
+`
+	spec, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Uses != "pastry" {
+		t.Fatalf("uses = %q", spec.Uses)
+	}
+	if spec.Transitions[1].Kind != TransForward {
+		t.Fatal("forward transition lost")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []struct{ name, src string }{
+		{"no protocol", `states { a; }`},
+		{"unknown section", `protocol p bogus { }`},
+		{"undeclared message transition", `protocol p transports { UDP u; } transitions { any recv nope { } }`},
+		{"undeclared timer transition", `protocol p transitions { any timer nope { } }`},
+		{"bad addressing", `protocol p addressing carrier`},
+		{"bad API", `protocol p transitions { any API frobnicate { } }`},
+		{"guard unknown state", `protocol p transitions { flying API init { } }`},
+		{"transport on layered", `protocol p uses q transports { UDP u; }`},
+		{"message without transport", `protocol p messages { m { } }`},
+		{"duplicate state", `protocol p states { a; a; }`},
+		{"unterminated block", `protocol p states { a;`},
+		{"message bad transport", `protocol p transports { UDP u; } messages { X m { } }`},
+	}
+	for _, c := range bad {
+		if _, err := Parse(c.src); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestOpaqueStatementsPreserved(t *testing.T) {
+	src := `
+protocol p
+transports { UDP u; }
+messages { u m { int x; } }
+transitions {
+  any recv m {
+    weird_c_call(a->b, *ptr);
+    for (i = 0; i < 10; i = i + 1) { something(); }
+  }
+}
+`
+	spec, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := spec.Transitions[0].Body
+	if len(body) < 2 {
+		t.Fatalf("body = %d stmts", len(body))
+	}
+	found := 0
+	for _, st := range body {
+		if _, ok := st.(*OpaqueStmt); ok {
+			found++
+		}
+	}
+	if found == 0 {
+		t.Fatal("opaque statements were dropped")
+	}
+}
+
+func TestCountLines(t *testing.T) {
+	src := "protocol x\n\n// comment only\nstates { a; }\n/* block\ncomment */\ntransports { UDP u; }\n"
+	if n := CountLines(src); n != 3 {
+		t.Fatalf("CountLines = %d, want 3", n)
+	}
+}
+
+// TestAllBundledSpecsParse validates every specs/*.mac in the repository:
+// the paper's expressiveness claim (§4.1) for this codebase.
+func TestAllBundledSpecsParse(t *testing.T) {
+	paths, err := filepath.Glob("../../specs/*.mac")
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("no specs found: %v", err)
+	}
+	names := map[string]bool{}
+	for _, path := range paths {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec, err := Parse(string(src))
+		if err != nil {
+			t.Errorf("%s: %v", path, err)
+			continue
+		}
+		names[spec.Name] = true
+		base := strings.TrimSuffix(filepath.Base(path), ".mac")
+		if spec.Name != base {
+			t.Errorf("%s declares protocol %q", path, spec.Name)
+		}
+		if n := CountLines(string(src)); n < 20 {
+			t.Errorf("%s suspiciously small: %d lines", path, n)
+		}
+	}
+	for _, want := range []string{"randtree", "overcast", "chord", "pastry", "scribe", "splitstream", "nice", "bullet", "ammo"} {
+		if !names[want] {
+			t.Errorf("missing bundled spec for %s", want)
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package dsl
+
+import (
+	"fmt"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokPunct // single or double rune punctuation
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  Pos
+}
+
+type lexer struct {
+	src  []rune
+	i    int
+	line int
+	col  int
+	toks []token
+}
+
+// lex tokenizes a .mac source, stripping // and /* */ comments.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: []rune(src), line: 1, col: 1}
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		l.toks = append(l.toks, t)
+		if t.kind == tokEOF {
+			return l.toks, nil
+		}
+	}
+}
+
+func (l *lexer) peekRune() rune {
+	if l.i >= len(l.src) {
+		return 0
+	}
+	return l.src[l.i]
+}
+
+func (l *lexer) peekRune2() rune {
+	if l.i+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.i+1]
+}
+
+func (l *lexer) advance() rune {
+	r := l.src[l.i]
+	l.i++
+	if r == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return r
+}
+
+func (l *lexer) pos() Pos { return Pos{Line: l.line, Col: l.col} }
+
+func (l *lexer) next() (token, error) {
+	for l.i < len(l.src) {
+		r := l.peekRune()
+		switch {
+		case r == ' ' || r == '\t' || r == '\n' || r == '\r':
+			l.advance()
+		case r == '/' && l.peekRune2() == '/':
+			for l.i < len(l.src) && l.peekRune() != '\n' {
+				l.advance()
+			}
+		case r == '/' && l.peekRune2() == '*':
+			start := l.pos()
+			l.advance()
+			l.advance()
+			for {
+				if l.i >= len(l.src) {
+					return token{}, &Error{Pos: start, Msg: "unterminated block comment"}
+				}
+				if l.peekRune() == '*' && l.peekRune2() == '/' {
+					l.advance()
+					l.advance()
+					break
+				}
+				l.advance()
+			}
+		default:
+			goto tokenStart
+		}
+	}
+	return token{kind: tokEOF, pos: l.pos()}, nil
+
+tokenStart:
+	p := l.pos()
+	r := l.peekRune()
+	switch {
+	case unicode.IsLetter(r) || r == '_':
+		var s []rune
+		for l.i < len(l.src) {
+			r := l.peekRune()
+			if unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' {
+				s = append(s, l.advance())
+			} else {
+				break
+			}
+		}
+		return token{kind: tokIdent, text: string(s), pos: p}, nil
+	case unicode.IsDigit(r):
+		var s []rune
+		for l.i < len(l.src) {
+			r := l.peekRune()
+			if unicode.IsDigit(r) || r == '.' || r == 'x' ||
+				(r >= 'a' && r <= 'f') || (r >= 'A' && r <= 'F') {
+				s = append(s, l.advance())
+			} else {
+				break
+			}
+		}
+		return token{kind: tokNumber, text: string(s), pos: p}, nil
+	default:
+		// Two-rune operators first.
+		two := string(r) + string(l.peekRune2())
+		switch two {
+		case "==", "!=", "<=", ">=", "&&", "||", "->":
+			l.advance()
+			l.advance()
+			return token{kind: tokPunct, text: two, pos: p}, nil
+		}
+		switch r {
+		case '{', '}', '(', ')', '[', ']', ';', ',', '=', '!', '|', '<', '>', '+', '-', '*', '/', '.', '&':
+			l.advance()
+			return token{kind: tokPunct, text: string(r), pos: p}, nil
+		}
+		return token{}, &Error{Pos: p, Msg: fmt.Sprintf("unexpected character %q", r)}
+	}
+}

@@ -1,0 +1,159 @@
+package dsl
+
+import "fmt"
+
+// Validate performs the semantic checks the MACEDON translator applies
+// before code generation: every referenced state, message, timer, transport,
+// and neighbor type must be declared, names must be unique, and layered
+// specifications must not bind messages to transports (their traffic rides
+// the base protocol).
+func Validate(s *Spec) error {
+	if s.Name == "" {
+		return fmt.Errorf("dsl: protocol has no name")
+	}
+	states := map[string]bool{"init": true}
+	for _, st := range s.States {
+		if states[st] && st != "init" {
+			return fmt.Errorf("dsl: %s: state %q declared twice", s.Name, st)
+		}
+		states[st] = true
+	}
+	nbrTypes := map[string]bool{}
+	for _, nt := range s.NeighborTypes {
+		if nbrTypes[nt.Name] {
+			return fmt.Errorf("dsl: %s: neighbor type %q declared twice", s.Name, nt.Name)
+		}
+		nbrTypes[nt.Name] = true
+	}
+	transports := map[string]bool{}
+	for _, tr := range s.Transports {
+		if transports[tr.Name] {
+			return fmt.Errorf("dsl: %s: transport %q declared twice", s.Name, tr.Name)
+		}
+		transports[tr.Name] = true
+	}
+	if s.Uses != "" && len(s.Transports) > 0 {
+		return fmt.Errorf("dsl: %s: layered protocols (uses %s) must not declare transports", s.Name, s.Uses)
+	}
+	msgs := map[string]bool{}
+	for _, m := range s.Messages {
+		if msgs[m.Name] {
+			return fmt.Errorf("dsl: %s: message %q declared twice", s.Name, m.Name)
+		}
+		msgs[m.Name] = true
+		if m.Transport != "" {
+			if s.Uses != "" {
+				return fmt.Errorf("dsl: %s: message %q binds transport %q but the protocol is layered", s.Name, m.Name, m.Transport)
+			}
+			if !transports[m.Transport] {
+				return fmt.Errorf("dsl: %s: message %q binds undeclared transport %q", s.Name, m.Name, m.Transport)
+			}
+		} else if s.Uses == "" {
+			return fmt.Errorf("dsl: %s: message %q of a lowest-layer protocol needs a transport", s.Name, m.Name)
+		}
+		for _, f := range m.Fields {
+			if !scalarTypes[f.Type] && !nbrTypes[f.Type] {
+				return fmt.Errorf("dsl: %s: message %q field %q has unknown type %q", s.Name, m.Name, f.Name, f.Type)
+			}
+		}
+	}
+	timers := map[string]bool{}
+	vars := map[string]bool{}
+	lists := map[string]bool{}
+	for _, v := range s.StateVars {
+		if vars[v.Name] {
+			return fmt.Errorf("dsl: %s: state variable %q declared twice", s.Name, v.Name)
+		}
+		vars[v.Name] = true
+		switch v.Kind {
+		case VarTimer:
+			timers[v.Name] = true
+		case VarNeighborList:
+			lists[v.Name] = true
+			if !nbrTypes[v.Type] {
+				return fmt.Errorf("dsl: %s: neighbor list %q has unknown type %q", s.Name, v.Name, v.Type)
+			}
+		}
+	}
+	checkGuard := func(tr Transition) error {
+		var walk func(g StateGuard) error
+		walk = func(g StateGuard) error {
+			switch g := g.(type) {
+			case GuardStates:
+				for _, st := range g.States {
+					if !states[st] {
+						return fmt.Errorf("dsl: %s: %s: guard references undeclared state %q", s.Name, tr.Pos, st)
+					}
+				}
+			case GuardNot:
+				return walk(g.Inner)
+			}
+			return nil
+		}
+		return walk(tr.Guard)
+	}
+	for _, tr := range s.Transitions {
+		if err := checkGuard(tr); err != nil {
+			return err
+		}
+		switch tr.Kind {
+		case TransTimer:
+			if !timers[tr.Name] {
+				return fmt.Errorf("dsl: %s: %s: transition on undeclared timer %q", s.Name, tr.Pos, tr.Name)
+			}
+		case TransRecv, TransForward:
+			if !msgs[tr.Name] {
+				return fmt.Errorf("dsl: %s: %s: transition on undeclared message %q", s.Name, tr.Pos, tr.Name)
+			}
+		}
+	}
+	return nil
+}
+
+// CountLines counts the non-blank, non-comment source lines of a
+// specification — the LOC metric of the paper's Figure 7.
+func CountLines(src string) int {
+	count := 0
+	inBlock := false
+	line := ""
+	flush := func() {
+		trimmed := ""
+		for _, r := range line {
+			if r != ' ' && r != '\t' {
+				trimmed += string(r)
+			}
+		}
+		if trimmed != "" {
+			count++
+		}
+		line = ""
+	}
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case inBlock:
+			if c == '*' && i+1 < len(src) && src[i+1] == '/' {
+				inBlock = false
+				i++
+			} else if c == '\n' {
+				flush()
+			}
+		case c == '/' && i+1 < len(src) && src[i+1] == '/':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+			continue
+		case c == '/' && i+1 < len(src) && src[i+1] == '*':
+			inBlock = true
+			i++
+		case c == '\n':
+			flush()
+		default:
+			line += string(c)
+		}
+		i++
+	}
+	flush()
+	return count
+}

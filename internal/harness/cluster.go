@@ -1,0 +1,165 @@
+// Package harness assembles MACEDON experiments: a topology, the simnet
+// emulator, a set of overlay nodes running protocol stacks, workload
+// applications, and per-figure experiment drivers that regenerate the
+// paper's evaluation (Figures 7–12). It plays the role of the paper's
+// ModelNet deployment scripts and evaluation tools.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"macedon/internal/core"
+	"macedon/internal/overlay"
+	"macedon/internal/simnet"
+	"macedon/internal/topology"
+)
+
+// ClusterConfig describes an emulated deployment.
+type ClusterConfig struct {
+	// Nodes is the number of overlay clients.
+	Nodes int
+	// Routers sizes the generated INET topology (ignored when Graph is
+	// given). Defaults to max(4*Nodes, 100).
+	Routers int
+	// Seed drives every random choice in the experiment.
+	Seed int64
+
+	// Graph optionally supplies a prebuilt topology with clients attached
+	// (addresses Addrs). When nil an INET topology is generated and clients
+	// are attached to stub routers.
+	Graph *topology.Graph
+	Addrs []overlay.Address
+
+	// Access overrides the client access pipe for generated topologies.
+	Access topology.AccessLink
+
+	// Sim tunes the emulator (loss rate, per-hop overhead).
+	Sim simnet.Config
+
+	// Node-level knobs passed through to core.Config.
+	TraceLevel     core.TraceLevel
+	TraceWriter    io.Writer
+	HeartbeatAfter time.Duration
+	FailAfter      time.Duration
+	Sweep          time.Duration
+}
+
+// Cluster is a running emulated deployment.
+type Cluster struct {
+	cfg    ClusterConfig
+	Sched  *simnet.Scheduler
+	Net    *simnet.Network
+	Graph  *topology.Graph
+	Addrs  []overlay.Address
+	Nodes  map[overlay.Address]*core.Node
+	Routes *topology.Routes
+}
+
+// NewCluster builds the topology and emulator but spawns no nodes yet:
+// experiments control join timing (Figure 10 stages 1000 joins over time).
+func NewCluster(cfg ClusterConfig) (*Cluster, error) {
+	if cfg.Nodes <= 0 && cfg.Graph == nil {
+		return nil, fmt.Errorf("harness: cluster needs nodes")
+	}
+	sched := simnet.NewScheduler(cfg.Seed)
+	g := cfg.Graph
+	addrs := cfg.Addrs
+	if g == nil {
+		routers := cfg.Routers
+		if routers <= 0 {
+			routers = 4 * cfg.Nodes
+			if routers < 100 {
+				routers = 100
+			}
+		}
+		var err error
+		g, err = topology.INET(topology.DefaultINET(routers, cfg.Seed))
+		if err != nil {
+			return nil, err
+		}
+		access := cfg.Access
+		if access.Bandwidth == 0 {
+			access = topology.DefaultAccess
+		}
+		addrs = topology.AttachClients(g, cfg.Nodes, 1, access, cfg.Seed+1)
+	} else if len(addrs) == 0 {
+		addrs = g.Clients()
+	}
+	net := simnet.New(sched, g, cfg.Sim)
+	return &Cluster{
+		cfg:    cfg,
+		Sched:  sched,
+		Net:    net,
+		Graph:  g,
+		Addrs:  addrs,
+		Nodes:  make(map[overlay.Address]*core.Node),
+		Routes: net.Routes(),
+	}, nil
+}
+
+// Bootstrap returns the conventional bootstrap node: the first client.
+func (c *Cluster) Bootstrap() overlay.Address { return c.Addrs[0] }
+
+// Spawn creates and starts the i-th node with the given stack, immediately,
+// at the current virtual time.
+func (c *Cluster) Spawn(i int, stack []core.Factory) (*core.Node, error) {
+	addr := c.Addrs[i]
+	n, err := core.NewNode(core.Config{
+		Addr:           addr,
+		Net:            c.Net,
+		Stack:          stack,
+		Bootstrap:      c.Bootstrap(),
+		Seed:           c.cfg.Seed + int64(i)*7919 + 13,
+		TraceLevel:     c.cfg.TraceLevel,
+		TraceWriter:    c.cfg.TraceWriter,
+		HeartbeatAfter: c.cfg.HeartbeatAfter,
+		FailAfter:      c.cfg.FailAfter,
+		Sweep:          c.cfg.Sweep,
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.Nodes[addr] = n
+	return n, nil
+}
+
+// SpawnAll spawns every node now, bootstrap first.
+func (c *Cluster) SpawnAll(stackFor func(i int) []core.Factory) error {
+	for i := range c.Addrs {
+		if _, err := c.Spawn(i, stackFor(i)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SpawnAt schedules the i-th node's creation at a virtual-time offset from
+// now: staggered joins.
+func (c *Cluster) SpawnAt(i int, stack []core.Factory, at time.Duration) {
+	c.Sched.After(at, func() {
+		if _, err := c.Spawn(i, stack); err != nil {
+			panic(fmt.Sprintf("harness: spawn %d: %v", i, err))
+		}
+	})
+}
+
+// RunFor advances virtual time.
+func (c *Cluster) RunFor(d time.Duration) { c.Sched.RunFor(d) }
+
+// Node returns the node at an address (nil if not spawned).
+func (c *Cluster) Node(addr overlay.Address) *core.Node { return c.Nodes[addr] }
+
+// DirectLatency returns the one-way IP-path latency between two clients:
+// the denominator of stretch and RDP.
+func (c *Cluster) DirectLatency(a, b overlay.Address) (time.Duration, error) {
+	return c.Routes.ClientLatency(a, b)
+}
+
+// StopAll stops every node.
+func (c *Cluster) StopAll() {
+	for _, n := range c.Nodes {
+		n.Stop()
+	}
+}

@@ -1,0 +1,218 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"macedon/internal/core"
+	"macedon/internal/metrics"
+	"macedon/internal/overlay"
+	"macedon/internal/overlays/nice"
+	"macedon/internal/topology"
+)
+
+// NICEPublishedStretch and NICEPublishedLatency are the values we extracted
+// from Figures 15/16 of the NICE SIGCOMM paper [4] — the same extraction the
+// MACEDON authors performed for their Figures 8 and 9. Latencies in
+// milliseconds; one entry per site.
+var (
+	NICEPublishedStretch = []float64{1.1, 1.3, 1.5, 1.6, 1.8, 2.0, 2.2, 2.4}
+	NICEPublishedLatency = []float64{5, 10, 14, 18, 23, 27, 33, 40}
+)
+
+// NICESiteMatrix re-creates the authors' 8-site Internet-like topology from
+// extracted latency information: one-way inter-site latencies growing with
+// site index relative to the source site.
+func NICESiteMatrix(sites int) topology.SiteMatrixParams {
+	lat := make([][]time.Duration, sites)
+	for i := range lat {
+		lat[i] = make([]time.Duration, sites)
+		for j := range lat[i] {
+			if i == j {
+				continue
+			}
+			d := i - j
+			if d < 0 {
+				d = -d
+			}
+			lat[i][j] = time.Duration(2+5*d) * time.Millisecond
+			if lat[i][j] > 40*time.Millisecond {
+				lat[i][j] = 40 * time.Millisecond
+			}
+		}
+	}
+	return topology.SiteMatrixParams{Latency: lat, LANLatency: time.Millisecond}
+}
+
+// NICEParams configures the Figure 8/9 reproduction.
+type NICEParams struct {
+	Sites    int // default 8
+	PerSite  int // default 8 (64 members total)
+	Seed     int64
+	Settle   time.Duration // hierarchy stabilization (default 5 min)
+	Packets  int           // measurement packets (default 50)
+	Rate     time.Duration // inter-packet gap (default 250 ms)
+	ClusterK int           // NICE k (default 3)
+}
+
+func (p *NICEParams) setDefaults() {
+	if p.Sites <= 0 {
+		p.Sites = 8
+	}
+	if p.PerSite <= 0 {
+		p.PerSite = 8
+	}
+	if p.Settle <= 0 {
+		p.Settle = 5 * time.Minute
+	}
+	if p.Packets <= 0 {
+		p.Packets = 50
+	}
+	if p.Rate <= 0 {
+		p.Rate = 250 * time.Millisecond
+	}
+	if p.ClusterK <= 0 {
+		p.ClusterK = 3
+	}
+}
+
+// NICESiteStat aggregates one site's receivers.
+type NICESiteStat struct {
+	Site        int
+	Members     int
+	MeanStretch float64
+	MeanLatency time.Duration
+	Received    int
+}
+
+// NICEResult is the Figure 8 (stretch) and Figure 9 (latency) data.
+type NICEResult struct {
+	Sites []NICESiteStat
+}
+
+// RunNICE reproduces Figures 8 and 9: 64 members across 8 sites, source
+// multicast, per-site observed stretch and end-to-end latency.
+func RunNICE(p NICEParams) (*NICEResult, error) {
+	p.setDefaults()
+	sm := NICESiteMatrix(p.Sites)
+	g, gws, err := topology.SiteMatrix(sm)
+	if err != nil {
+		return nil, err
+	}
+	addrs, sites := topology.AttachSiteClients(g, gws, p.PerSite, 1, sm)
+	c, err := NewCluster(ClusterConfig{Graph: g, Addrs: addrs, Seed: p.Seed})
+	if err != nil {
+		return nil, err
+	}
+	stack := []core.Factory{nice.New(nice.Params{K: p.ClusterK})}
+	if err := c.SpawnAll(func(int) []core.Factory { return stack }); err != nil {
+		return nil, err
+	}
+
+	siteOf := make(map[overlay.Address]int, len(addrs))
+	for i, a := range addrs {
+		siteOf[a] = sites[i]
+	}
+	src := addrs[0]
+
+	type rx struct {
+		stretches []float64
+		latencies []float64
+		received  int
+	}
+	perSite := make([]rx, p.Sites)
+	for _, a := range addrs[1:] {
+		addr := a
+		c.Nodes[a].RegisterHandlers(core.Handlers{
+			Deliver: func(payload []byte, typ int32, _ overlay.Address) {
+				sent, ok := DecodeTimestamp(payload)
+				if !ok {
+					return
+				}
+				lat := c.Sched.Now().Sub(sent)
+				st := metrics.Stretch(c.Routes, src, addr, lat)
+				s := &perSite[siteOf[addr]]
+				s.received++
+				s.latencies = append(s.latencies, float64(lat.Microseconds())/1000.0)
+				if st > 0 {
+					s.stretches = append(s.stretches, st)
+				}
+			},
+		})
+	}
+
+	c.RunFor(p.Settle)
+	for i := 0; i < p.Packets; i++ {
+		payload := TimestampPayload(c.Sched.Now(), 1000)
+		if err := c.Nodes[src].Multicast(0, payload, 1, overlay.PriorityDefault); err != nil {
+			return nil, err
+		}
+		c.RunFor(p.Rate)
+	}
+	c.RunFor(10 * time.Second)
+
+	res := &NICEResult{}
+	for s := 0; s < p.Sites; s++ {
+		stat := NICESiteStat{Site: s, Received: perSite[s].received}
+		for _, a := range addrs {
+			if siteOf[a] == s {
+				stat.Members++
+			}
+		}
+		if n := len(perSite[s].stretches); n > 0 {
+			stat.MeanStretch = mean(perSite[s].stretches)
+		}
+		if n := len(perSite[s].latencies); n > 0 {
+			stat.MeanLatency = time.Duration(mean(perSite[s].latencies) * float64(time.Millisecond))
+		}
+		res.Sites = append(res.Sites, stat)
+	}
+	c.StopAll()
+	return res, nil
+}
+
+// PrintFigure8 renders the stretch rows next to the published values.
+func (r *NICEResult) PrintFigure8(w func(format string, args ...any)) {
+	w("Figure 8 — distribution of stretch (%d members)\n", totalMembers(r))
+	w("%-6s %-12s %-16s %-16s\n", "site", "members", "MACEDON stretch", "published (NICE)")
+	for _, s := range r.Sites {
+		pub := "-"
+		if s.Site < len(NICEPublishedStretch) {
+			pub = fmt.Sprintf("%.2f", NICEPublishedStretch[s.Site])
+		}
+		w("%-6d %-12d %-16.2f %-16s\n", s.Site, s.Members, s.MeanStretch, pub)
+	}
+}
+
+// PrintFigure9 renders the latency rows next to the published values.
+func (r *NICEResult) PrintFigure9(w func(format string, args ...any)) {
+	w("Figure 9 — distribution of latency (%d members)\n", totalMembers(r))
+	w("%-6s %-12s %-18s %-18s\n", "site", "members", "MACEDON lat (ms)", "published (ms)")
+	for _, s := range r.Sites {
+		pub := "-"
+		if s.Site < len(NICEPublishedLatency) {
+			pub = fmt.Sprintf("%.0f", NICEPublishedLatency[s.Site])
+		}
+		w("%-6d %-12d %-18.2f %-18s\n", s.Site, s.Members,
+			float64(s.MeanLatency.Microseconds())/1000.0, pub)
+	}
+}
+
+func totalMembers(r *NICEResult) int {
+	n := 0
+	for _, s := range r.Sites {
+		n += s.Members
+	}
+	return n
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}

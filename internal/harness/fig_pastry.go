@@ -1,0 +1,130 @@
+package harness
+
+import (
+	"time"
+
+	"macedon/internal/core"
+	"macedon/internal/overlay"
+	"macedon/internal/overlays/pastry"
+)
+
+// PastryParams configures the Figure-11 reproduction: the random-key
+// streaming application of §4.2.3 (each instance streams 1000-byte packets
+// at 10 Kbps to uniformly random hash destinations).
+type PastryParams struct {
+	Sizes         []int // node counts on the x-axis (default 25..250)
+	Routers       int   // default 4*max size
+	Seed          int64
+	Converge      time.Duration // routing-table convergence idle (default 300 s)
+	Measure       time.Duration // measurement window (default 30 s)
+	PacketSize    int           // default 1000 bytes
+	RateBitsSec   int           // default 10_000 (10 Kbps per node)
+	FreePastryCap int           // baseline's max size (default 100, as the
+	// paper could not run FreePastry beyond 100 participants)
+}
+
+func (p *PastryParams) setDefaults() {
+	if len(p.Sizes) == 0 {
+		p.Sizes = []int{25, 50, 100, 150, 200, 250}
+	}
+	if p.Converge <= 0 {
+		p.Converge = 300 * time.Second
+	}
+	if p.Measure <= 0 {
+		p.Measure = 30 * time.Second
+	}
+	if p.PacketSize <= 0 {
+		p.PacketSize = 1000
+	}
+	if p.RateBitsSec <= 0 {
+		p.RateBitsSec = 10_000
+	}
+	if p.FreePastryCap <= 0 {
+		p.FreePastryCap = 100
+	}
+}
+
+// PastryResult is Figure 11: average packet latency vs overlay size for the
+// MACEDON implementation and the FreePastry(RMI)-modeled baseline.
+type PastryResult struct {
+	MACEDON    Series
+	FreePastry Series
+}
+
+// RunPastryLatency reproduces Figure 11.
+func RunPastryLatency(p PastryParams) (*PastryResult, error) {
+	p.setDefaults()
+	res := &PastryResult{MACEDON: Series{Name: "MACEDON"}, FreePastry: Series{Name: "FreePastry"}}
+	for _, size := range p.Sizes {
+		lat, err := runPastryOnce(p, size, pastry.Params{})
+		if err != nil {
+			return nil, err
+		}
+		res.MACEDON.Points = append(res.MACEDON.Points, Point{X: float64(size), Y: lat.Seconds()})
+		if size <= p.FreePastryCap {
+			lat, err := runPastryOnce(p, size, pastry.Params{RMI: true, NetworkSize: size})
+			if err != nil {
+				return nil, err
+			}
+			res.FreePastry.Points = append(res.FreePastry.Points, Point{X: float64(size), Y: lat.Seconds()})
+		}
+	}
+	return res, nil
+}
+
+func runPastryOnce(p PastryParams, size int, pp pastry.Params) (time.Duration, error) {
+	c, err := NewCluster(ClusterConfig{Nodes: size, Routers: p.Routers, Seed: p.Seed})
+	if err != nil {
+		return 0, err
+	}
+	stack := []core.Factory{pastry.New(pp)}
+	if err := c.SpawnAll(func(int) []core.Factory { return stack }); err != nil {
+		return 0, err
+	}
+	var sumLatency time.Duration
+	var count int
+	for _, a := range c.Addrs {
+		c.Nodes[a].RegisterHandlers(core.Handlers{
+			Deliver: func(payload []byte, typ int32, _ overlay.Address) {
+				if sent, ok := DecodeTimestamp(payload); ok {
+					sumLatency += c.Sched.Now().Sub(sent)
+					count++
+				}
+			},
+		})
+	}
+	c.RunFor(p.Converge)
+	// Each node streams to uniformly random keys at the configured rate.
+	interval := time.Duration(int64(p.PacketSize*8) * int64(time.Second) / int64(p.RateBitsSec))
+	for elapsed := time.Duration(0); elapsed < p.Measure; elapsed += interval {
+		for _, a := range c.Addrs {
+			dest := overlay.Key(c.Sched.Rand().Uint32())
+			payload := TimestampPayload(c.Sched.Now(), p.PacketSize)
+			_ = c.Nodes[a].Route(dest, payload, 1, overlay.PriorityDefault)
+		}
+		c.RunFor(interval)
+	}
+	c.RunFor(10 * time.Second)
+	c.StopAll()
+	if count == 0 {
+		return 0, nil
+	}
+	return sumLatency / time.Duration(count), nil
+}
+
+// Print renders Figure 11's two curves side by side.
+func (r *PastryResult) Print(w func(format string, args ...any)) {
+	w("Figure 11 — average latency of received Pastry packets\n")
+	w("%-8s %-16s %-16s\n", "nodes", "MACEDON (s)", "FreePastry (s)")
+	fp := make(map[float64]float64, len(r.FreePastry.Points))
+	for _, pt := range r.FreePastry.Points {
+		fp[pt.X] = pt.Y
+	}
+	for _, pt := range r.MACEDON.Points {
+		if y, ok := fp[pt.X]; ok {
+			w("%-8.0f %-16.3f %-16.3f\n", pt.X, pt.Y, y)
+		} else {
+			w("%-8.0f %-16.3f %-16s\n", pt.X, pt.Y, "(exceeds capacity)")
+		}
+	}
+}

@@ -1,0 +1,156 @@
+// Package livenet is the live-deployment substrate: the same Endpoint and
+// Clock interfaces the simnet emulator provides, implemented over real UDP
+// sockets and the wall clock. Running a node over livenet instead of simnet
+// changes nothing in any protocol — the paper's claim that MACEDON code
+// "runs unmodified in live Internet settings" (§1) holds by construction,
+// because the engine only sees the substrate interfaces.
+package livenet
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"macedon/internal/overlay"
+	"macedon/internal/substrate"
+)
+
+// MTU is the largest datagram payload livenet transmits.
+const MTU = 1400
+
+// Network maps overlay addresses onto UDP ports of one host (or, with a
+// custom Resolver, onto arbitrary UDP endpoints).
+type Network struct {
+	mu       sync.Mutex
+	basePort int
+	host     string
+	eps      map[overlay.Address]*endpoint
+	resolver func(a overlay.Address) string
+}
+
+// Option configures the network.
+type Option func(*Network)
+
+// WithResolver overrides address resolution (default: host:basePort+addr).
+func WithResolver(r func(a overlay.Address) string) Option {
+	return func(n *Network) { n.resolver = r }
+}
+
+// New creates a live network mapping address a to host:basePort+a.
+func New(host string, basePort int, opts ...Option) *Network {
+	n := &Network{
+		basePort: basePort,
+		host:     host,
+		eps:      make(map[overlay.Address]*endpoint),
+	}
+	n.resolver = func(a overlay.Address) string {
+		return fmt.Sprintf("%s:%d", n.host, n.basePort+int(a))
+	}
+	for _, o := range opts {
+		o(n)
+	}
+	return n
+}
+
+// Now implements substrate.Clock with the wall clock.
+func (n *Network) Now() time.Time { return time.Now() }
+
+// liveTimer wraps time.Timer as a substrate.Timer.
+type liveTimer struct{ t *time.Timer }
+
+func (lt liveTimer) Stop() bool { return lt.t.Stop() }
+
+// After implements substrate.Clock with real timers.
+func (n *Network) After(d time.Duration, fn func()) substrate.Timer {
+	return liveTimer{t: time.AfterFunc(d, fn)}
+}
+
+// Endpoint binds (or returns) the UDP socket for an address.
+func (n *Network) Endpoint(addr overlay.Address) (substrate.Endpoint, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if ep, ok := n.eps[addr]; ok {
+		return ep, nil
+	}
+	laddr, err := net.ResolveUDPAddr("udp", n.resolver(addr))
+	if err != nil {
+		return nil, err
+	}
+	conn, err := net.ListenUDP("udp", laddr)
+	if err != nil {
+		return nil, fmt.Errorf("livenet: bind %v: %w", addr, err)
+	}
+	ep := &endpoint{net: n, addr: addr, conn: conn}
+	n.eps[addr] = ep
+	go ep.readLoop()
+	return ep, nil
+}
+
+// Close shuts every socket down.
+func (n *Network) Close() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, ep := range n.eps {
+		_ = ep.conn.Close()
+	}
+}
+
+type endpoint struct {
+	net  *Network
+	addr overlay.Address
+	conn *net.UDPConn
+
+	mu   sync.Mutex
+	recv func(src overlay.Address, payload []byte)
+}
+
+func (e *endpoint) Addr() overlay.Address { return e.addr }
+func (e *endpoint) MTU() int              { return MTU }
+
+// wire format: [src addr u32][payload...]
+func (e *endpoint) Send(dst overlay.Address, payload []byte) error {
+	if len(payload) > MTU {
+		return fmt.Errorf("livenet: datagram of %d bytes exceeds MTU %d", len(payload), MTU)
+	}
+	raddr, err := net.ResolveUDPAddr("udp", e.net.resolver(dst))
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, 4+len(payload))
+	u := uint32(e.addr)
+	buf[0], buf[1], buf[2], buf[3] = byte(u>>24), byte(u>>16), byte(u>>8), byte(u)
+	copy(buf[4:], payload)
+	_, err = e.conn.WriteToUDP(buf, raddr)
+	return err
+}
+
+func (e *endpoint) SetRecv(fn func(src overlay.Address, payload []byte)) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.recv != nil {
+		panic(fmt.Sprintf("livenet: receive handler for %v set twice", e.addr))
+	}
+	e.recv = fn
+}
+
+func (e *endpoint) readLoop() {
+	buf := make([]byte, MTU+4)
+	for {
+		n, _, err := e.conn.ReadFromUDP(buf)
+		if err != nil {
+			return // socket closed
+		}
+		if n < 4 {
+			continue
+		}
+		src := overlay.Address(uint32(buf[0])<<24 | uint32(buf[1])<<16 | uint32(buf[2])<<8 | uint32(buf[3]))
+		payload := append([]byte(nil), buf[4:n]...)
+		e.mu.Lock()
+		fn := e.recv
+		e.mu.Unlock()
+		if fn != nil {
+			fn(src, payload)
+		}
+	}
+}

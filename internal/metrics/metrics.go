@@ -1,0 +1,187 @@
+// Package metrics implements the overlay evaluation metrics the paper's
+// §4.3 lists as built-in MACEDON facilities: latency stretch and relative
+// delay penalty (RDP), physical link stress computed from extracted topology
+// and routing information, control-traffic overhead, routing-table
+// convergence against a global oracle (Figure 10), and bandwidth time
+// series (Figure 12).
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"macedon/internal/overlay"
+	"macedon/internal/topology"
+)
+
+// Stretch is the ratio of overlay path latency to direct unicast latency
+// between the same two clients. A negative return means the direct latency
+// is unknown (disconnected or same node).
+func Stretch(routes *topology.Routes, src, dst overlay.Address, overlayLatency time.Duration) float64 {
+	direct, err := routes.ClientLatency(src, dst)
+	if err != nil || direct <= 0 {
+		return -1
+	}
+	return float64(overlayLatency) / float64(direct)
+}
+
+// Summary holds order statistics of a sample.
+type Summary struct {
+	N              int
+	Mean, Min, Max float64
+	P50, P90, P99  float64
+}
+
+// Summarize computes order statistics over a sample.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	var sum float64
+	for _, x := range cp {
+		sum += x
+	}
+	q := func(p float64) float64 {
+		idx := int(p * float64(len(cp)-1))
+		return cp[idx]
+	}
+	return Summary{
+		N:    len(cp),
+		Mean: sum / float64(len(cp)),
+		Min:  cp[0],
+		Max:  cp[len(cp)-1],
+		P50:  q(0.50),
+		P90:  q(0.90),
+		P99:  q(0.99),
+	}
+}
+
+// String renders the summary as one table row.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.3f min=%.3f p50=%.3f p90=%.3f p99=%.3f max=%.3f",
+		s.N, s.Mean, s.Min, s.P50, s.P90, s.P99, s.Max)
+}
+
+// OverlayEdge is one logical overlay hop (e.g. tree parent → child).
+type OverlayEdge struct {
+	From, To overlay.Address
+}
+
+// LinkStress computes, for each physical link, how many overlay edges'
+// unicast paths traverse it — the classic link-stress metric. It returns
+// per-link counts for links with non-zero stress.
+func LinkStress(g *topology.Graph, routes *topology.Routes, edges []OverlayEdge) map[topology.LinkID]int {
+	stress := make(map[topology.LinkID]int)
+	for _, e := range edges {
+		fv, ok1 := g.ClientVertex(e.From)
+		tv, ok2 := g.ClientVertex(e.To)
+		if !ok1 || !ok2 {
+			continue
+		}
+		for _, l := range routes.Path(fv, tv) {
+			stress[l]++
+		}
+	}
+	return stress
+}
+
+// StressSummary reduces a stress map to order statistics.
+func StressSummary(stress map[topology.LinkID]int) Summary {
+	xs := make([]float64, 0, len(stress))
+	for _, s := range stress {
+		xs = append(xs, float64(s))
+	}
+	return Summarize(xs)
+}
+
+// BandwidthSeries accumulates delivered bytes into fixed-width time buckets:
+// Figure 12's per-node average bandwidth over time.
+type BandwidthSeries struct {
+	Bucket time.Duration
+	start  time.Time
+	bytes  []uint64
+}
+
+// NewBandwidthSeries starts a series at the given origin.
+func NewBandwidthSeries(start time.Time, bucket time.Duration) *BandwidthSeries {
+	return &BandwidthSeries{Bucket: bucket, start: start}
+}
+
+// Add records n bytes delivered at time at.
+func (b *BandwidthSeries) Add(at time.Time, n int) {
+	idx := int(at.Sub(b.start) / b.Bucket)
+	if idx < 0 {
+		return
+	}
+	for len(b.bytes) <= idx {
+		b.bytes = append(b.bytes, 0)
+	}
+	b.bytes[idx] += uint64(n)
+}
+
+// Points returns (bucket start offset, bits/sec) pairs.
+func (b *BandwidthSeries) Points() []BandwidthPoint {
+	out := make([]BandwidthPoint, len(b.bytes))
+	for i, by := range b.bytes {
+		out[i] = BandwidthPoint{
+			Offset:     time.Duration(i) * b.Bucket,
+			BitsPerSec: float64(by*8) / b.Bucket.Seconds(),
+		}
+	}
+	return out
+}
+
+// BandwidthPoint is one bucket of a bandwidth series.
+type BandwidthPoint struct {
+	Offset     time.Duration
+	BitsPerSec float64
+}
+
+// ChordOracle grades finger tables against global membership knowledge:
+// "we calculated correct routing tables for each node given global
+// knowledge of all nodes joining the system" (§4.2.2).
+type ChordOracle struct {
+	keys []uint32
+	addr map[uint32]overlay.Address
+}
+
+// NewChordOracle builds the oracle over the full member set.
+func NewChordOracle(members []overlay.Address) *ChordOracle {
+	o := &ChordOracle{addr: make(map[uint32]overlay.Address, len(members))}
+	for _, a := range members {
+		k := uint32(overlay.HashAddress(a))
+		o.keys = append(o.keys, k)
+		o.addr[k] = a
+	}
+	sort.Slice(o.keys, func(i, j int) bool { return o.keys[i] < o.keys[j] })
+	return o
+}
+
+// Successor returns the true owner of a key.
+func (o *ChordOracle) Successor(k overlay.Key) overlay.Address {
+	i := sort.Search(len(o.keys), func(i int) bool { return o.keys[i] >= uint32(k) })
+	if i == len(o.keys) {
+		i = 0
+	}
+	return o.addr[o.keys[i]]
+}
+
+// CorrectFingers counts how many of a node's finger entries match the true
+// successor of their targets.
+func (o *ChordOracle) CorrectFingers(self overlay.Address, fingers []overlay.Address) int {
+	selfKey := uint32(overlay.HashAddress(self))
+	correct := 0
+	for i, f := range fingers {
+		if f == overlay.NilAddress {
+			continue
+		}
+		target := overlay.Key(selfKey + 1<<uint(i))
+		if o.Successor(target) == f {
+			correct++
+		}
+	}
+	return correct
+}

@@ -1,0 +1,28 @@
+package overlay
+
+import (
+	"crypto/sha1"
+	"encoding/binary"
+)
+
+// HashBytes maps arbitrary bytes onto the 32-bit hash address space using
+// SHA-1, the hash the MACEDON libraries provide ("SHA hashing" in Figure 5).
+// The digest is truncated to the keyspace width; truncation of a
+// cryptographic hash preserves the uniformity consistent hashing relies on.
+func HashBytes(b []byte) Key {
+	sum := sha1.Sum(b)
+	return Key(binary.BigEndian.Uint32(sum[:4]))
+}
+
+// HashString maps a string (e.g. a group name) onto the keyspace.
+func HashString(s string) Key { return HashBytes([]byte(s)) }
+
+// HashAddress maps a node address onto the keyspace: the node-identifier
+// assignment used by Chord and Pastry ("it could be a hash of an IP
+// address"). Nodes hash to the same key in every protocol, matching the
+// paper's arrangement that its Chord and MIT lsd hash nodes identically.
+func HashAddress(a Address) Key {
+	var buf [4]byte
+	binary.BigEndian.PutUint32(buf[:], uint32(a))
+	return HashBytes(buf[:])
+}

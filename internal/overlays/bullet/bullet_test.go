@@ -1,0 +1,108 @@
+package bullet_test
+
+import (
+	"testing"
+	"time"
+
+	"macedon/internal/core"
+	"macedon/internal/harness"
+	"macedon/internal/overlay"
+	"macedon/internal/overlays/bullet"
+	"macedon/internal/overlays/randtree"
+)
+
+func stack(bp bullet.Params, deg int) []core.Factory {
+	return []core.Factory{
+		randtree.New(randtree.Params{MaxDegree: deg}),
+		bullet.New(bp),
+	}
+}
+
+func build(t *testing.T, n int, s []core.Factory, settle time.Duration, seed int64) *harness.Cluster {
+	t.Helper()
+	c, err := harness.NewCluster(harness.ClusterConfig{Nodes: n, Routers: 100, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SpawnAll(func(int) []core.Factory { return s }); err != nil {
+		t.Fatal(err)
+	}
+	c.RunFor(settle)
+	return c
+}
+
+func bulletOf(c *harness.Cluster, a overlay.Address) *bullet.Protocol {
+	return c.Nodes[a].Instance("bullet").Agent().(*bullet.Protocol)
+}
+
+func TestMeshRecoversStripedBlocks(t *testing.T) {
+	const n = 16
+	c := build(t, n, stack(bullet.Params{EpochPeriod: 3 * time.Second, HavePeriod: time.Second}, 3), 60*time.Second, 103)
+	src := c.Nodes[c.Addrs[0]]
+	const blocks = 60
+	for i := 0; i < blocks; i++ {
+		_ = src.Multicast(0, make([]byte, 500), 1, overlay.PriorityDefault)
+		c.RunFor(200 * time.Millisecond)
+	}
+	c.RunFor(2 * time.Minute) // epochs + mesh recovery
+	for _, a := range c.Addrs[1:] {
+		b := bulletOf(c, a)
+		if b.Blocks() < blocks*3/4 {
+			t.Errorf("node %v holds %d/%d blocks (tree=%d mesh=%d peers=%d)",
+				a, b.Blocks(), blocks, b.BlocksFromTree(), b.BlocksFromMesh(), len(b.Peers()))
+		}
+	}
+	// The whole point of Bullet: a meaningful share came from the mesh.
+	var tree, mesh uint64
+	for _, a := range c.Addrs[1:] {
+		b := bulletOf(c, a)
+		tree += b.BlocksFromTree()
+		mesh += b.BlocksFromMesh()
+	}
+	if mesh == 0 {
+		t.Fatal("no blocks recovered from the mesh")
+	}
+	t.Logf("tree=%d mesh=%d", tree, mesh)
+}
+
+func TestTreeAloneDeliversSubset(t *testing.T) {
+	// With the mesh disabled (no peers allowed), striping means interior
+	// subtrees see only a slice of the stream — the gap Bullet's mesh fills.
+	const n = 12
+	c := build(t, n, stack(bullet.Params{MaxPeers: 1, EpochPeriod: time.Hour, HavePeriod: time.Hour}, 3), 60*time.Second, 107)
+	src := c.Nodes[c.Addrs[0]]
+	const blocks = 40
+	for i := 0; i < blocks; i++ {
+		_ = src.Multicast(0, make([]byte, 300), 1, overlay.PriorityDefault)
+		c.RunFor(100 * time.Millisecond)
+	}
+	c.RunFor(30 * time.Second)
+	full := 0
+	for _, a := range c.Addrs[1:] {
+		if bulletOf(c, a).Blocks() >= blocks {
+			full++
+		}
+	}
+	if full != 0 {
+		t.Fatalf("%d nodes got the full stream from the tree alone; striping is not striping", full)
+	}
+}
+
+func TestPeersForm(t *testing.T) {
+	c := build(t, 12, stack(bullet.Params{EpochPeriod: 2 * time.Second}, 3), 2*time.Minute, 109)
+	src := c.Nodes[c.Addrs[0]]
+	for i := 0; i < 20; i++ {
+		_ = src.Multicast(0, make([]byte, 200), 1, overlay.PriorityDefault)
+		c.RunFor(500 * time.Millisecond)
+	}
+	c.RunFor(time.Minute)
+	peered := 0
+	for _, a := range c.Addrs[1:] {
+		if len(bulletOf(c, a).Peers()) > 0 {
+			peered++
+		}
+	}
+	if peered < 6 {
+		t.Fatalf("only %d/11 nodes found mesh peers", peered)
+	}
+}

@@ -1,0 +1,154 @@
+package bullet
+
+import (
+	"macedon/internal/bloom"
+	"macedon/internal/overlay"
+)
+
+// candidate is one RanSub advertisement: a node and the bloom summary of the
+// blocks it holds (the "summary ticket").
+type candidate struct {
+	Addr    overlay.Address
+	Summary []byte // bloom.Filter encoding
+}
+
+func encodeCands(w *overlay.Writer, cs []candidate) {
+	w.U16(uint16(len(cs)))
+	for _, c := range cs {
+		w.Addr(c.Addr)
+		w.Bytes32(c.Summary)
+	}
+}
+
+func decodeCands(r *overlay.Reader) []candidate {
+	n := int(r.U16())
+	if r.Err() != nil {
+		return nil
+	}
+	out := make([]candidate, 0, n)
+	for i := 0; i < n; i++ {
+		var c candidate
+		c.Addr = r.Addr()
+		c.Summary = append([]byte(nil), r.Bytes32()...)
+		out = append(out, c)
+	}
+	return out
+}
+
+func (c candidate) filter() (*bloom.Filter, bool) {
+	var f bloom.Filter
+	if err := f.UnmarshalBinary(c.Summary); err != nil {
+		return nil, false
+	}
+	return &f, true
+}
+
+// tblock is a stream block moving down the tree.
+type tblock struct {
+	Seq     uint32
+	Typ     int32
+	Payload []byte
+}
+
+func (m *tblock) MsgName() string { return "tblock" }
+func (m *tblock) Encode(w *overlay.Writer) {
+	w.U32(m.Seq)
+	w.U32(uint32(m.Typ))
+	w.Bytes32(m.Payload)
+}
+func (m *tblock) Decode(r *overlay.Reader) error {
+	m.Seq = r.U32()
+	m.Typ = int32(r.U32())
+	m.Payload = append([]byte(nil), r.Bytes32()...)
+	return r.Err()
+}
+
+// collectMsg climbs the tree during a RanSub collect phase, carrying a
+// uniform sample of descendants' candidates.
+type collectMsg struct {
+	Cands []candidate
+}
+
+func (m *collectMsg) MsgName() string                { return "collect" }
+func (m *collectMsg) Encode(w *overlay.Writer)       { encodeCands(w, m.Cands) }
+func (m *collectMsg) Decode(r *overlay.Reader) error { m.Cands = decodeCands(r); return r.Err() }
+
+// distMsg descends the tree during the distribute phase.
+type distMsg struct {
+	Cands []candidate
+}
+
+func (m *distMsg) MsgName() string                { return "dist" }
+func (m *distMsg) Encode(w *overlay.Writer)       { encodeCands(w, m.Cands) }
+func (m *distMsg) Decode(r *overlay.Reader) error { m.Cands = decodeCands(r); return r.Err() }
+
+// peerReq asks to become mesh peers; peerResp accepts or declines.
+type peerReq struct{}
+
+func (m *peerReq) MsgName() string                { return "peer_req" }
+func (m *peerReq) Encode(*overlay.Writer)         {}
+func (m *peerReq) Decode(r *overlay.Reader) error { return r.Err() }
+
+type peerResp struct {
+	Accept bool
+}
+
+func (m *peerResp) MsgName() string                { return "peer_resp" }
+func (m *peerResp) Encode(w *overlay.Writer)       { w.Bool(m.Accept) }
+func (m *peerResp) Decode(r *overlay.Reader) error { m.Accept = r.Bool(); return r.Err() }
+
+// have advertises the sender's block summary to a mesh peer.
+type have struct {
+	Summary []byte
+}
+
+func (m *have) MsgName() string          { return "have" }
+func (m *have) Encode(w *overlay.Writer) { w.Bytes32(m.Summary) }
+func (m *have) Decode(r *overlay.Reader) error {
+	m.Summary = append([]byte(nil), r.Bytes32()...)
+	return r.Err()
+}
+
+// blockReq requests specific missing blocks from a peer.
+type blockReq struct {
+	Seqs []uint32
+}
+
+func (m *blockReq) MsgName() string { return "block_req" }
+func (m *blockReq) Encode(w *overlay.Writer) {
+	w.U16(uint16(len(m.Seqs)))
+	for _, s := range m.Seqs {
+		w.U32(s)
+	}
+}
+func (m *blockReq) Decode(r *overlay.Reader) error {
+	n := int(r.U16())
+	if r.Err() != nil {
+		return r.Err()
+	}
+	m.Seqs = make([]uint32, 0, n)
+	for i := 0; i < n; i++ {
+		m.Seqs = append(m.Seqs, r.U32())
+	}
+	return r.Err()
+}
+
+// blockData answers a blockReq.
+type blockData struct {
+	Seq     uint32
+	Typ     int32
+	Payload []byte
+}
+
+func (m *blockData) MsgName() string { return "block_data" }
+func (m *blockData) Encode(w *overlay.Writer) {
+	w.U32(m.Seq)
+	w.U32(uint32(m.Typ))
+	w.Bytes32(m.Payload)
+}
+func (m *blockData) Decode(r *overlay.Reader) error {
+	m.Seq = r.U32()
+	m.Typ = int32(r.U32())
+	m.Payload = append([]byte(nil), r.Bytes32()...)
+	return r.Err()
+}

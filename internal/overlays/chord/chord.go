@@ -1,0 +1,510 @@
+// Package chord implements the Chord distributed hash table [25] as a
+// MACEDON agent: successor lists, finger tables, periodic stabilization, and
+// the fix-fingers route-repair process whose timer policy Figure 10 of the
+// paper studies. The implementation matches the paper's: a 32-bit hash
+// address space, recursive greedy routing through fingers, and either a
+// static fix-fingers period (the MACEDON curves) or the MIT-lsd-style
+// adaptive period (the baseline curve).
+package chord
+
+import (
+	"time"
+
+	"macedon/internal/core"
+	"macedon/internal/overlay"
+)
+
+// Fingers is the number of finger-table entries: one per bit of the hash
+// address space.
+const Fingers = overlay.KeyBits
+
+// Params tunes the protocol.
+type Params struct {
+	// StabilizePeriod is the successor-pointer maintenance period
+	// (default 1 s).
+	StabilizePeriod time.Duration
+	// FixFingersPeriod is the static route-repair period (default 1 s);
+	// Figure 10 contrasts 1 s and 20 s.
+	FixFingersPeriod time.Duration
+	// Dynamic selects the lsd-style adaptive fix-fingers policy: the period
+	// halves when a repair changes an entry and doubles when it confirms
+	// one, clamped to [DynamicMin, DynamicMax].
+	Dynamic    bool
+	DynamicMin time.Duration // default 1 s
+	DynamicMax time.Duration // default 32 s
+	// SuccListLen is the replicated successor-list length (default 4).
+	SuccListLen int
+}
+
+func (p *Params) setDefaults() {
+	if p.StabilizePeriod <= 0 {
+		p.StabilizePeriod = time.Second
+	}
+	if p.FixFingersPeriod <= 0 {
+		p.FixFingersPeriod = time.Second
+	}
+	if p.DynamicMin <= 0 {
+		p.DynamicMin = time.Second
+	}
+	if p.DynamicMax <= 0 {
+		p.DynamicMax = 32 * time.Second
+	}
+	if p.SuccListLen <= 0 {
+		p.SuccListLen = 4
+	}
+}
+
+// New returns a factory for Chord agents with the given parameters.
+func New(p Params) core.Factory {
+	p.setDefaults()
+	return func() core.Agent { return &Protocol{p: p} }
+}
+
+// Protocol is one node's Chord instance. Exported accessors expose routing
+// state to the harness the way the paper's debugging features dump routing
+// tables every two seconds for the convergence experiment.
+type Protocol struct {
+	p Params
+
+	self    overlay.Address
+	selfKey overlay.Key
+	boot    overlay.Address
+
+	pred      overlay.Address // NilAddress when unknown
+	succs     []overlay.Address
+	fingers   [Fingers]overlay.Address
+	fixIvl    time.Duration
+	nextReqID uint32
+	joinedAt  time.Time
+	hasJoined bool
+}
+
+// ProtocolName implements the engine's naming hook.
+func (c *Protocol) ProtocolName() string { return "chord" }
+
+// Successor returns the current successor (self when alone).
+func (c *Protocol) Successor() overlay.Address {
+	if len(c.succs) == 0 {
+		return c.self
+	}
+	return c.succs[0]
+}
+
+// Predecessor returns the current predecessor, NilAddress when unknown.
+func (c *Protocol) Predecessor() overlay.Address { return c.pred }
+
+// FingerSnapshot copies the finger table (the per-node routing state the
+// convergence oracle grades).
+func (c *Protocol) FingerSnapshot() [Fingers]overlay.Address { return c.fingers }
+
+// Joined reports whether the node completed its join.
+func (c *Protocol) Joined() bool { return c.hasJoined }
+
+// JoinedAt returns the virtual time the node entered the ring.
+func (c *Protocol) JoinedAt() time.Time { return c.joinedAt }
+
+// FixInterval returns the current fix-fingers period (interesting in
+// dynamic mode).
+func (c *Protocol) FixInterval() time.Duration { return c.fixIvl }
+
+// Define declares the Chord FSM: the Go equivalent of chord.mac.
+func (c *Protocol) Define(d *core.Def) {
+	d.States("joining", "joined")
+	d.Addressing(core.HashAddressing)
+
+	d.UDPTransport("CTRL")
+	d.TCPTransport("DATA")
+
+	d.Message("find_req", func() overlay.Message { return &findReq{} }, "CTRL")
+	d.Message("find_resp", func() overlay.Message { return &findResp{} }, "CTRL")
+	d.Message("get_pred_req", func() overlay.Message { return &getPredReq{} }, "CTRL")
+	d.Message("get_pred_resp", func() overlay.Message { return &getPredResp{} }, "CTRL")
+	d.Message("notify", func() overlay.Message { return &notify{} }, "CTRL")
+	d.Message("data", func() overlay.Message { return &data{} }, "DATA")
+	d.Message("data_ip", func() overlay.Message { return &dataIP{} }, "DATA")
+
+	d.Timer("stabilize", c.p.StabilizePeriod)
+	d.Timer("fix_fingers", c.p.FixFingersPeriod)
+	d.NeighborList("succs", c.p.SuccListLen+1, true)
+	d.NeighborList("pred", 1, true)
+
+	d.OnAPI(overlay.APIInit, core.In(core.StateInit), core.Write, c.apiInit)
+	// Routing while joining would claim ownership of everything (the ring
+	// is a self-loop until the join completes): drop and let layers above
+	// retry via their soft state.
+	d.OnAPI(overlay.APIRoute, core.In("joined"), core.Read, c.apiRoute)
+	d.OnAPI(overlay.APIRouteIP, core.Any, core.Read, c.apiRouteIP)
+	d.OnAPI(overlay.APIError, core.Any, core.Write, c.apiError)
+
+	d.OnRecv("find_req", core.Any, core.Read, c.recvFindReq)
+	d.OnRecv("find_resp", core.In("joining"), core.Write, c.recvFindRespJoining)
+	d.OnRecv("find_resp", core.In("joined"), core.Write, c.recvFindRespJoined)
+	d.OnRecv("get_pred_req", core.Any, core.Read, c.recvGetPredReq)
+	d.OnRecv("get_pred_resp", core.In("joined"), core.Write, c.recvGetPredResp)
+	d.OnRecv("notify", core.Any, core.Write, c.recvNotify)
+	d.OnRecv("data", core.Any, core.Read, c.recvData)
+	d.OnRecv("data_ip", core.Any, core.Read, c.recvDataIP)
+
+	d.OnTimer("stabilize", core.In("joined"), core.Write, c.onStabilize)
+	d.OnTimer("fix_fingers", core.In("joined"), core.Write, c.onFixFingers)
+}
+
+func (c *Protocol) apiInit(ctx *core.Context, call *core.APICall) {
+	c.self = ctx.Self()
+	c.selfKey = ctx.SelfKey()
+	c.boot = call.Bootstrap
+	c.fixIvl = c.p.FixFingersPeriod
+	if c.p.Dynamic {
+		c.fixIvl = c.p.DynamicMin
+	}
+	if c.boot == c.self || c.boot == overlay.NilAddress {
+		// The bootstrap starts a one-node ring.
+		c.becomeJoined(ctx)
+		return
+	}
+	ctx.StateChange("joining")
+	c.nextReqID++
+	_ = ctx.Send(c.boot, &findReq{Target: c.selfKey, Origin: c.self,
+		ReqID: c.nextReqID, Purpose: purposeJoin}, overlay.PriorityDefault)
+}
+
+func (c *Protocol) becomeJoined(ctx *core.Context) {
+	ctx.StateChange("joined")
+	c.hasJoined = true
+	c.joinedAt = ctx.Now()
+	ctx.TimerSched("stabilize", c.jitter(ctx, c.p.StabilizePeriod))
+	ctx.TimerSched("fix_fingers", c.jitter(ctx, c.fixIvl))
+}
+
+// jitter spreads periodic timers ±25% so a thousand nodes do not
+// synchronize their maintenance traffic.
+func (c *Protocol) jitter(ctx *core.Context, d time.Duration) time.Duration {
+	return d*3/4 + time.Duration(ctx.Rand().Int63n(int64(d)/2+1))
+}
+
+// owner reports whether this node owns key k: k ∈ (pred, self].
+func (c *Protocol) owner(k overlay.Key) bool {
+	if k == c.selfKey {
+		return true
+	}
+	if c.pred == overlay.NilAddress {
+		// Without a predecessor, claim ownership only when alone.
+		return c.Successor() == c.self
+	}
+	return k.BetweenIncl(overlay.HashAddress(c.pred), c.selfKey)
+}
+
+// nextHop picks the routing target for key k: the successor if k lies in
+// (self, succ], else the closest preceding finger.
+func (c *Protocol) nextHop(k overlay.Key) overlay.Address {
+	succ := c.Successor()
+	if succ == c.self {
+		return c.self
+	}
+	if k.BetweenIncl(c.selfKey, overlay.HashAddress(succ)) {
+		return succ
+	}
+	// Closest preceding node: among known nodes in (self, k), the one whose
+	// key is nearest to k. The successor is always a valid fallback because
+	// k ∉ (self, succ] here implies succ ∈ (self, k).
+	best := succ
+	bestKey := overlay.HashAddress(succ)
+	consider := func(a overlay.Address) {
+		if a == overlay.NilAddress || a == c.self {
+			return
+		}
+		ak := overlay.HashAddress(a)
+		if ak.Between(c.selfKey, k) && ak.Distance(k) < bestKey.Distance(k) {
+			best, bestKey = a, ak
+		}
+	}
+	for _, f := range c.fingers {
+		consider(f)
+	}
+	for _, s := range c.succs {
+		consider(s)
+	}
+	return best
+}
+
+// updateFinger records a repair result and applies the lsd-style dynamic
+// period adaptation when enabled.
+func (c *Protocol) updateFinger(idx int, owner overlay.Address) {
+	changed := c.fingers[idx] != owner
+	c.fingers[idx] = owner
+	if !c.p.Dynamic {
+		return
+	}
+	if changed {
+		c.fixIvl /= 2
+		if c.fixIvl < c.p.DynamicMin {
+			c.fixIvl = c.p.DynamicMin
+		}
+	} else {
+		c.fixIvl *= 2
+		if c.fixIvl > c.p.DynamicMax {
+			c.fixIvl = c.p.DynamicMax
+		}
+	}
+}
+
+func (c *Protocol) recvFindReq(ctx *core.Context, ev *core.MsgEvent) {
+	m := ev.Msg.(*findReq)
+	m.Hops++
+	succ := c.Successor()
+	var owner overlay.Address
+	switch {
+	case c.owner(m.Target):
+		owner = c.self
+	case succ != c.self && m.Target.BetweenIncl(c.selfKey, overlay.HashAddress(succ)):
+		owner = succ
+	}
+	if owner != overlay.NilAddress {
+		_ = ctx.Send(m.Origin, &findResp{ReqID: m.ReqID, Owner: owner,
+			Purpose: m.Purpose, Idx: m.Idx, Hops: m.Hops}, overlay.PriorityDefault)
+		return
+	}
+	if m.Hops > 2*Fingers {
+		return // routing loop during churn; the requester will retry
+	}
+	next := c.nextHop(m.Target)
+	if next == c.self {
+		return
+	}
+	_ = ctx.Send(next, m, overlay.PriorityDefault)
+}
+
+func (c *Protocol) recvFindRespJoining(ctx *core.Context, ev *core.MsgEvent) {
+	m := ev.Msg.(*findResp)
+	if m.Purpose != purposeJoin {
+		return
+	}
+	c.setSuccessor(ctx, m.Owner)
+	c.becomeJoined(ctx)
+	_ = ctx.Send(m.Owner, &notify{}, overlay.PriorityDefault)
+}
+
+func (c *Protocol) recvFindRespJoined(ctx *core.Context, ev *core.MsgEvent) {
+	m := ev.Msg.(*findResp)
+	if m.Purpose != purposeFix || int(m.Idx) >= Fingers {
+		return
+	}
+	// lsd-style adaptation inside updateFinger: repairs that change an entry
+	// suggest churn (probe faster); confirmations suggest stability.
+	c.updateFinger(int(m.Idx), m.Owner)
+}
+
+func (c *Protocol) recvGetPredReq(ctx *core.Context, ev *core.MsgEvent) {
+	_ = ctx.Send(ev.From, &getPredResp{Pred: c.pred, SuccList: c.succs}, overlay.PriorityDefault)
+}
+
+func (c *Protocol) recvGetPredResp(ctx *core.Context, ev *core.MsgEvent) {
+	m := ev.Msg.(*getPredResp)
+	succ := c.Successor()
+	if m.Pred != overlay.NilAddress && m.Pred != c.self {
+		pk := overlay.HashAddress(m.Pred)
+		if succ == c.self || pk.Between(c.selfKey, overlay.HashAddress(succ)) {
+			c.setSuccessor(ctx, m.Pred)
+		}
+	}
+	// Successor-list replication: adopt succ's list shifted by one.
+	list := []overlay.Address{c.Successor()}
+	for _, a := range m.SuccList {
+		if len(list) >= c.p.SuccListLen {
+			break
+		}
+		if a != c.self && a != overlay.NilAddress && !contains(list, a) {
+			list = append(list, a)
+		}
+	}
+	c.setSuccList(ctx, list)
+	_ = ctx.Send(c.Successor(), &notify{}, overlay.PriorityDefault)
+}
+
+func (c *Protocol) recvNotify(ctx *core.Context, ev *core.MsgEvent) {
+	from := ev.From
+	if from == c.self {
+		return
+	}
+	fk := overlay.HashAddress(from)
+	if c.pred == overlay.NilAddress || fk.Between(overlay.HashAddress(c.pred), c.selfKey) {
+		c.pred = from
+		pl := ctx.Neighbors("pred")
+		pl.Clear()
+		pl.Add(from)
+		if c.Successor() == c.self {
+			// Alone until now: the notifier is also our successor.
+			c.setSuccessor(ctx, from)
+		}
+		ctx.NotifyNeighbors(overlay.NbrTypePredecessor, []overlay.Address{from})
+	}
+}
+
+func (c *Protocol) onStabilize(ctx *core.Context) {
+	defer ctx.TimerSched("stabilize", c.jitter(ctx, c.p.StabilizePeriod))
+	succ := c.Successor()
+	if succ == c.self {
+		if c.pred != overlay.NilAddress {
+			c.setSuccessor(ctx, c.pred)
+		}
+		return
+	}
+	_ = ctx.Send(succ, &getPredReq{}, overlay.PriorityDefault)
+}
+
+func (c *Protocol) onFixFingers(ctx *core.Context) {
+	defer ctx.TimerSched("fix_fingers", c.jitter(ctx, c.fixIvl))
+	if c.Successor() == c.self {
+		return
+	}
+	// Repair a random finger, as lsd does ("route a repair request message
+	// to a random finger table entry").
+	i := ctx.Rand().Intn(Fingers)
+	target := overlay.Key(uint32(c.selfKey) + 1<<uint(i))
+	c.nextReqID++
+	m := &findReq{Target: target, Origin: c.self, ReqID: c.nextReqID,
+		Purpose: purposeFix, Idx: uint8(i)}
+	// Start the lookup locally: route as any find request.
+	c.routeFindLocally(ctx, m)
+}
+
+func (c *Protocol) routeFindLocally(ctx *core.Context, m *findReq) {
+	succ := c.Successor()
+	if c.owner(m.Target) {
+		c.fingers[m.Idx] = c.self
+		return
+	}
+	if m.Target.BetweenIncl(c.selfKey, overlay.HashAddress(succ)) {
+		c.updateFinger(int(m.Idx), succ)
+		return
+	}
+	next := c.nextHop(m.Target)
+	if next == c.self {
+		return
+	}
+	_ = ctx.Send(next, m, overlay.PriorityDefault)
+}
+
+func (c *Protocol) apiRoute(ctx *core.Context, call *core.APICall) {
+	m := &data{Src: c.self, Dest: call.Dest, Typ: call.PayloadType, Payload: call.Payload}
+	c.routeData(ctx, m, call.Priority)
+}
+
+func (c *Protocol) routeData(ctx *core.Context, m *data, pri int) {
+	if c.owner(m.Dest) {
+		ctx.Deliver(m.Payload, m.Typ, m.Src)
+		return
+	}
+	next := c.nextHop(m.Dest)
+	if next == c.self {
+		ctx.Deliver(m.Payload, m.Typ, m.Src) // degenerate ring: keep it local
+		return
+	}
+	ok, newNext, payload := ctx.Forward(m.Payload, m.Typ, next, overlay.HashAddress(next))
+	if !ok {
+		return
+	}
+	m.Payload = payload
+	_ = ctx.Send(newNext, m, pri)
+}
+
+func (c *Protocol) recvData(ctx *core.Context, ev *core.MsgEvent) {
+	m := ev.Msg.(*data)
+	m.Hops++
+	if m.Hops > 2*Fingers {
+		return
+	}
+	c.routeData(ctx, m, overlay.PriorityDefault)
+}
+
+func (c *Protocol) apiRouteIP(ctx *core.Context, call *core.APICall) {
+	if call.DestIP == c.self {
+		ctx.Deliver(call.Payload, call.PayloadType, c.self)
+		return
+	}
+	_ = ctx.Send(call.DestIP, &dataIP{Src: c.self, Typ: call.PayloadType, Payload: call.Payload}, call.Priority)
+}
+
+func (c *Protocol) recvDataIP(ctx *core.Context, ev *core.MsgEvent) {
+	m := ev.Msg.(*dataIP)
+	ctx.Deliver(m.Payload, m.Typ, m.Src)
+}
+
+func (c *Protocol) apiError(ctx *core.Context, call *core.APICall) {
+	failed := call.Failed
+	if c.pred == failed {
+		c.pred = overlay.NilAddress
+		ctx.Neighbors("pred").Clear()
+	}
+	var list []overlay.Address
+	for _, a := range c.succs {
+		if a != failed {
+			list = append(list, a)
+		}
+	}
+	if len(list) == 0 {
+		list = []overlay.Address{c.self}
+	}
+	c.setSuccList(ctx, list)
+	for i, f := range c.fingers {
+		if f == failed {
+			c.fingers[i] = overlay.NilAddress
+		}
+	}
+}
+
+func (c *Protocol) setSuccessor(ctx *core.Context, a overlay.Address) {
+	list := append([]overlay.Address{a}, c.succs...)
+	c.setSuccList(ctx, dedup(list, c.p.SuccListLen))
+}
+
+func (c *Protocol) setSuccList(ctx *core.Context, list []overlay.Address) {
+	list = dedup(list, c.p.SuccListLen)
+	if equal(c.succs, list) {
+		return
+	}
+	c.succs = list
+	nl := ctx.Neighbors("succs")
+	nl.Clear()
+	for _, a := range list {
+		if a != c.self {
+			nl.Add(a)
+		}
+	}
+	ctx.NotifyNeighbors(overlay.NbrTypeSuccessor, list)
+}
+
+func dedup(in []overlay.Address, max int) []overlay.Address {
+	var out []overlay.Address
+	for _, a := range in {
+		if a == overlay.NilAddress || contains(out, a) {
+			continue
+		}
+		out = append(out, a)
+		if len(out) >= max {
+			break
+		}
+	}
+	return out
+}
+
+func contains(s []overlay.Address, a overlay.Address) bool {
+	for _, x := range s {
+		if x == a {
+			return true
+		}
+	}
+	return false
+}
+
+func equal(a, b []overlay.Address) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

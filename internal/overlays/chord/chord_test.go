@@ -1,0 +1,238 @@
+package chord_test
+
+import (
+	"sort"
+	"testing"
+	"time"
+
+	"macedon/internal/core"
+	"macedon/internal/harness"
+	"macedon/internal/overlay"
+	"macedon/internal/overlays/chord"
+)
+
+func stack(p chord.Params) []core.Factory { return []core.Factory{chord.New(p)} }
+
+func buildRing(t *testing.T, n int, p chord.Params, settle time.Duration) *harness.Cluster {
+	t.Helper()
+	c, err := harness.NewCluster(harness.ClusterConfig{Nodes: n, Routers: 100, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SpawnAll(func(int) []core.Factory { return stack(p) }); err != nil {
+		t.Fatal(err)
+	}
+	c.RunFor(settle)
+	return c
+}
+
+func chordOf(c *harness.Cluster, a overlay.Address) *chord.Protocol {
+	return c.Nodes[a].Instance("chord").Agent().(*chord.Protocol)
+}
+
+// oracle computes each key's true owner given the member set.
+type oracle struct {
+	keys []uint32
+	addr map[uint32]overlay.Address
+}
+
+func newOracle(addrs []overlay.Address) *oracle {
+	o := &oracle{addr: make(map[uint32]overlay.Address)}
+	for _, a := range addrs {
+		k := uint32(overlay.HashAddress(a))
+		o.keys = append(o.keys, k)
+		o.addr[k] = a
+	}
+	sort.Slice(o.keys, func(i, j int) bool { return o.keys[i] < o.keys[j] })
+	return o
+}
+
+// successor returns the owner of key k: the first member key >= k (wrapping).
+func (o *oracle) successor(k overlay.Key) overlay.Address {
+	i := sort.Search(len(o.keys), func(i int) bool { return o.keys[i] >= uint32(k) })
+	if i == len(o.keys) {
+		i = 0
+	}
+	return o.addr[o.keys[i]]
+}
+
+func TestRingForms(t *testing.T) {
+	const n = 16
+	c := buildRing(t, n, chord.Params{}, 60*time.Second)
+	o := newOracle(c.Addrs)
+	// Every node's successor must match the oracle ring.
+	for _, a := range c.Addrs {
+		p := chordOf(c, a)
+		if !p.Joined() {
+			t.Fatalf("node %v never joined", a)
+		}
+		next := overlay.Key(uint32(overlay.HashAddress(a)) + 1)
+		want := o.successor(next)
+		if got := p.Successor(); got != want {
+			t.Errorf("node %v successor = %v, want %v", a, got, want)
+		}
+	}
+	// Following successor pointers visits every node exactly once.
+	seen := map[overlay.Address]bool{}
+	cur := c.Addrs[0]
+	for i := 0; i < n; i++ {
+		if seen[cur] {
+			t.Fatalf("successor cycle shorter than ring at %v", cur)
+		}
+		seen[cur] = true
+		cur = chordOf(c, cur).Successor()
+	}
+	if cur != c.Addrs[0] || len(seen) != n {
+		t.Fatalf("ring does not close: visited %d", len(seen))
+	}
+}
+
+func TestRoutingDeliversAtOwner(t *testing.T) {
+	c := buildRing(t, 12, chord.Params{}, 60*time.Second)
+	o := newOracle(c.Addrs)
+	delivered := make(map[overlay.Address][]overlay.Key)
+	for _, a := range c.Addrs {
+		addr := a
+		c.Nodes[a].RegisterHandlers(core.Handlers{
+			Deliver: func(p []byte, typ int32, src overlay.Address) {
+				delivered[addr] = append(delivered[addr], overlay.Key(typ))
+			},
+		})
+	}
+	// Route payloads to many keys; each must arrive exactly at its owner.
+	// Payload type encodes the key for verification (app types are >= 0 and
+	// 31-bit here).
+	keys := []overlay.Key{0, 1 << 20, 0x3fffffff, 0x7ffffffe, 0x12345678}
+	src := c.Nodes[c.Addrs[3]]
+	for _, k := range keys {
+		if err := src.Route(k, []byte("blob"), int32(k&0x7fffffff), overlay.PriorityDefault); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.RunFor(10 * time.Second)
+	got := 0
+	for addr, ks := range delivered {
+		for _, k := range ks {
+			got++
+			if want := o.successor(k); want != addr {
+				t.Errorf("key %v delivered at %v, want %v", k, addr, want)
+			}
+		}
+	}
+	if got != len(keys) {
+		t.Fatalf("delivered %d/%d routed payloads", got, len(keys))
+	}
+}
+
+func TestRouteIPDirect(t *testing.T) {
+	c := buildRing(t, 4, chord.Params{}, 30*time.Second)
+	var got []byte
+	c.Nodes[c.Addrs[2]].RegisterHandlers(core.Handlers{
+		Deliver: func(p []byte, typ int32, src overlay.Address) { got = append([]byte(nil), p...) },
+	})
+	_ = c.Nodes[c.Addrs[0]].RouteIP(c.Addrs[2], []byte("direct"), 9, overlay.PriorityDefault)
+	c.RunFor(5 * time.Second)
+	if string(got) != "direct" {
+		t.Fatalf("routeIP payload = %q", got)
+	}
+}
+
+func TestFingersConverge(t *testing.T) {
+	const n = 24
+	c := buildRing(t, n, chord.Params{FixFingersPeriod: time.Second}, 180*time.Second)
+	o := newOracle(c.Addrs)
+	correct, total := 0, 0
+	for _, a := range c.Addrs {
+		p := chordOf(c, a)
+		fingers := p.FingerSnapshot()
+		self := uint32(overlay.HashAddress(a))
+		for i, f := range fingers {
+			if f == overlay.NilAddress {
+				continue
+			}
+			total++
+			if o.successor(overlay.Key(self+1<<uint(i))) == f {
+				correct++
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no fingers populated")
+	}
+	frac := float64(correct) / float64(total)
+	if frac < 0.9 {
+		t.Fatalf("only %.0f%% of populated fingers correct after 180s", frac*100)
+	}
+}
+
+func TestDynamicFixFingersAdapts(t *testing.T) {
+	c := buildRing(t, 8, chord.Params{Dynamic: true}, 120*time.Second)
+	grew := false
+	for _, a := range c.Addrs {
+		if chordOf(c, a).FixInterval() > time.Second {
+			grew = true
+		}
+	}
+	if !grew {
+		t.Fatal("dynamic fix-fingers interval never backed off on a stable ring")
+	}
+}
+
+func TestSuccessorFailureRepair(t *testing.T) {
+	c, err := harness.NewCluster(harness.ClusterConfig{
+		Nodes: 10, Routers: 100, Seed: 7,
+		HeartbeatAfter: 2 * time.Second, FailAfter: 8 * time.Second, Sweep: time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SpawnAll(func(int) []core.Factory { return stack(chord.Params{}) }); err != nil {
+		t.Fatal(err)
+	}
+	c.RunFor(60 * time.Second)
+
+	// Kill one non-bootstrap node.
+	victim := c.Addrs[4]
+	if err := c.Net.SetDown(victim, true); err != nil {
+		t.Fatal(err)
+	}
+	c.Nodes[victim].Stop()
+	c.RunFor(90 * time.Second)
+
+	var live []overlay.Address
+	for _, a := range c.Addrs {
+		if a != victim {
+			live = append(live, a)
+		}
+	}
+	o := newOracle(live)
+	for _, a := range live {
+		p := chordOf(c, a)
+		next := overlay.Key(uint32(overlay.HashAddress(a)) + 1)
+		if got, want := p.Successor(), o.successor(next); got != want {
+			t.Errorf("after failure: node %v successor = %v, want %v", a, got, want)
+		}
+		if p.Successor() == victim || p.Predecessor() == victim {
+			t.Errorf("node %v still points at dead node", a)
+		}
+	}
+}
+
+func TestStaggeredJoins(t *testing.T) {
+	c, err := harness.NewCluster(harness.ClusterConfig{Nodes: 12, Routers: 100, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range c.Addrs {
+		c.SpawnAt(i, stack(chord.Params{}), time.Duration(i)*2*time.Second)
+	}
+	c.RunFor(120 * time.Second)
+	o := newOracle(c.Addrs)
+	for _, a := range c.Addrs {
+		p := chordOf(c, a)
+		next := overlay.Key(uint32(overlay.HashAddress(a)) + 1)
+		if got, want := p.Successor(), o.successor(next); got != want {
+			t.Errorf("node %v successor = %v, want %v", a, got, want)
+		}
+	}
+}

@@ -1,0 +1,90 @@
+// Behavioral validation of the generated RandTree agent: the DSL → codegen
+// → engine path produces a working overlay, the end-to-end claim of §3.2.
+package genrandtree_test
+
+import (
+	"testing"
+	"time"
+
+	"macedon/internal/core"
+	"macedon/internal/harness"
+	"macedon/internal/overlay"
+	"macedon/internal/overlays/genrandtree"
+)
+
+func build(t *testing.T, n int, settle time.Duration) *harness.Cluster {
+	t.Helper()
+	c, err := harness.NewCluster(harness.ClusterConfig{Nodes: n, Routers: 100, Seed: 151})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stack := []core.Factory{genrandtree.New()}
+	if err := c.SpawnAll(func(int) []core.Factory { return stack }); err != nil {
+		t.Fatal(err)
+	}
+	c.RunFor(settle)
+	return c
+}
+
+func TestGeneratedTreeForms(t *testing.T) {
+	const n = 20
+	c := build(t, n, 60*time.Second)
+	root := c.Addrs[0]
+	for _, a := range c.Addrs[1:] {
+		if st := c.Nodes[a].Instance("randtree").State(); st != "joined" {
+			t.Fatalf("generated node %v state %q", a, st)
+		}
+		hops := 0
+		for cur := a; cur != root; hops++ {
+			if hops > n {
+				t.Fatalf("parent chain from %v broken", a)
+			}
+			ps := c.Nodes[cur].Instance("randtree").NeighborsSnapshot("parent")
+			if len(ps) == 0 {
+				t.Fatalf("node %v has no parent", cur)
+			}
+			cur = ps[0]
+		}
+	}
+	// Generated degree bound (MAX_KIDS = 4 from the spec's constants).
+	for _, a := range c.Addrs {
+		if kids := c.Nodes[a].Instance("randtree").NeighborsSnapshot("kids"); len(kids) > 4 {
+			t.Fatalf("node %v exceeds generated degree bound: %d", a, len(kids))
+		}
+	}
+}
+
+func TestGeneratedMulticastAndCollect(t *testing.T) {
+	const n = 15
+	c := build(t, n, 60*time.Second)
+	got := map[overlay.Address]int{}
+	for _, a := range c.Addrs[1:] {
+		addr := a
+		c.Nodes[a].RegisterHandlers(core.Handlers{
+			Deliver: func(p []byte, typ int32, src overlay.Address) { got[addr]++ },
+		})
+	}
+	const packets = 5
+	for i := 0; i < packets; i++ {
+		_ = c.Nodes[c.Addrs[0]].Multicast(0, []byte("generated"), 3, overlay.PriorityDefault)
+		c.RunFor(time.Second)
+	}
+	c.RunFor(10 * time.Second)
+	for _, a := range c.Addrs[1:] {
+		if got[a] != packets {
+			t.Errorf("node %v received %d/%d", a, got[a], packets)
+		}
+	}
+	// Collect flows to the root.
+	collected := 0
+	c.Nodes[c.Addrs[0]].RegisterHandlers(core.Handlers{
+		Deliver: func([]byte, int32, overlay.Address) { collected++ },
+	})
+	for _, a := range c.Addrs[1:] {
+		_ = c.Nodes[a].Collect(0, []byte("up"), 2, overlay.PriorityDefault)
+	}
+	c.RunFor(10 * time.Second)
+	if collected != n-1 {
+		t.Fatalf("root collected %d/%d", collected, n-1)
+	}
+}

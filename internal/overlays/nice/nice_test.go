@@ -1,0 +1,149 @@
+package nice_test
+
+import (
+	"testing"
+	"time"
+
+	"macedon/internal/core"
+	"macedon/internal/harness"
+	"macedon/internal/overlay"
+	"macedon/internal/overlays/nice"
+	"macedon/internal/topology"
+)
+
+func build(t *testing.T, n int, p nice.Params, settle time.Duration, seed int64) *harness.Cluster {
+	t.Helper()
+	c, err := harness.NewCluster(harness.ClusterConfig{Nodes: n, Routers: 100, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stack := []core.Factory{nice.New(p)}
+	if err := c.SpawnAll(func(int) []core.Factory { return stack }); err != nil {
+		t.Fatal(err)
+	}
+	c.RunFor(settle)
+	return c
+}
+
+func niceOf(c *harness.Cluster, a overlay.Address) *nice.Protocol {
+	return c.Nodes[a].Instance("nice").Agent().(*nice.Protocol)
+}
+
+func TestAllJoin(t *testing.T) {
+	c := build(t, 20, nice.Params{}, 3*time.Minute, 91)
+	for _, a := range c.Addrs {
+		if st := c.Nodes[a].Instance("nice").State(); st != "joined" {
+			t.Fatalf("node %v state %q", a, st)
+		}
+		if len(niceOf(c, a).ClusterMembers(0)) < 2 {
+			t.Errorf("node %v has a singleton L0 cluster", a)
+		}
+	}
+}
+
+func TestClusterSizeInvariant(t *testing.T) {
+	const k = 3
+	c := build(t, 30, nice.Params{K: k}, 5*time.Minute, 93)
+	over := 0
+	for _, a := range c.Addrs {
+		p := niceOf(c, a)
+		if p.Leader(0) {
+			if size := len(p.ClusterMembers(0)); size > 3*k-1 {
+				over++
+				t.Logf("leader %v cluster size %d exceeds %d", a, size, 3*k-1)
+			}
+		}
+	}
+	if over > 1 {
+		t.Fatalf("%d clusters above the 3k-1 bound after settling", over)
+	}
+}
+
+func TestHierarchyForms(t *testing.T) {
+	c := build(t, 30, nice.Params{K: 3}, 5*time.Minute, 95)
+	// With 30 nodes and k=3 there must be at least two layers somewhere.
+	maxTop := 0
+	for _, a := range c.Addrs {
+		if tl := niceOf(c, a).TopLayer(); tl > maxTop {
+			maxTop = tl
+		}
+	}
+	if maxTop < 1 {
+		t.Fatalf("no hierarchy formed: max top layer = %d", maxTop)
+	}
+}
+
+func TestMulticastReachesAll(t *testing.T) {
+	const n = 24
+	c := build(t, n, nice.Params{}, 8*time.Minute, 97)
+	got := map[overlay.Address]int{}
+	for _, a := range c.Addrs[1:] {
+		addr := a
+		c.Nodes[a].RegisterHandlers(core.Handlers{
+			Deliver: func(p []byte, typ int32, src overlay.Address) { got[addr]++ },
+		})
+	}
+	const packets = 5
+	for i := 0; i < packets; i++ {
+		_ = c.Nodes[c.Addrs[0]].Multicast(0, make([]byte, 500), 1, overlay.PriorityDefault)
+		c.RunFor(2 * time.Second)
+	}
+	c.RunFor(30 * time.Second)
+	// NICE has no retransmission layer: a packet in flight during a
+	// cluster reconfiguration can be lost (as in the published system), so
+	// require all-but-one delivery per member rather than perfection.
+	missing := 0
+	for _, a := range c.Addrs[1:] {
+		if got[a] < packets-1 {
+			missing++
+			t.Logf("node %v received %d/%d", a, got[a], packets)
+		}
+	}
+	if missing > 0 {
+		t.Fatalf("%d/%d members missed more than one packet", missing, n-1)
+	}
+}
+
+// TestLatencyAwareClustering puts members at two distant sites: L0 clusters
+// must not straddle the WAN link.
+func TestLatencyAwareClustering(t *testing.T) {
+	ms := func(d int) time.Duration { return time.Duration(d) * time.Millisecond }
+	p := topology.SiteMatrixParams{
+		Latency: [][]time.Duration{
+			{0, ms(80)},
+			{ms(80), 0},
+		},
+		LANLatency: ms(1),
+	}
+	g, gws, err := topology.SiteMatrix(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs, sites := topology.AttachSiteClients(g, gws, 6, 1, p)
+	c, err := harness.NewCluster(harness.ClusterConfig{Graph: g, Addrs: addrs, Seed: 101})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stack := []core.Factory{nice.New(nice.Params{K: 3})}
+	if err := c.SpawnAll(func(int) []core.Factory { return stack }); err != nil {
+		t.Fatal(err)
+	}
+	c.RunFor(5 * time.Minute)
+	siteOf := map[overlay.Address]int{}
+	for i, a := range addrs {
+		siteOf[a] = sites[i]
+	}
+	straddling := 0
+	for _, a := range addrs {
+		p := niceOf(c, a)
+		for _, m := range p.ClusterMembers(0) {
+			if siteOf[m] != siteOf[a] {
+				straddling++
+			}
+		}
+	}
+	// A few transients are tolerable; systematic straddling is not.
+	if straddling > 4 {
+		t.Fatalf("%d cross-site L0 cluster memberships; clustering ignores latency", straddling)
+	}
+}

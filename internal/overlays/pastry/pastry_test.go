@@ -1,0 +1,215 @@
+package pastry_test
+
+import (
+	"testing"
+	"time"
+
+	"macedon/internal/core"
+	"macedon/internal/harness"
+	"macedon/internal/overlay"
+	"macedon/internal/overlays/pastry"
+)
+
+func stack(p pastry.Params) []core.Factory { return []core.Factory{pastry.New(p)} }
+
+func build(t *testing.T, n int, p pastry.Params, settle time.Duration, seed int64) *harness.Cluster {
+	t.Helper()
+	c, err := harness.NewCluster(harness.ClusterConfig{Nodes: n, Routers: 100, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SpawnAll(func(int) []core.Factory { return stack(p) }); err != nil {
+		t.Fatal(err)
+	}
+	c.RunFor(settle)
+	return c
+}
+
+func pastryOf(c *harness.Cluster, a overlay.Address) *pastry.Protocol {
+	return c.Nodes[a].Instance("pastry").Agent().(*pastry.Protocol)
+}
+
+// owner is the numerically closest node to k (ties to the lower address):
+// Pastry's delivery rule.
+func owner(addrs []overlay.Address, k overlay.Key) overlay.Address {
+	best := addrs[0]
+	bestD := overlay.RingDiff(overlay.HashAddress(best), k)
+	for _, a := range addrs[1:] {
+		d := overlay.RingDiff(overlay.HashAddress(a), k)
+		if d < bestD || (d == bestD && a < best) {
+			best, bestD = a, d
+		}
+	}
+	return best
+}
+
+func TestAllNodesJoin(t *testing.T) {
+	c := build(t, 20, pastry.Params{}, 60*time.Second, 11)
+	for _, a := range c.Addrs {
+		if !pastryOf(c, a).Joined() {
+			t.Fatalf("node %v never joined", a)
+		}
+		if len(pastryOf(c, a).LeafSet()) == 0 {
+			t.Fatalf("node %v has empty leaf set", a)
+		}
+	}
+}
+
+func TestRoutingDeliversAtNumericallyClosest(t *testing.T) {
+	c := build(t, 20, pastry.Params{}, 90*time.Second, 11)
+	delivered := make(map[overlay.Key]overlay.Address)
+	for _, a := range c.Addrs {
+		addr := a
+		c.Nodes[a].RegisterHandlers(core.Handlers{
+			Deliver: func(p []byte, typ int32, src overlay.Address) {
+				delivered[overlay.Key(typ)] = addr
+			},
+		})
+	}
+	keys := []overlay.Key{1, 0x10000000, 0x40000000, 0x7abc0000, 0x7fffffff, 0x2468ace0}
+	src := c.Nodes[c.Addrs[7]]
+	for _, k := range keys {
+		if err := src.Route(k, []byte("x"), int32(k), overlay.PriorityDefault); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.RunFor(10 * time.Second)
+	for _, k := range keys {
+		got, ok := delivered[k]
+		if !ok {
+			t.Errorf("key %v never delivered", k)
+			continue
+		}
+		if want := owner(c.Addrs, k); got != want {
+			t.Errorf("key %v delivered at %v, want %v", k, got, want)
+		}
+	}
+}
+
+func TestLocationCacheShortCircuits(t *testing.T) {
+	c := build(t, 16, pastry.Params{CacheLifetime: -1}, 90*time.Second, 13)
+	dest := overlay.Key(0x55555555)
+	own := owner(c.Addrs, dest)
+	hops := make(map[int]int) // route # -> deliveries seen so far
+	_ = hops
+	var deliveries int
+	c.Nodes[own].RegisterHandlers(core.Handlers{
+		Deliver: func([]byte, int32, overlay.Address) { deliveries++ },
+	})
+	src := c.Addrs[3]
+	if src == own {
+		src = c.Addrs[4]
+	}
+	// First route fills the cache (after delivery), then subsequent routes
+	// go direct.
+	_ = c.Nodes[src].Route(dest, []byte("a"), 1, overlay.PriorityDefault)
+	c.RunFor(5 * time.Second)
+	_ = c.Nodes[src].Route(dest, []byte("b"), 1, overlay.PriorityDefault)
+	c.RunFor(5 * time.Second)
+	if deliveries != 2 {
+		t.Fatalf("deliveries = %d", deliveries)
+	}
+	p := pastryOf(c, src)
+	if p.CacheFills() == 0 {
+		t.Fatal("cache never filled")
+	}
+	if p.DirectSends() != 1 {
+		t.Fatalf("direct sends = %d, want 1 (second route short-circuited)", p.DirectSends())
+	}
+}
+
+func TestLocationCacheTTLExpires(t *testing.T) {
+	c := build(t, 10, pastry.Params{CacheLifetime: 2 * time.Second}, 60*time.Second, 17)
+	dest := overlay.Key(0x99999999)
+	src := c.Addrs[2]
+	if owner(c.Addrs, dest) == src {
+		src = c.Addrs[3]
+	}
+	_ = c.Nodes[src].Route(dest, []byte("a"), 1, overlay.PriorityDefault)
+	c.RunFor(5 * time.Second)
+	fills0 := pastryOf(c, src).CacheFills()
+	if fills0 == 0 {
+		t.Fatal("first route did not fill the cache")
+	}
+	// Wait past the TTL; the next route must refill (stale entry evicted).
+	c.RunFor(5 * time.Second)
+	_ = c.Nodes[src].Route(dest, []byte("b"), 1, overlay.PriorityDefault)
+	c.RunFor(5 * time.Second)
+	if fills := pastryOf(c, src).CacheFills(); fills <= fills0 {
+		t.Fatalf("cache not refilled after TTL: %d -> %d", fills0, fills)
+	}
+}
+
+func TestRMIModeSlowsDelivery(t *testing.T) {
+	run := func(p pastry.Params) time.Duration {
+		c := build(t, 10, p, 60*time.Second, 19)
+		dest := overlay.Key(0x31415926)
+		own := owner(c.Addrs, dest)
+		var at time.Duration = -1
+		c.Nodes[own].RegisterHandlers(core.Handlers{
+			Deliver: func([]byte, int32, overlay.Address) {
+				if at < 0 {
+					at = c.Sched.Elapsed()
+				}
+			},
+		})
+		src := c.Addrs[5]
+		if src == own {
+			src = c.Addrs[6]
+		}
+		start := c.Sched.Elapsed()
+		_ = c.Nodes[src].Route(dest, []byte("x"), 1, overlay.PriorityDefault)
+		c.RunFor(20 * time.Second)
+		if at < 0 {
+			t.Fatal("undelivered")
+		}
+		return at - start
+	}
+	plain := run(pastry.Params{})
+	rmi := run(pastry.Params{RMI: true, NetworkSize: 100})
+	if rmi < plain+50*time.Millisecond {
+		t.Fatalf("RMI model adds no latency: plain=%v rmi=%v", plain, rmi)
+	}
+}
+
+func TestFailureRemovesFromTables(t *testing.T) {
+	c, err := harness.NewCluster(harness.ClusterConfig{
+		Nodes: 12, Routers: 100, Seed: 23,
+		HeartbeatAfter: 2 * time.Second, FailAfter: 8 * time.Second, Sweep: time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SpawnAll(func(int) []core.Factory { return stack(pastry.Params{}) }); err != nil {
+		t.Fatal(err)
+	}
+	c.RunFor(60 * time.Second)
+	victim := c.Addrs[6]
+	_ = c.Net.SetDown(victim, true)
+	c.Nodes[victim].Stop()
+	c.RunFor(60 * time.Second)
+	for _, a := range c.Addrs {
+		if a == victim {
+			continue
+		}
+		for _, l := range pastryOf(c, a).LeafSet() {
+			if l == victim {
+				t.Errorf("node %v still has dead node in leaf set", a)
+			}
+		}
+	}
+}
+
+func TestRouteToSelfDelivers(t *testing.T) {
+	c := build(t, 6, pastry.Params{}, 30*time.Second, 29)
+	a := c.Addrs[1]
+	var got bool
+	c.Nodes[a].RegisterHandlers(core.Handlers{
+		Deliver: func([]byte, int32, overlay.Address) { got = true },
+	})
+	_ = c.Nodes[a].Route(overlay.HashAddress(a), []byte("self"), 1, overlay.PriorityDefault)
+	c.RunFor(2 * time.Second)
+	if !got {
+		t.Fatal("route to own key not delivered locally")
+	}
+}

@@ -1,0 +1,147 @@
+package randtree_test
+
+import (
+	"testing"
+	"time"
+
+	"macedon/internal/core"
+	"macedon/internal/harness"
+	"macedon/internal/overlay"
+	"macedon/internal/overlays/randtree"
+)
+
+func build(t *testing.T, n int, p randtree.Params, settle time.Duration, seed int64) *harness.Cluster {
+	t.Helper()
+	c, err := harness.NewCluster(harness.ClusterConfig{Nodes: n, Routers: 100, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stack := []core.Factory{randtree.New(p)}
+	if err := c.SpawnAll(func(int) []core.Factory { return stack }); err != nil {
+		t.Fatal(err)
+	}
+	c.RunFor(settle)
+	return c
+}
+
+func parentOf(c *harness.Cluster, a overlay.Address) overlay.Address {
+	ps := c.Nodes[a].Instance("randtree").NeighborsSnapshot("parent")
+	if len(ps) == 0 {
+		return overlay.NilAddress
+	}
+	return ps[0]
+}
+
+func TestTreeForms(t *testing.T) {
+	const n = 30
+	const deg = 3
+	c := build(t, n, randtree.Params{MaxDegree: deg}, 60*time.Second, 61)
+	root := c.Addrs[0]
+	// Every non-root node has a parent; walking parents reaches the root;
+	// degree bound holds.
+	for _, a := range c.Addrs[1:] {
+		if st := c.Nodes[a].Instance("randtree").State(); st != "joined" {
+			t.Fatalf("node %v state %q", a, st)
+		}
+		hops := 0
+		for cur := a; cur != root; hops++ {
+			if hops > n {
+				t.Fatalf("parent chain from %v does not reach root", a)
+			}
+			cur = parentOf(c, cur)
+			if cur == overlay.NilAddress {
+				t.Fatalf("node %v has a broken parent chain", a)
+			}
+		}
+	}
+	for _, a := range c.Addrs {
+		kids := c.Nodes[a].Instance("randtree").NeighborsSnapshot("kids")
+		if len(kids) > deg {
+			t.Fatalf("node %v has %d children, bound %d", a, len(kids), deg)
+		}
+	}
+}
+
+func TestMulticastReachesEveryone(t *testing.T) {
+	const n = 20
+	c := build(t, n, randtree.Params{MaxDegree: 4}, 60*time.Second, 67)
+	got := map[overlay.Address]int{}
+	for _, a := range c.Addrs[1:] {
+		addr := a
+		c.Nodes[a].RegisterHandlers(core.Handlers{
+			Deliver: func(p []byte, typ int32, src overlay.Address) { got[addr]++ },
+		})
+	}
+	const packets = 10
+	for i := 0; i < packets; i++ {
+		_ = c.Nodes[c.Addrs[0]].Multicast(0, []byte("tree-data"), 5, overlay.PriorityDefault)
+		c.RunFor(500 * time.Millisecond)
+	}
+	c.RunFor(10 * time.Second)
+	for _, a := range c.Addrs[1:] {
+		if got[a] != packets {
+			t.Errorf("node %v received %d/%d", a, got[a], packets)
+		}
+	}
+}
+
+func TestCollectReachesRoot(t *testing.T) {
+	const n = 15
+	c := build(t, n, randtree.Params{}, 60*time.Second, 71)
+	var collected int
+	c.Nodes[c.Addrs[0]].RegisterHandlers(core.Handlers{
+		Deliver: func(p []byte, typ int32, src overlay.Address) { collected++ },
+	})
+	for _, a := range c.Addrs[1:] {
+		_ = c.Nodes[a].Collect(0, []byte("up"), 2, overlay.PriorityDefault)
+	}
+	c.RunFor(15 * time.Second)
+	if collected != n-1 {
+		t.Fatalf("root collected %d/%d payloads", collected, n-1)
+	}
+}
+
+func TestParentFailureRejoin(t *testing.T) {
+	c, err := harness.NewCluster(harness.ClusterConfig{
+		Nodes: 12, Routers: 100, Seed: 73,
+		HeartbeatAfter: 2 * time.Second, FailAfter: 6 * time.Second, Sweep: time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stack := []core.Factory{randtree.New(randtree.Params{MaxDegree: 2})}
+	if err := c.SpawnAll(func(int) []core.Factory { return stack }); err != nil {
+		t.Fatal(err)
+	}
+	c.RunFor(60 * time.Second)
+	// Kill an interior node (one with children).
+	var victim overlay.Address
+	for _, a := range c.Addrs[1:] {
+		if len(c.Nodes[a].Instance("randtree").NeighborsSnapshot("kids")) > 0 {
+			victim = a
+			break
+		}
+	}
+	if victim == overlay.NilAddress {
+		t.Skip("no interior non-root node in this seed")
+	}
+	_ = c.Net.SetDown(victim, true)
+	c.Nodes[victim].Stop()
+	c.RunFor(120 * time.Second)
+	root := c.Addrs[0]
+	for _, a := range c.Addrs[1:] {
+		if a == victim {
+			continue
+		}
+		hops := 0
+		for cur := a; cur != root; hops++ {
+			if hops > 20 {
+				t.Fatalf("node %v not reattached after parent failure", a)
+			}
+			cur = parentOf(c, cur)
+			if cur == overlay.NilAddress || cur == victim {
+				t.Fatalf("node %v has broken chain (cur=%v)", a, cur)
+			}
+		}
+	}
+}

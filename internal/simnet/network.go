@@ -1,0 +1,261 @@
+package simnet
+
+import (
+	"fmt"
+	"time"
+
+	"macedon/internal/overlay"
+	"macedon/internal/substrate"
+	"macedon/internal/topology"
+)
+
+// MTU is the largest datagram the emulated network carries, matching
+// Ethernet framing as ModelNet does.
+const MTU = 1500
+
+// Stats aggregates network-wide packet accounting.
+type Stats struct {
+	Sent       uint64 // datagrams entering the network
+	Delivered  uint64 // datagrams handed to a receiving endpoint
+	QueueDrops uint64 // datagrams dropped at a full pipe queue
+	RandomLoss uint64 // datagrams dropped by the loss model
+	DownDrops  uint64 // datagrams dropped at a failed node
+	Bytes      uint64 // payload bytes entering the network
+}
+
+// LinkCounters is per-pipe accounting used by overhead metrics.
+type LinkCounters struct {
+	Packets uint64
+	Bytes   uint64
+	Drops   uint64
+}
+
+// Config tunes emulation behaviour.
+type Config struct {
+	// LossRate uniformly drops this fraction of datagrams per hop.
+	// Zero by default: loss then only arises from queue overflow.
+	LossRate float64
+	// PerHopOverhead adds fixed per-router forwarding delay.
+	PerHopOverhead time.Duration
+}
+
+// Network emulates the topology: it implements substrate.Network by routing
+// each datagram along the shortest path and applying per-pipe bandwidth
+// serialization, propagation delay, and drop-tail queuing at every hop.
+type Network struct {
+	sched  *Scheduler
+	graph  *topology.Graph
+	routes *topology.Routes
+	cfg    Config
+
+	links []linkState // indexed by topology.LinkID
+	eps   map[overlay.Address]*endpoint
+	paths map[pathKey][]topology.LinkID
+
+	stats Stats
+}
+
+type linkState struct {
+	busyUntil   time.Duration // virtual instant the pipe finishes its queue
+	queuedBytes int
+	ctr         LinkCounters
+}
+
+type pathKey struct{ src, dst topology.RouterID }
+
+// New builds an emulated network over a finished topology. The graph must
+// already have all clients attached.
+func New(sched *Scheduler, g *topology.Graph, cfg Config) *Network {
+	n := &Network{
+		sched:  sched,
+		graph:  g,
+		routes: topology.NewRoutes(g),
+		cfg:    cfg,
+		links:  make([]linkState, g.NumLinks()),
+		eps:    make(map[overlay.Address]*endpoint),
+		paths:  make(map[pathKey][]topology.LinkID),
+	}
+	for _, addr := range g.Clients() {
+		n.eps[addr] = &endpoint{net: n, addr: addr}
+	}
+	return n
+}
+
+// Scheduler returns the clock driving the network.
+func (n *Network) Scheduler() *Scheduler { return n.sched }
+
+// Routes exposes the routing oracle (for direct-latency metrics).
+func (n *Network) Routes() *topology.Routes { return n.routes }
+
+// Graph returns the underlying topology.
+func (n *Network) Graph() *topology.Graph { return n.graph }
+
+// Stats returns a snapshot of network-wide counters.
+func (n *Network) Stats() Stats { return n.stats }
+
+// LinkCounters returns a copy of the per-pipe counters for a link.
+func (n *Network) LinkCounters(l topology.LinkID) LinkCounters { return n.links[l].ctr }
+
+// Now implements substrate.Clock.
+func (n *Network) Now() time.Time { return n.sched.Now() }
+
+// After implements substrate.Clock.
+func (n *Network) After(d time.Duration, fn func()) substrate.Timer {
+	return n.sched.After(d, fn)
+}
+
+// Endpoint implements substrate.Network.
+func (n *Network) Endpoint(addr overlay.Address) (substrate.Endpoint, error) {
+	ep, ok := n.eps[addr]
+	if !ok {
+		return nil, fmt.Errorf("simnet: address %v is not attached to the topology", addr)
+	}
+	return ep, nil
+}
+
+// SetDown marks a node failed (true) or recovered (false): all datagrams to
+// or from it are silently dropped, emulating a host crash for
+// failure-detection experiments.
+func (n *Network) SetDown(addr overlay.Address, down bool) error {
+	ep, ok := n.eps[addr]
+	if !ok {
+		return fmt.Errorf("simnet: address %v is not attached to the topology", addr)
+	}
+	ep.down = down
+	return nil
+}
+
+func (n *Network) path(src, dst topology.RouterID) []topology.LinkID {
+	k := pathKey{src, dst}
+	if p, ok := n.paths[k]; ok {
+		return p
+	}
+	p := n.routes.Path(src, dst)
+	n.paths[k] = p
+	return p
+}
+
+// packet is one datagram in flight.
+type packet struct {
+	src, dst overlay.Address
+	payload  []byte
+	path     []topology.LinkID
+	hop      int
+}
+
+func (n *Network) send(src *endpoint, dst overlay.Address, payload []byte) error {
+	if len(payload) > MTU {
+		return fmt.Errorf("simnet: datagram of %d bytes exceeds MTU %d", len(payload), MTU)
+	}
+	dstEp, ok := n.eps[dst]
+	if !ok {
+		return fmt.Errorf("simnet: destination %v is not attached", dst)
+	}
+	n.stats.Sent++
+	n.stats.Bytes += uint64(len(payload))
+	if src.down || dstEp.down {
+		n.stats.DownDrops++
+		return nil // like IP: silently dropped, sender learns nothing
+	}
+	if src.addr == dst {
+		// Loopback bypasses the topology, as the kernel would.
+		n.sched.post(0, func() { n.deliver(dstEp, src.addr, payload) })
+		return nil
+	}
+	sv, _ := n.graph.ClientVertex(src.addr)
+	dv, _ := n.graph.ClientVertex(dst)
+	path := n.path(sv, dv)
+	if path == nil {
+		return fmt.Errorf("simnet: no route from %v to %v", src.addr, dst)
+	}
+	pkt := &packet{src: src.addr, dst: dst, payload: payload, path: path}
+	n.enqueue(pkt)
+	return nil
+}
+
+// enqueue places pkt at the entrance of its current hop's pipe.
+func (n *Network) enqueue(pkt *packet) {
+	l := pkt.path[pkt.hop]
+	link := n.graph.Link(l)
+	ls := &n.links[l]
+	size := len(pkt.payload) + headerOverhead
+	if ls.queuedBytes+size > link.QueueBytes {
+		ls.ctr.Drops++
+		n.stats.QueueDrops++
+		return
+	}
+	if n.cfg.LossRate > 0 && n.sched.rng.Float64() < n.cfg.LossRate {
+		n.stats.RandomLoss++
+		return
+	}
+	ls.queuedBytes += size
+	ls.ctr.Packets++
+	ls.ctr.Bytes += uint64(size)
+
+	now := n.sched.now
+	start := now
+	if ls.busyUntil > start {
+		start = ls.busyUntil
+	}
+	txDone := start + txTime(size, link.Bandwidth)
+	ls.busyUntil = txDone
+	arrive := txDone + link.Latency + n.cfg.PerHopOverhead
+
+	// The packet's bytes leave the queue when serialization completes.
+	n.sched.post(txDone-now, func() { ls.queuedBytes -= size })
+	n.sched.post(arrive-now, func() { n.arriveHop(pkt) })
+}
+
+// headerOverhead models IP+UDP framing so bandwidth accounting matches what
+// a real pipe would carry.
+const headerOverhead = 28
+
+func txTime(sizeBytes int, bwBitsPerSec int64) time.Duration {
+	if bwBitsPerSec <= 0 {
+		return 0
+	}
+	return time.Duration(int64(sizeBytes) * 8 * int64(time.Second) / bwBitsPerSec)
+}
+
+func (n *Network) arriveHop(pkt *packet) {
+	pkt.hop++
+	if pkt.hop < len(pkt.path) {
+		n.enqueue(pkt)
+		return
+	}
+	ep, ok := n.eps[pkt.dst]
+	if !ok || ep.down {
+		n.stats.DownDrops++
+		return
+	}
+	n.deliver(ep, pkt.src, pkt.payload)
+}
+
+func (n *Network) deliver(ep *endpoint, src overlay.Address, payload []byte) {
+	n.stats.Delivered++
+	if ep.recv != nil {
+		ep.recv(src, payload)
+	}
+}
+
+// endpoint implements substrate.Endpoint over the emulated network.
+type endpoint struct {
+	net  *Network
+	addr overlay.Address
+	recv func(src overlay.Address, payload []byte)
+	down bool
+}
+
+func (e *endpoint) Addr() overlay.Address { return e.addr }
+func (e *endpoint) MTU() int              { return MTU }
+
+func (e *endpoint) Send(dst overlay.Address, payload []byte) error {
+	return e.net.send(e, dst, payload)
+}
+
+func (e *endpoint) SetRecv(fn func(src overlay.Address, payload []byte)) {
+	if e.recv != nil {
+		panic(fmt.Sprintf("simnet: receive handler for %v set twice", e.addr))
+	}
+	e.recv = fn
+}

@@ -1,0 +1,154 @@
+// Package simnet is the discrete-event network emulator that stands in for
+// ModelNet: it subjects every packet to hop-by-hop bandwidth serialization,
+// propagation delay, and drop-tail queuing over a routed topology, while
+// running in virtual time on one machine. Experiments that took the paper
+// 20–50 cluster machines replay deterministically in-process.
+package simnet
+
+import (
+	"container/heap"
+	"math/rand"
+	"time"
+
+	"macedon/internal/substrate"
+)
+
+// Scheduler is a deterministic virtual-time event loop. Events scheduled for
+// the same instant fire in scheduling order. It implements substrate.Clock.
+type Scheduler struct {
+	now  time.Duration // virtual time since epoch
+	seq  uint64
+	evts eventHeap
+	rng  *rand.Rand
+
+	executed uint64
+}
+
+// epoch anchors virtual time so traces show sensible absolute timestamps.
+var epoch = time.Date(2004, time.March, 29, 0, 0, 0, 0, time.UTC) // NSDI '04
+
+// NewScheduler returns a scheduler seeded for reproducibility.
+func NewScheduler(seed int64) *Scheduler {
+	return &Scheduler{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() time.Time { return epoch.Add(s.now) }
+
+// Elapsed returns virtual time since the simulation epoch.
+func (s *Scheduler) Elapsed() time.Duration { return s.now }
+
+// Rand returns the simulation's seeded PRNG. All randomness in an experiment
+// must come from here (or from PRNGs it seeds) for runs to reproduce.
+func (s *Scheduler) Rand() *rand.Rand { return s.rng }
+
+// Executed returns the number of events run so far.
+func (s *Scheduler) Executed() uint64 { return s.executed }
+
+// Pending returns the number of events waiting, cancelled ones included.
+func (s *Scheduler) Pending() int { return s.evts.Len() }
+
+// simTimer implements substrate.Timer by lazy cancellation.
+type simTimer struct {
+	fired   bool
+	stopped bool
+}
+
+// Stop cancels the timer if still pending.
+func (t *simTimer) Stop() bool {
+	if t.fired || t.stopped {
+		return false
+	}
+	t.stopped = true
+	return true
+}
+
+type event struct {
+	at  time.Duration
+	seq uint64
+	fn  func()
+	tm  *simTimer // nil for internal events that are never cancelled
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = event{}
+	*h = old[:n-1]
+	return e
+}
+
+// After schedules fn to run once after d of virtual time. A non-positive d
+// runs fn at the current instant, after already-queued events for that
+// instant. The returned timer cancels it.
+func (s *Scheduler) After(d time.Duration, fn func()) substrate.Timer {
+	if d < 0 {
+		d = 0
+	}
+	t := &simTimer{}
+	s.seq++
+	heap.Push(&s.evts, event{at: s.now + d, seq: s.seq, fn: fn, tm: t})
+	return t
+}
+
+// post schedules an internal (non-cancellable) event.
+func (s *Scheduler) post(d time.Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	s.seq++
+	heap.Push(&s.evts, event{at: s.now + d, seq: s.seq, fn: fn})
+}
+
+// Step runs the next event, if any, and reports whether one ran.
+func (s *Scheduler) Step() bool {
+	for s.evts.Len() > 0 {
+		e := heap.Pop(&s.evts).(event)
+		if e.tm != nil {
+			if e.tm.stopped {
+				continue
+			}
+			e.tm.fired = true
+		}
+		if e.at > s.now {
+			s.now = e.at
+		}
+		s.executed++
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// RunFor advances virtual time by d, executing every event due in that
+// window, and leaves the clock exactly d later even if the queue drains.
+func (s *Scheduler) RunFor(d time.Duration) {
+	deadline := s.now + d
+	for s.evts.Len() > 0 && s.evts[0].at <= deadline {
+		if !s.Step() {
+			break
+		}
+	}
+	if s.now < deadline {
+		s.now = deadline
+	}
+}
+
+// RunUntilIdle executes events until none remain. Protocols with periodic
+// timers never go idle; prefer RunFor for those.
+func (s *Scheduler) RunUntilIdle() {
+	for s.Step() {
+	}
+}

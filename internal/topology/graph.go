@@ -1,0 +1,314 @@
+// Package topology models the router-level network topologies MACEDON
+// experiments run over, replacing the paper's 20,000-node INET graphs and
+// ModelNet topology files. It provides a weighted graph of routers and
+// client (edge) vertices, generators (INET-style power-law preferential
+// attachment, transit-stub, explicit site matrices), and shortest-path
+// routing with per-source tree caching — the "ModelNet routing and topology
+// information" the paper's evaluation tools extract.
+package topology
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+
+	"macedon/internal/overlay"
+)
+
+// RouterID names a vertex in the topology. Client vertices are routers too:
+// a client is a stub vertex with a single access link, exactly how ModelNet
+// attaches edge nodes.
+type RouterID int32
+
+// NilRouter is the invalid vertex.
+const NilRouter RouterID = -1
+
+// LinkID names a directed link. An undirected cable is a pair of LinkIDs.
+type LinkID int32
+
+// NilLink is the invalid link.
+const NilLink LinkID = -1
+
+// Link is one direction of a network pipe with the three ModelNet pipe
+// parameters: propagation latency, bandwidth, and drop-tail queue capacity.
+type Link struct {
+	ID         LinkID
+	From, To   RouterID
+	Latency    time.Duration
+	Bandwidth  int64 // bits per second
+	QueueBytes int   // drop-tail queue capacity in bytes
+}
+
+type halfEdge struct {
+	to   RouterID
+	link LinkID
+}
+
+// Graph is a directed multigraph of routers and links. Construct with
+// NewGraph and the Add methods; it is immutable once routing begins.
+type Graph struct {
+	adj   [][]halfEdge
+	links []Link
+
+	clients      map[overlay.Address]RouterID
+	clientOrder  []overlay.Address
+	clientVertex map[RouterID]overlay.Address
+}
+
+// NewGraph returns an empty graph.
+func NewGraph() *Graph {
+	return &Graph{
+		clients:      make(map[overlay.Address]RouterID),
+		clientVertex: make(map[RouterID]overlay.Address),
+	}
+}
+
+// AddRouter adds a vertex and returns its id.
+func (g *Graph) AddRouter() RouterID {
+	id := RouterID(len(g.adj))
+	g.adj = append(g.adj, nil)
+	return id
+}
+
+// NumRouters returns the number of vertices, clients included.
+func (g *Graph) NumRouters() int { return len(g.adj) }
+
+// NumLinks returns the number of directed links.
+func (g *Graph) NumLinks() int { return len(g.links) }
+
+// Link returns the link with the given id.
+func (g *Graph) Link(id LinkID) Link { return g.links[id] }
+
+// Links returns all directed links. The returned slice is the graph's own;
+// callers must not modify it.
+func (g *Graph) Links() []Link { return g.links }
+
+// Degree returns the out-degree of a vertex.
+func (g *Graph) Degree(r RouterID) int { return len(g.adj[r]) }
+
+// Neighbors returns the vertices adjacent to r.
+func (g *Graph) Neighbors(r RouterID) []RouterID {
+	out := make([]RouterID, len(g.adj[r]))
+	for i, e := range g.adj[r] {
+		out[i] = e.to
+	}
+	return out
+}
+
+// AddLink adds a bidirectional pipe between a and b and returns the two
+// directed link ids (a→b, b→a).
+func (g *Graph) AddLink(a, b RouterID, latency time.Duration, bandwidth int64, queueBytes int) (LinkID, LinkID) {
+	if a == b {
+		panic("topology: self link")
+	}
+	fwd := g.addDirected(a, b, latency, bandwidth, queueBytes)
+	rev := g.addDirected(b, a, latency, bandwidth, queueBytes)
+	return fwd, rev
+}
+
+func (g *Graph) addDirected(a, b RouterID, latency time.Duration, bandwidth int64, queueBytes int) LinkID {
+	id := LinkID(len(g.links))
+	g.links = append(g.links, Link{ID: id, From: a, To: b, Latency: latency, Bandwidth: bandwidth, QueueBytes: queueBytes})
+	g.adj[a] = append(g.adj[a], halfEdge{to: b, link: id})
+	return id
+}
+
+// AccessLink describes the last-mile pipe used when attaching clients.
+type AccessLink struct {
+	Latency    time.Duration
+	Bandwidth  int64
+	QueueBytes int
+}
+
+// DefaultAccess is a 10 Mbps, 1 ms access pipe with a 64 KiB queue — enough
+// headroom for the paper's 600 Kbps streams while still being the slowest
+// hop, as stub access links are in the INET experiments.
+var DefaultAccess = AccessLink{Latency: time.Millisecond, Bandwidth: 10_000_000, QueueBytes: 64 << 10}
+
+// AttachClient creates a client vertex for addr, wired to the given router
+// over the access pipe, and returns the client's vertex id. Attaching the
+// same address twice panics: experiment setup bugs should fail loudly.
+func (g *Graph) AttachClient(addr overlay.Address, at RouterID, access AccessLink) RouterID {
+	if addr == overlay.NilAddress {
+		panic("topology: cannot attach the nil address")
+	}
+	if _, dup := g.clients[addr]; dup {
+		panic(fmt.Sprintf("topology: client %v attached twice", addr))
+	}
+	v := g.AddRouter()
+	g.AddLink(v, at, access.Latency, access.Bandwidth, access.QueueBytes)
+	g.clients[addr] = v
+	g.clientOrder = append(g.clientOrder, addr)
+	g.clientVertex[v] = addr
+	return v
+}
+
+// ClientVertex returns the vertex a client address is attached at.
+func (g *Graph) ClientVertex(addr overlay.Address) (RouterID, bool) {
+	v, ok := g.clients[addr]
+	return v, ok
+}
+
+// ClientAt returns the client address attached at a vertex, if any.
+func (g *Graph) ClientAt(v RouterID) (overlay.Address, bool) {
+	a, ok := g.clientVertex[v]
+	return a, ok
+}
+
+// Clients returns attached client addresses in attachment order.
+func (g *Graph) Clients() []overlay.Address {
+	return append([]overlay.Address(nil), g.clientOrder...)
+}
+
+// IsConnected reports whether every vertex is reachable from vertex 0.
+func (g *Graph) IsConnected() bool {
+	if len(g.adj) == 0 {
+		return true
+	}
+	seen := make([]bool, len(g.adj))
+	stack := []RouterID{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range g.adj[v] {
+			if !seen[e.to] {
+				seen[e.to] = true
+				count++
+				stack = append(stack, e.to)
+			}
+		}
+	}
+	return count == len(g.adj)
+}
+
+// spt is a shortest-path tree rooted at a destination: prev[v] is the link
+// taken *out of* v on the shortest path toward the root.
+type spt struct {
+	prev []LinkID
+	dist []time.Duration
+}
+
+// Routes answers path and latency queries over a finished graph, caching one
+// shortest-path tree per queried destination. Latency is the routing metric,
+// as in ModelNet topology routing.
+type Routes struct {
+	g     *Graph
+	trees map[RouterID]*spt
+}
+
+// NewRoutes returns a route oracle for g. The graph must not change
+// afterwards.
+func NewRoutes(g *Graph) *Routes {
+	return &Routes{g: g, trees: make(map[RouterID]*spt)}
+}
+
+type pqItem struct {
+	v    RouterID
+	dist time.Duration
+}
+
+type pq []pqItem
+
+func (q pq) Len() int            { return len(q) }
+func (q pq) Less(i, j int) bool  { return q[i].dist < q[j].dist }
+func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// tree computes (or returns cached) the shortest-path tree toward dst.
+// Because every link is one half of a symmetric pair, Dijkstra from dst over
+// out-links yields correct paths toward dst.
+func (r *Routes) tree(dst RouterID) *spt {
+	if t, ok := r.trees[dst]; ok {
+		return t
+	}
+	n := r.g.NumRouters()
+	t := &spt{prev: make([]LinkID, n), dist: make([]time.Duration, n)}
+	const inf = time.Duration(1<<63 - 1)
+	for i := range t.prev {
+		t.prev[i] = NilLink
+		t.dist[i] = inf
+	}
+	t.dist[dst] = 0
+	q := pq{{v: dst, dist: 0}}
+	for q.Len() > 0 {
+		it := heap.Pop(&q).(pqItem)
+		if it.dist > t.dist[it.v] {
+			continue
+		}
+		for _, e := range r.g.adj[it.v] {
+			// e goes it.v→e.to; the reverse direction is the same pipe, so
+			// walking out-edges from dst explores paths *to* dst.
+			nd := it.dist + r.g.links[e.link].Latency
+			if nd < t.dist[e.to] {
+				t.dist[e.to] = nd
+				// Out of e.to, the link toward it.v is e.link's partner.
+				t.prev[e.to] = r.partner(e.link)
+				heap.Push(&q, pqItem{v: e.to, dist: nd})
+			}
+		}
+	}
+	r.trees[dst] = t
+	return t
+}
+
+// partner returns the reverse direction of a link. AddLink always appends
+// the two directions adjacently, so the partner differs in the low bit.
+func (r *Routes) partner(l LinkID) LinkID { return l ^ 1 }
+
+// Path returns the directed links from src to dst, in traversal order, or
+// nil if unreachable (or src == dst).
+func (r *Routes) Path(src, dst RouterID) []LinkID {
+	t := r.tree(dst)
+	if t.prev[src] == NilLink && src != dst {
+		return nil
+	}
+	var path []LinkID
+	v := src
+	for v != dst {
+		l := t.prev[v]
+		if l == NilLink {
+			return nil
+		}
+		path = append(path, l)
+		v = r.g.links[l].To
+	}
+	return path
+}
+
+// Latency returns the propagation latency of the shortest path src→dst, or
+// a negative duration if unreachable.
+func (r *Routes) Latency(src, dst RouterID) time.Duration {
+	t := r.tree(dst)
+	const inf = time.Duration(1<<63 - 1)
+	if t.dist[src] == inf {
+		return -1
+	}
+	return t.dist[src]
+}
+
+// ClientLatency returns the one-way propagation latency between two client
+// addresses: the "direct IP" latency that stretch and RDP metrics divide by.
+func (r *Routes) ClientLatency(a, b overlay.Address) (time.Duration, error) {
+	va, ok := r.g.ClientVertex(a)
+	if !ok {
+		return 0, fmt.Errorf("topology: client %v not attached", a)
+	}
+	vb, ok := r.g.ClientVertex(b)
+	if !ok {
+		return 0, fmt.Errorf("topology: client %v not attached", b)
+	}
+	d := r.Latency(va, vb)
+	if d < 0 {
+		return 0, fmt.Errorf("topology: clients %v and %v are disconnected", a, b)
+	}
+	return d, nil
+}

@@ -1,0 +1,468 @@
+package transport
+
+import (
+	"encoding/binary"
+	"time"
+
+	"macedon/internal/overlay"
+	"macedon/internal/substrate"
+)
+
+// Reliable-transport tuning. The TCP discipline follows the classic Jacobson
+// /Karels algorithms: slow start, AIMD congestion avoidance, fast retransmit
+// on three duplicate ACKs, exponential RTO backoff with Karn's sampling
+// rule. SWP keeps a fixed window and go-back-N recovery: reliable but
+// congestion-unfriendly, as §3.1 defines it.
+const (
+	relHeaderLen = 8 // [offset u64]
+
+	initialRTO = 1 * time.Second
+	minRTO     = 100 * time.Millisecond
+	maxRTO     = 60 * time.Second
+
+	initialSSThresh = 64 << 10
+	maxFlightCap    = 256 << 10 // receive-window surrogate
+	sendQueueCap    = 8 << 20   // per-connection unsent+unacked cap
+	oooCap          = 512 << 10 // out-of-order buffer cap per connection
+)
+
+// reliable implements both the TCP and SWP disciplines over datagrams.
+type reliable struct {
+	name  string
+	id    uint8
+	mux   *Mux
+	tcp   bool // true: congestion-controlled; false: fixed-window SWP
+	fixed int  // SWP window in segments
+
+	conns map[overlay.Address]*conn
+	stats Stats
+}
+
+type conn struct {
+	t    *reliable
+	peer overlay.Address
+
+	// Sender half. buf holds the byte stream [sndUna, sndUna+len(buf)).
+	sndUna, sndNxt uint64
+	buf            []byte
+	cwnd, ssthresh float64
+	dupAcks        int
+
+	rto          time.Duration
+	srtt, rttvar time.Duration
+	rtxTimer     substrate.Timer
+
+	// NewReno fast-recovery state.
+	inRecovery bool
+	recover    uint64 // sndNxt when loss was detected
+
+	// One RTT sample in flight (Karn's algorithm): never sample an offset
+	// at or below rexmitHigh, the highest offset ever retransmitted.
+	sampling   bool
+	sampleOfs  uint64
+	sampleAt   time.Time
+	rexmitHigh uint64
+
+	// Receiver half.
+	rcvNxt   uint64
+	rbuf     []byte
+	ooo      map[uint64][]byte
+	oooBytes int
+}
+
+func newReliable(name string, m *Mux, tcp bool, fixedWindow int) *reliable {
+	return &reliable{name: name, mux: m, tcp: tcp, fixed: fixedWindow,
+		conns: make(map[overlay.Address]*conn)}
+}
+
+func (r *reliable) Name() string { return r.name }
+func (r *reliable) Kind() overlay.TransportKind {
+	if r.tcp {
+		return overlay.TCP
+	}
+	return overlay.SWP
+}
+func (r *reliable) setID(id uint8) { r.id = id }
+
+func (r *reliable) Stats() Stats {
+	r.mux.mu.Lock()
+	defer r.mux.mu.Unlock()
+	s := r.stats
+	var queued uint64
+	for _, c := range r.conns {
+		queued += uint64(len(c.buf))
+	}
+	s.SegmentsQueued = queued
+	return s
+}
+
+func (r *reliable) QueuedBytes(dst overlay.Address) int {
+	r.mux.mu.Lock()
+	defer r.mux.mu.Unlock()
+	if c, ok := r.conns[dst]; ok {
+		return len(c.buf)
+	}
+	return 0
+}
+
+func (r *reliable) conn(peer overlay.Address) *conn {
+	c, ok := r.conns[peer]
+	if !ok {
+		mss := float64(r.mss())
+		c = &conn{
+			t: r, peer: peer,
+			cwnd:     2 * mss,
+			ssthresh: initialSSThresh,
+			rto:      initialRTO,
+			ooo:      make(map[uint64][]byte),
+		}
+		r.conns[peer] = c
+	}
+	return c
+}
+
+func (r *reliable) mss() int { return r.mux.mss(relHeaderLen) }
+
+// Send frames the payload onto the connection's byte stream and pumps.
+func (r *reliable) Send(dst overlay.Address, frame []byte) error {
+	if len(frame) > MaxFrame {
+		return ErrFrameTooLarge
+	}
+	r.mux.mu.Lock()
+	defer r.mux.mu.Unlock()
+	c := r.conn(dst)
+	if len(c.buf)+4+len(frame) > sendQueueCap {
+		return ErrQueueFull
+	}
+	r.stats.FramesSent++
+	r.stats.BytesSent += uint64(len(frame))
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(frame)))
+	c.buf = append(c.buf, hdr[:]...)
+	c.buf = append(c.buf, frame...)
+	c.pump()
+	return nil
+}
+
+// window returns the sender's permitted flight in bytes.
+func (c *conn) window() int {
+	if c.t.tcp {
+		w := int(c.cwnd)
+		if w > maxFlightCap {
+			w = maxFlightCap
+		}
+		if w < c.t.mss() {
+			w = c.t.mss()
+		}
+		return w
+	}
+	return c.t.fixed * c.t.mss()
+}
+
+// pump transmits as much unsent data as the window permits.
+func (c *conn) pump() {
+	mss := c.t.mss()
+	for {
+		flight := int(c.sndNxt - c.sndUna)
+		avail := len(c.buf) - flight
+		if avail <= 0 || flight >= c.window() {
+			break
+		}
+		n := mss
+		if n > avail {
+			n = avail
+		}
+		if room := c.window() - flight; n > room {
+			n = room
+		}
+		if n <= 0 {
+			break
+		}
+		off := c.sndNxt
+		c.sendSegment(off, c.buf[flight:flight+n])
+		c.sndNxt += uint64(n)
+		if !c.sampling && off >= c.rexmitHigh {
+			c.sampling = true
+			c.sampleOfs = off + uint64(n)
+			c.sampleAt = c.t.mux.clock.Now()
+		}
+	}
+	c.armTimer()
+}
+
+func (c *conn) sendSegment(offset uint64, payload []byte) {
+	body := make([]byte, relHeaderLen+len(payload))
+	binary.BigEndian.PutUint64(body[0:], offset)
+	copy(body[relHeaderLen:], payload)
+	c.t.stats.Segments++
+	_ = c.t.mux.emit(c.t.id, kindRelData, c.peer, body)
+}
+
+func (c *conn) armTimer() {
+	if c.sndNxt == c.sndUna {
+		if c.rtxTimer != nil {
+			c.rtxTimer.Stop()
+			c.rtxTimer = nil
+		}
+		return
+	}
+	if c.rtxTimer != nil {
+		return
+	}
+	c.rtxTimer = c.t.mux.clock.After(c.rto, func() { c.onTimeout() })
+}
+
+func (c *conn) resetTimer() {
+	if c.rtxTimer != nil {
+		c.rtxTimer.Stop()
+		c.rtxTimer = nil
+	}
+	c.armTimer()
+}
+
+func (c *conn) onTimeout() {
+	m := c.t.mux
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c.rtxTimer = nil
+	flight := int(c.sndNxt - c.sndUna)
+	if flight <= 0 {
+		return
+	}
+	mss := c.t.mss()
+	c.t.stats.Retransmits++
+	c.sampling = false
+	if c.rexmitHigh < c.sndNxt {
+		c.rexmitHigh = c.sndNxt
+	}
+	if c.t.tcp {
+		// Tahoe-style recovery: collapse the window, roll snd_nxt back, and
+		// let slow start retransmit the flight; exponential RTO backoff.
+		c.rto *= 2
+		if c.rto > maxRTO {
+			c.rto = maxRTO
+		}
+		c.ssthresh = float64(maxInt(flight/2, 2*mss))
+		c.cwnd = float64(mss)
+		c.inRecovery = false
+		c.sndNxt = c.sndUna
+		c.pump()
+		return
+	}
+	// SWP go-back-N: retransmit the whole window and keep the timeout
+	// constant — the protocol is reliable but deliberately does not back
+	// off, which is what makes it congestion-unfriendly.
+	for off := 0; off < flight; off += mss {
+		n := minInt(mss, flight-off)
+		c.sendSegment(c.sndUna+uint64(off), c.buf[off:off+n])
+		if off > 0 {
+			c.t.stats.Retransmits++
+		}
+	}
+	c.armTimer()
+}
+
+func (r *reliable) handle(src overlay.Address, kind uint8, body []byte) {
+	switch kind {
+	case kindRelData:
+		r.handleData(src, body)
+	case kindRelAck:
+		r.handleAck(src, body)
+	}
+}
+
+func (r *reliable) handleData(src overlay.Address, body []byte) {
+	if len(body) < relHeaderLen {
+		return
+	}
+	offset := binary.BigEndian.Uint64(body[0:])
+	seg := body[relHeaderLen:]
+	c := r.conn(src)
+
+	if offset <= c.rcvNxt {
+		// In-order (or partially duplicate) segment: take the new tail.
+		if offset+uint64(len(seg)) > c.rcvNxt {
+			c.rbuf = append(c.rbuf, seg[c.rcvNxt-offset:]...)
+			c.rcvNxt = offset + uint64(len(seg))
+			c.drainOOO()
+		}
+	} else if c.oooBytes+len(seg) <= oooCap {
+		if _, dup := c.ooo[offset]; !dup {
+			c.ooo[offset] = append([]byte(nil), seg...)
+			c.oooBytes += len(seg)
+		}
+	}
+	c.sendAck()
+	c.parseFrames()
+}
+
+func (c *conn) drainOOO() {
+	for {
+		seg, ok := c.ooo[c.rcvNxt]
+		if ok {
+			delete(c.ooo, c.rcvNxt)
+			c.oooBytes -= len(seg)
+			c.rbuf = append(c.rbuf, seg...)
+			c.rcvNxt += uint64(len(seg))
+			continue
+		}
+		// Evict segments the cumulative point has passed (covered by a
+		// larger retransmitted segment).
+		advanced := false
+		for off, seg := range c.ooo {
+			if off < c.rcvNxt {
+				delete(c.ooo, off)
+				c.oooBytes -= len(seg)
+				if off+uint64(len(seg)) > c.rcvNxt {
+					c.rbuf = append(c.rbuf, seg[c.rcvNxt-off:]...)
+					c.rcvNxt = off + uint64(len(seg))
+					advanced = true
+				}
+			}
+		}
+		if !advanced {
+			return
+		}
+	}
+}
+
+func (c *conn) sendAck() {
+	var body [8]byte
+	binary.BigEndian.PutUint64(body[:], c.rcvNxt)
+	c.t.stats.AcksSent++
+	_ = c.t.mux.emit(c.t.id, kindRelAck, c.peer, body[:])
+}
+
+// parseFrames extracts length-prefixed frames from the in-order stream and
+// delivers them.
+func (c *conn) parseFrames() {
+	var frames [][]byte
+	for {
+		if len(c.rbuf) < 4 {
+			break
+		}
+		n := int(binary.BigEndian.Uint32(c.rbuf[0:4]))
+		if len(c.rbuf) < 4+n {
+			break
+		}
+		frames = append(frames, c.rbuf[4:4+n])
+		c.rbuf = c.rbuf[4+n:]
+	}
+	if len(c.rbuf) == 0 {
+		c.rbuf = nil // release the backing array between bursts
+	} else if len(frames) > 0 {
+		// Move the partial tail to fresh storage so future appends cannot
+		// clobber the frames just handed upward.
+		c.rbuf = append([]byte(nil), c.rbuf...)
+	}
+	for _, f := range frames {
+		c.t.stats.FramesRecv++
+		c.t.stats.BytesRecv += uint64(len(f))
+		c.t.mux.deliver(c.t.name, c.peer, f)
+	}
+}
+
+func (r *reliable) handleAck(src overlay.Address, body []byte) {
+	if len(body) < 8 {
+		return
+	}
+	cum := binary.BigEndian.Uint64(body[0:])
+	c := r.conn(src)
+	mss := float64(r.mss())
+	switch {
+	case cum > c.sndUna && cum <= c.sndNxt:
+		acked := cum - c.sndUna
+		c.buf = c.buf[acked:]
+		c.sndUna = cum
+		c.dupAcks = 0
+		if c.sampling && cum >= c.sampleOfs {
+			c.updateRTT(r.mux.clock.Now().Sub(c.sampleAt))
+			c.sampling = false
+		}
+		if r.tcp {
+			if c.inRecovery && cum < c.recover {
+				// NewReno partial ACK: the next hole is now at snd_una;
+				// retransmit it immediately rather than waiting out an RTO.
+				if c.rexmitHigh < c.sndNxt {
+					c.rexmitHigh = c.sndNxt
+				}
+				n := minInt(int(mss), int(c.sndNxt-c.sndUna))
+				if n > 0 {
+					r.stats.Retransmits++
+					c.sendSegment(c.sndUna, c.buf[:n])
+				}
+			} else {
+				c.inRecovery = false
+				if c.cwnd < c.ssthresh {
+					c.cwnd += float64(acked) // slow start
+				} else {
+					c.cwnd += mss * float64(acked) / c.cwnd // AIMD increase
+				}
+			}
+		}
+		c.resetTimer()
+		c.pump()
+	case cum == c.sndUna && c.sndNxt > c.sndUna:
+		c.dupAcks++
+		if r.tcp && c.dupAcks == 3 && !c.inRecovery {
+			// Fast retransmit + NewReno fast recovery.
+			flight := int(c.sndNxt - c.sndUna)
+			c.ssthresh = float64(maxInt(flight/2, 2*int(mss)))
+			c.cwnd = c.ssthresh
+			c.inRecovery = true
+			c.recover = c.sndNxt
+			c.rexmitHigh = c.sndNxt
+			c.sampling = false
+			n := minInt(int(mss), flight)
+			r.stats.Retransmits++
+			c.sendSegment(c.sndUna, c.buf[:n])
+		}
+	}
+}
+
+func (c *conn) updateRTT(rtt time.Duration) {
+	if rtt <= 0 {
+		rtt = time.Millisecond
+	}
+	if c.srtt == 0 {
+		c.srtt = rtt
+		c.rttvar = rtt / 2
+	} else {
+		diff := c.srtt - rtt
+		if diff < 0 {
+			diff = -diff
+		}
+		c.rttvar = (3*c.rttvar + diff) / 4
+		c.srtt = (7*c.srtt + rtt) / 8
+	}
+	c.rto = c.srtt + 4*c.rttvar
+	if c.rto < minRTO {
+		c.rto = minRTO
+	}
+	if c.rto > maxRTO {
+		c.rto = maxRTO
+	}
+}
+
+func (r *reliable) stopTimers() {
+	for _, c := range r.conns {
+		if c.rtxTimer != nil {
+			c.rtxTimer.Stop()
+			c.rtxTimer = nil
+		}
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

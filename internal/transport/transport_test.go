@@ -1,0 +1,409 @@
+package transport
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"macedon/internal/overlay"
+	"macedon/internal/simnet"
+	"macedon/internal/topology"
+)
+
+// rig is a two-node emulated network with muxes on both ends.
+type rig struct {
+	sched *simnet.Scheduler
+	net   *simnet.Network
+	a, b  *Mux
+}
+
+func newRig(t *testing.T, cfg simnet.Config, midBW int64, midQueue int) *rig {
+	t.Helper()
+	g := topology.NewGraph()
+	r1, r2 := g.AddRouter(), g.AddRouter()
+	g.AddLink(r1, r2, 5*time.Millisecond, midBW, midQueue)
+	g.AttachClient(1, r1, topology.DefaultAccess)
+	g.AttachClient(2, r2, topology.DefaultAccess)
+	s := simnet.NewScheduler(99)
+	n := simnet.New(s, g, cfg)
+	epa, err := n.Endpoint(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	epb, _ := n.Endpoint(2)
+	return &rig{sched: s, net: n, a: NewMux(epa, n), b: NewMux(epb, n)}
+}
+
+type recvLog struct {
+	frames [][]byte
+	names  []string
+	srcs   []overlay.Address
+}
+
+func (l *recvLog) fn() RecvFunc {
+	return func(name string, src overlay.Address, frame []byte) {
+		l.frames = append(l.frames, append([]byte(nil), frame...))
+		l.names = append(l.names, name)
+		l.srcs = append(l.srcs, src)
+	}
+}
+
+func TestUDPSmallFrame(t *testing.T) {
+	r := newRig(t, simnet.Config{}, 10_000_000, 64<<10)
+	r.a.AddUDP("u")
+	udp := r.b.AddUDP("u")
+	var log recvLog
+	r.b.SetRecv(log.fn())
+	tr, err := r.a.ByName("u")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Send(2, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	r.sched.RunUntilIdle()
+	if len(log.frames) != 1 || string(log.frames[0]) != "hello" || log.names[0] != "u" || log.srcs[0] != 1 {
+		t.Fatalf("recv log = %+v", log)
+	}
+	if s := udp.Stats(); s.FramesRecv != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestUDPFragmentationRoundTrip(t *testing.T) {
+	r := newRig(t, simnet.Config{}, 10_000_000, 1<<20)
+	r.a.AddUDP("u")
+	r.b.AddUDP("u")
+	var log recvLog
+	r.b.SetRecv(log.fn())
+	tr, _ := r.a.ByName("u")
+	big := make([]byte, 10_000)
+	for i := range big {
+		big[i] = byte(i * 31)
+	}
+	if err := tr.Send(2, big); err != nil {
+		t.Fatal(err)
+	}
+	r.sched.RunUntilIdle()
+	if len(log.frames) != 1 || !bytes.Equal(log.frames[0], big) {
+		t.Fatalf("fragmented frame corrupted (got %d frames)", len(log.frames))
+	}
+}
+
+func TestUDPFragmentLossDropsWholeFrame(t *testing.T) {
+	r := newRig(t, simnet.Config{LossRate: 0.3}, 10_000_000, 1<<20)
+	r.a.AddUDP("u")
+	r.b.AddUDP("u")
+	var log recvLog
+	r.b.SetRecv(log.fn())
+	tr, _ := r.a.ByName("u")
+	sent := 50
+	for i := 0; i < sent; i++ {
+		if err := tr.Send(2, make([]byte, 5000)); err != nil {
+			t.Fatal(err)
+		}
+		r.sched.RunFor(50 * time.Millisecond)
+	}
+	r.sched.RunUntilIdle()
+	if len(log.frames) >= sent {
+		t.Fatalf("expected frame losses, got %d/%d", len(log.frames), sent)
+	}
+	for _, f := range log.frames {
+		if len(f) != 5000 {
+			t.Fatalf("partial frame delivered: %d bytes", len(f))
+		}
+	}
+}
+
+func TestTCPReliableInOrderUnderLoss(t *testing.T) {
+	r := newRig(t, simnet.Config{LossRate: 0.05}, 10_000_000, 1<<20)
+	r.a.AddTCP("t")
+	r.b.AddTCP("t")
+	var log recvLog
+	r.b.SetRecv(log.fn())
+	tr, _ := r.a.ByName("t")
+	const n = 200
+	for i := 0; i < n; i++ {
+		frame := []byte(fmt.Sprintf("frame-%04d", i))
+		if err := tr.Send(2, frame); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.sched.RunFor(5 * time.Minute)
+	if len(log.frames) != n {
+		t.Fatalf("delivered %d/%d frames", len(log.frames), n)
+	}
+	for i, f := range log.frames {
+		if want := fmt.Sprintf("frame-%04d", i); string(f) != want {
+			t.Fatalf("frame %d out of order: %q", i, f)
+		}
+	}
+	if s := tr.Stats(); s.Retransmits == 0 {
+		t.Fatalf("expected retransmissions under loss, stats=%+v", s)
+	}
+}
+
+func TestSWPReliableUnderLoss(t *testing.T) {
+	r := newRig(t, simnet.Config{LossRate: 0.05}, 10_000_000, 1<<20)
+	r.a.AddSWP("s", 8)
+	r.b.AddSWP("s", 8)
+	var log recvLog
+	r.b.SetRecv(log.fn())
+	tr, _ := r.a.ByName("s")
+	const n = 100
+	for i := 0; i < n; i++ {
+		if err := tr.Send(2, []byte(fmt.Sprintf("pkt-%03d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.sched.RunFor(5 * time.Minute)
+	if len(log.frames) != n {
+		t.Fatalf("delivered %d/%d", len(log.frames), n)
+	}
+	for i, f := range log.frames {
+		if want := fmt.Sprintf("pkt-%03d", i); string(f) != want {
+			t.Fatalf("frame %d = %q, want %q", i, f, want)
+		}
+	}
+}
+
+func TestTCPLargeTransferThroughput(t *testing.T) {
+	// 1 Mbps bottleneck: a 250 KB transfer should take roughly 2 s and
+	// must complete (congestion control adapts to the bottleneck).
+	r := newRig(t, simnet.Config{}, 1_000_000, 50*1500)
+	r.a.AddTCP("t")
+	r.b.AddTCP("t")
+	var log recvLog
+	r.b.SetRecv(log.fn())
+	var doneAt time.Duration = -1
+	r.b.SetRecv(func(_ string, _ overlay.Address, f []byte) {
+		log.frames = append(log.frames, append([]byte(nil), f...))
+		doneAt = r.sched.Elapsed()
+	})
+	tr, _ := r.a.ByName("t")
+	payload := make([]byte, 250_000)
+	if err := tr.Send(2, payload); err != nil {
+		t.Fatal(err)
+	}
+	r.sched.RunFor(2 * time.Minute)
+	if len(log.frames) != 1 || len(log.frames[0]) != len(payload) {
+		t.Fatalf("transfer incomplete: %d frames", len(log.frames))
+	}
+	if doneAt > 30*time.Second {
+		t.Fatalf("250KB over 1Mbps took %v", doneAt)
+	}
+	// 250 KB over a 1 Mbps pipe needs at least 2 s even at full utilization.
+	if doneAt < 2*time.Second {
+		t.Fatalf("transfer finished impossibly fast: %v", doneAt)
+	}
+}
+
+func TestTCPBacksOffSWPDoesNot(t *testing.T) {
+	// Drive both disciplines through the same narrow, shallow-queued link
+	// and compare emitted segments per delivered byte: TCP must be markedly
+	// more economical because it backs off, SWP blasts its window.
+	run := func(build func(m *Mux) Transport, install func(m *Mux)) (segments, retrans uint64, delivered int) {
+		r := newRig(t, simnet.Config{}, 500_000, 5*1500)
+		tr := build(r.a)
+		install(r.b)
+		var got int
+		r.b.SetRecv(func(_ string, _ overlay.Address, f []byte) { got += len(f) })
+		for i := 0; i < 40; i++ {
+			_ = tr.Send(2, make([]byte, 10_000))
+		}
+		r.sched.RunFor(3 * time.Minute)
+		s := tr.Stats()
+		return s.Segments, s.Retransmits, got
+	}
+	tcpSeg, tcpRet, tcpGot := run(
+		func(m *Mux) Transport { return m.AddTCP("x") },
+		func(m *Mux) { m.AddTCP("x") })
+	swpSeg, swpRet, swpGot := run(
+		func(m *Mux) Transport { return m.AddSWP("x", 32) },
+		func(m *Mux) { m.AddSWP("x", 32) })
+	if tcpGot != 400_000 || swpGot != 400_000 {
+		t.Fatalf("incomplete: tcp=%d swp=%d", tcpGot, swpGot)
+	}
+	if swpRet <= tcpRet {
+		t.Fatalf("SWP should retransmit more on a congested link: tcp=%d swp=%d", tcpRet, swpRet)
+	}
+	if swpSeg <= tcpSeg {
+		t.Fatalf("SWP should emit more segments: tcp=%d swp=%d", tcpSeg, swpSeg)
+	}
+}
+
+func TestHeadOfLineBlockingAcrossTransports(t *testing.T) {
+	// The paper's motivation for multiple transports: a bulk transfer on one
+	// TCP instance must not delay a tiny control message on another.
+	r := newRig(t, simnet.Config{}, 1_000_000, 20*1500)
+	bulkA := r.a.AddTCP("bulk")
+	ctrlA := r.a.AddTCP("ctrl")
+	r.b.AddTCP("bulk")
+	r.b.AddTCP("ctrl")
+	var ctrlAt time.Duration = -1
+	var bulkDone time.Duration = -1
+	r.b.SetRecv(func(name string, _ overlay.Address, f []byte) {
+		switch name {
+		case "ctrl":
+			ctrlAt = r.sched.Elapsed()
+		case "bulk":
+			bulkDone = r.sched.Elapsed()
+		}
+	})
+	if err := bulkA.Send(2, make([]byte, 500_000)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctrlA.Send(2, []byte("urgent")); err != nil {
+		t.Fatal(err)
+	}
+	r.sched.RunFor(2 * time.Minute)
+	if ctrlAt < 0 || bulkDone < 0 {
+		t.Fatalf("undelivered: ctrl=%v bulk=%v", ctrlAt, bulkDone)
+	}
+	if ctrlAt > bulkDone/4 {
+		t.Fatalf("control message waited for bulk: ctrl at %v, bulk done %v", ctrlAt, bulkDone)
+	}
+	// And on a single shared instance it *does* wait — the blocked-transport
+	// behaviour the grammar's multiple transports exist to avoid.
+	r2 := newRig(t, simnet.Config{}, 1_000_000, 20*1500)
+	one := r2.a.AddTCP("one")
+	r2.b.AddTCP("one")
+	var urgentAt time.Duration = -1
+	var frames int
+	r2.b.SetRecv(func(name string, _ overlay.Address, f []byte) {
+		frames++
+		if string(f) == "urgent" {
+			urgentAt = r2.sched.Elapsed()
+		}
+	})
+	_ = one.Send(2, make([]byte, 500_000))
+	_ = one.Send(2, []byte("urgent"))
+	r2.sched.RunFor(2 * time.Minute)
+	if urgentAt < 0 {
+		t.Fatal("urgent frame lost")
+	}
+	if urgentAt < ctrlAt*4 {
+		t.Fatalf("expected head-of-line blocking on shared instance: shared=%v dedicated=%v", urgentAt, ctrlAt)
+	}
+}
+
+func TestQueuedBytesVisibility(t *testing.T) {
+	r := newRig(t, simnet.Config{}, 100_000, 10*1500)
+	tr := r.a.AddTCP("t")
+	r.b.AddTCP("t")
+	r.b.SetRecv(func(string, overlay.Address, []byte) {})
+	_ = tr.Send(2, make([]byte, 100_000))
+	if q := tr.QueuedBytes(2); q == 0 {
+		t.Fatal("bytes should be queued on a slow link")
+	}
+	if q := tr.QueuedBytes(99); q != 0 {
+		t.Fatalf("unknown peer queued = %d", q)
+	}
+	r.sched.RunFor(time.Minute)
+	if q := tr.QueuedBytes(2); q != 0 {
+		t.Fatalf("queue should drain, still %d", q)
+	}
+}
+
+func TestSendQueueCap(t *testing.T) {
+	r := newRig(t, simnet.Config{}, 10_000, 2*1500) // 10 Kbps: nothing drains
+	tr := r.a.AddTCP("t")
+	r.b.AddTCP("t")
+	var err error
+	for i := 0; i < 100; i++ {
+		if err = tr.Send(2, make([]byte, 1<<20)); err != nil {
+			break
+		}
+	}
+	if err != ErrQueueFull {
+		t.Fatalf("expected ErrQueueFull, got %v", err)
+	}
+}
+
+func TestFrameTooLarge(t *testing.T) {
+	r := newRig(t, simnet.Config{}, 1_000_000, 10*1500)
+	tcp := r.a.AddTCP("t")
+	u := r.a.AddUDP("u")
+	if err := tcp.Send(2, make([]byte, MaxFrame+1)); err != ErrFrameTooLarge {
+		t.Fatalf("tcp oversize err = %v", err)
+	}
+	if err := u.Send(2, make([]byte, MaxFrame+1)); err != ErrFrameTooLarge {
+		t.Fatalf("udp oversize err = %v", err)
+	}
+}
+
+func TestByNameAndDuplicates(t *testing.T) {
+	r := newRig(t, simnet.Config{}, 1_000_000, 10*1500)
+	r.a.AddTCP("HIGH")
+	if _, err := r.a.ByName("HIGH"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.a.ByName("LOW"); err == nil {
+		t.Fatal("unknown name should error")
+	}
+	if got := len(r.a.Transports()); got != 1 {
+		t.Fatalf("Transports len = %d", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate transport name should panic")
+		}
+	}()
+	r.a.AddUDP("HIGH")
+}
+
+func TestKindsReported(t *testing.T) {
+	r := newRig(t, simnet.Config{}, 1_000_000, 10*1500)
+	if k := r.a.AddTCP("a").Kind(); k != overlay.TCP {
+		t.Fatalf("tcp kind = %v", k)
+	}
+	if k := r.a.AddUDP("b").Kind(); k != overlay.UDP {
+		t.Fatalf("udp kind = %v", k)
+	}
+	if k := r.a.AddSWP("c", 0).Kind(); k != overlay.SWP {
+		t.Fatalf("swp kind = %v", k)
+	}
+}
+
+func TestCorruptDatagramsIgnored(t *testing.T) {
+	r := newRig(t, simnet.Config{}, 1_000_000, 10*1500)
+	r.a.AddTCP("t")
+	r.b.AddTCP("t")
+	var log recvLog
+	r.b.SetRecv(log.fn())
+	// Raw garbage straight onto the endpoint: unknown tid, short payloads.
+	ep, _ := r.net.Endpoint(1)
+	_ = ep // the mux owns the endpoint recv; send from a third party instead
+	g := r.net.Graph()
+	_ = g
+	// Short/garbage datagrams from node 1's mux-owned endpoint can't be
+	// forged here, so exercise the parse paths directly.
+	r.b.onDatagram(1, nil)
+	r.b.onDatagram(1, []byte{0})
+	r.b.onDatagram(1, []byte{99, 0, 1, 2})       // unknown tid
+	r.b.onDatagram(1, []byte{0, kindRelData, 1}) // short rel header
+	r.b.onDatagram(1, []byte{0, kindRelAck, 1})  // short ack
+	r.b.onDatagram(1, []byte{0, kindUDPFrag})    // wrong kind for tcp: ignored
+	r.sched.RunUntilIdle()
+	if len(log.frames) != 0 {
+		t.Fatalf("garbage produced frames: %d", len(log.frames))
+	}
+}
+
+func TestBidirectionalTraffic(t *testing.T) {
+	r := newRig(t, simnet.Config{LossRate: 0.02}, 5_000_000, 1<<20)
+	ta := r.a.AddTCP("t")
+	tb := r.b.AddTCP("t")
+	var aGot, bGot int
+	r.a.SetRecv(func(_ string, _ overlay.Address, f []byte) { aGot++ })
+	r.b.SetRecv(func(_ string, _ overlay.Address, f []byte) { bGot++ })
+	for i := 0; i < 50; i++ {
+		_ = ta.Send(2, []byte("a->b"))
+		_ = tb.Send(1, []byte("b->a"))
+	}
+	r.sched.RunFor(time.Minute)
+	if aGot != 50 || bGot != 50 {
+		t.Fatalf("a=%d b=%d, want 50/50", aGot, bGot)
+	}
+}
