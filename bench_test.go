@@ -8,7 +8,6 @@ package main
 
 import (
 	"os"
-	"path/filepath"
 	"sync"
 	"testing"
 	"time"
@@ -19,6 +18,7 @@ import (
 	"macedon/internal/overlay"
 	"macedon/internal/overlays/chord"
 	"macedon/internal/overlays/pastry"
+	"macedon/internal/repo"
 	"macedon/internal/simnet"
 	"macedon/internal/topology"
 	"macedon/internal/transport"
@@ -27,7 +27,7 @@ import (
 // BenchmarkFigure7SpecLines reports the Figure-7 LOC metric for the bundled
 // specifications (mean lines per spec, and total).
 func BenchmarkFigure7SpecLines(b *testing.B) {
-	paths, err := filepath.Glob("specs/*.mac")
+	paths, err := repo.Specs()
 	if err != nil || len(paths) == 0 {
 		b.Fatalf("no specs: %v", err)
 	}

@@ -21,6 +21,7 @@ import (
 
 	"macedon/internal/dsl"
 	"macedon/internal/harness"
+	"macedon/internal/repo"
 )
 
 func main() {
@@ -61,9 +62,9 @@ func main() {
 }
 
 func figure7(out func(string, ...any)) error {
-	paths, err := filepath.Glob("specs/*.mac")
+	paths, err := repo.Specs()
 	if err != nil || len(paths) == 0 {
-		return fmt.Errorf("no specs/*.mac found (run from the repository root): %v", err)
+		return fmt.Errorf("no specs/*.mac found: %v", err)
 	}
 	sort.Strings(paths)
 	out("Figure 7 — lines of code used in algorithm specifications\n")

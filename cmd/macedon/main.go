@@ -1,12 +1,14 @@
 // Command macedon is the MACEDON translator front end: it validates .mac
-// protocol specifications, generates Go agents from them, and reports the
-// lines-of-code metric of the paper's Figure 7.
+// protocol specifications, generates Go agents from them, reports the
+// lines-of-code metric of the paper's Figure 7, and runs declarative
+// evaluation scenarios on the emulator.
 //
 // Usage:
 //
-//	macedon check spec.mac...          validate specifications
-//	macedon gen -pkg name spec.mac     generate a Go agent to stdout
-//	macedon loc spec.mac...            count specification lines (Figure 7)
+//	macedon check spec.mac...            validate specifications
+//	macedon gen -pkg name spec.mac       generate a Go agent to stdout
+//	macedon loc spec.mac...              count specification lines (Figure 7)
+//	macedon scenario [-trace] file.json  run a churn/failure/workload scenario
 package main
 
 import (
@@ -33,6 +35,8 @@ func main() {
 		os.Exit(runGen(os.Args[2:]))
 	case "loc":
 		os.Exit(runLoc(os.Args[2:]))
+	case "scenario":
+		os.Exit(runScenario(os.Args[2:]))
 	default:
 		usage()
 		os.Exit(2)
@@ -40,7 +44,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: macedon check|gen|loc [args]")
+	fmt.Fprintln(os.Stderr, "usage: macedon check|gen|loc|scenario [args]")
 }
 
 func runCheck(args []string) int {

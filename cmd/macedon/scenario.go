@@ -1,0 +1,56 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"macedon/internal/harness"
+	"macedon/internal/scenario"
+)
+
+// runScenario implements "macedon scenario": load a declarative scenario
+// file, execute it on the emulator, and print the report (and, with -trace,
+// the deterministic event trace). Running the same file with the same seed
+// twice prints byte-identical output.
+func runScenario(args []string) int {
+	fs := flag.NewFlagSet("scenario", flag.ExitOnError)
+	seed := fs.Int64("seed", 0, "override the scenario's seed")
+	trace := fs.Bool("trace", false, "print the executed event trace")
+	check := fs.Bool("check", false, "validate and compile only; print the schedule summary")
+	_ = fs.Parse(args)
+	if fs.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "macedon scenario: exactly one scenario file required")
+		return 2
+	}
+	s, err := scenario.Load(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", fs.Arg(0), err)
+		return 1
+	}
+	if *seed != 0 {
+		s.Seed = *seed
+	}
+	if *check {
+		sched, err := scenario.Compile(s)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", fs.Arg(0), err)
+			return 1
+		}
+		fmt.Printf("scenario %q: %d nodes, %d phases, %d ops (%d lookups, %d multicasts), settle=%s total=%s\n",
+			s.Name, s.Nodes, len(sched.Phases), len(sched.Ops), sched.Lookups, sched.Multicasts,
+			sched.Settle, sched.Total)
+		return 0
+	}
+	rep, err := harness.RunScenario(s)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", fs.Arg(0), err)
+		return 1
+	}
+	if *trace {
+		fmt.Print(rep.TraceText())
+		fmt.Println()
+	}
+	rep.Format(func(format string, args ...any) { fmt.Printf(format, args...) })
+	return 0
+}

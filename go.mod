@@ -1,0 +1,3 @@
+module macedon
+
+go 1.24

@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"macedon/internal/dsl"
+	"macedon/internal/repo"
 )
 
 func TestCamel(t *testing.T) {
@@ -38,7 +39,7 @@ func TestGoTypes(t *testing.T) {
 
 func loadSpec(t *testing.T, name string) *dsl.Spec {
 	t.Helper()
-	src, err := os.ReadFile(filepath.Join("..", "..", "specs", name))
+	src, err := os.ReadFile(repo.Path("specs", name))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,7 +53,7 @@ func loadSpec(t *testing.T, name string) *dsl.Spec {
 // TestGeneratedSourcesParse generates Go from every bundled spec and
 // verifies the output is syntactically valid Go.
 func TestGeneratedSourcesParse(t *testing.T) {
-	paths, err := filepath.Glob(filepath.Join("..", "..", "specs", "*.mac"))
+	paths, err := repo.Specs()
 	if err != nil || len(paths) == 0 {
 		t.Fatalf("no specs: %v", err)
 	}
@@ -103,7 +104,7 @@ func TestCommittedGenRandtreeInSync(t *testing.T) {
 	if err != nil {
 		t.Fatalf("generated source does not format: %v", err)
 	}
-	committed, err := os.ReadFile(filepath.Join("..", "overlays", "genrandtree", "genrandtree.go"))
+	committed, err := os.ReadFile(repo.Path("internal", "overlays", "genrandtree", "genrandtree.go"))
 	if err != nil {
 		t.Fatal(err)
 	}

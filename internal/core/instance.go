@@ -109,7 +109,7 @@ func (i *Instance) trace(l TraceLevel, format string, args ...any) {
 	if l > level {
 		return
 	}
-	i.node.tracer.tracef(l, i.node.clock.Now(),
+	i.node.tracer.tracef(l, i.node.clock.Now(), "%s",
 		fmt.Sprintf("%v %s: %s", i.node.addr, i.def.name, fmt.Sprintf(format, args...)))
 }
 

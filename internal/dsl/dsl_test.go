@@ -5,6 +5,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"macedon/internal/repo"
 )
 
 const miniSpec = `
@@ -167,7 +169,7 @@ func TestCountLines(t *testing.T) {
 // TestAllBundledSpecsParse validates every specs/*.mac in the repository:
 // the paper's expressiveness claim (§4.1) for this codebase.
 func TestAllBundledSpecsParse(t *testing.T) {
-	paths, err := filepath.Glob("../../specs/*.mac")
+	paths, err := repo.Specs()
 	if err != nil || len(paths) == 0 {
 		t.Fatalf("no specs found: %v", err)
 	}

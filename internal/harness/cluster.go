@@ -145,6 +145,30 @@ func (c *Cluster) SpawnAt(i int, stack []core.Factory, at time.Duration) {
 	})
 }
 
+// Kill emulates a host crash of the i-th node: the process stops, its
+// address blackholes, and its endpoint detaches so Revive can respawn
+// there. Safe to call for a node that never spawned.
+func (c *Cluster) Kill(i int) {
+	addr := c.Addrs[i]
+	if n := c.Nodes[addr]; n != nil {
+		n.Stop()
+		delete(c.Nodes, addr)
+	}
+	_ = c.Net.SetDown(addr, true)
+	_ = c.Net.Detach(addr)
+}
+
+// Revive respawns a killed node with a fresh protocol stack — a cold
+// rejoin, as a rebooted host would perform.
+func (c *Cluster) Revive(i int, stack []core.Factory) (*core.Node, error) {
+	addr := c.Addrs[i]
+	if c.Nodes[addr] != nil {
+		return nil, fmt.Errorf("harness: node %d (%v) is already running", i, addr)
+	}
+	_ = c.Net.SetDown(addr, false)
+	return c.Spawn(i, stack)
+}
+
 // RunFor advances virtual time.
 func (c *Cluster) RunFor(d time.Duration) { c.Sched.RunFor(d) }
 

@@ -1,0 +1,302 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"macedon/internal/core"
+	"macedon/internal/overlay"
+	"macedon/internal/overlays/chord"
+	"macedon/internal/overlays/nice"
+	"macedon/internal/overlays/pastry"
+	"macedon/internal/overlays/randtree"
+	"macedon/internal/overlays/scribe"
+	"macedon/internal/scenario"
+	"macedon/internal/simnet"
+)
+
+// ScenarioStack resolves a scenario protocol name onto a node stack.
+func ScenarioStack(proto string) ([]core.Factory, error) {
+	switch proto {
+	case "", "chord":
+		return []core.Factory{chord.New(chord.Params{})}, nil
+	case "pastry":
+		return []core.Factory{pastry.New(pastry.Params{})}, nil
+	case "randtree":
+		return []core.Factory{randtree.New(randtree.Params{})}, nil
+	case "scribe":
+		return []core.Factory{pastry.New(pastry.Params{}), scribe.New(scribe.Params{})}, nil
+	case "nice":
+		return []core.Factory{nice.New(nice.Params{})}, nil
+	}
+	return nil, fmt.Errorf("harness: unknown scenario protocol %q (have chord, pastry, randtree, scribe, nice)", proto)
+}
+
+// RunScenario compiles a declarative scenario and executes it against an
+// emulated cluster, returning the structured report. The run is fully
+// deterministic: the same scenario and seed produce a byte-identical event
+// trace and report.
+func RunScenario(s *scenario.Scenario) (*scenario.Report, error) {
+	sched, err := scenario.Compile(s)
+	if err != nil {
+		return nil, err
+	}
+	stack, err := ScenarioStack(s.Protocol)
+	if err != nil {
+		return nil, err
+	}
+	c, err := NewCluster(ClusterConfig{
+		Nodes:          s.Nodes,
+		Routers:        s.Routers,
+		Seed:           s.Seed,
+		HeartbeatAfter: s.HeartbeatAfter.D(),
+		FailAfter:      s.FailAfter.D(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	eng := &scenarioEngine{
+		s:         s,
+		sched:     sched,
+		c:         c,
+		stack:     stack,
+		alive:     make([]bool, s.Nodes),
+		sendTime:  make(map[int]time.Duration),
+		sendPhase: make(map[int]int),
+		opsSent:   make([]int, len(sched.Phases)),
+		opsSkip:   make([]int, len(sched.Phases)),
+		delivered: make([]int, len(sched.Phases)),
+		latSum:    make([]time.Duration, len(sched.Phases)),
+		phaseNet:  make([]simnet.Stats, len(sched.Phases)),
+		phaseLive: make([]int, len(sched.Phases)),
+	}
+	if s.NeedsGroup() {
+		eng.group = overlay.HashString(s.GroupName())
+		eng.needsGroup = true
+	}
+	return eng.run()
+}
+
+// scenarioEngine executes one compiled schedule.
+type scenarioEngine struct {
+	s     *scenario.Scenario
+	sched *scenario.Schedule
+	c     *Cluster
+	stack []core.Factory
+
+	needsGroup bool
+	group      overlay.Key
+
+	alive     []bool
+	sendTime  map[int]time.Duration // workload op id → virtual send offset
+	sendPhase map[int]int           // workload op id → phase index
+	opsSent   []int
+	opsSkip   []int
+	delivered []int
+	latSum    []time.Duration
+	phaseNet  []simnet.Stats // stats snapshot at each phase end
+	phaseLive []int
+	baseNet   simnet.Stats // stats snapshot when phase 0 starts
+
+	eventsRun int
+	trace     []string
+}
+
+func (e *scenarioEngine) run() (*scenario.Report, error) {
+	// Schedule ops in compiled order: the scheduler breaks virtual-time
+	// ties by scheduling order, so setup ops, each phase's ops, its
+	// boundary snapshot, and the next phase's ops fire in that sequence.
+	ops := e.sched.Ops
+	i := 0
+	for ; i < len(ops) && ops[i].Phase < 0; i++ {
+		e.schedule(ops[i])
+	}
+	e.c.Sched.After(e.sched.Settle, func() { e.baseNet = e.c.Net.Stats() })
+	for pi := range e.sched.Phases {
+		for ; i < len(ops) && ops[i].Phase == pi; i++ {
+			e.schedule(ops[i])
+		}
+		end := e.sched.Phases[pi].End
+		p := pi
+		e.c.Sched.After(end, func() { e.snapshot(p) })
+	}
+	e.c.RunFor(e.sched.Total)
+
+	rep := &scenario.Report{
+		Scenario:  e.s.Name,
+		Protocol:  e.protoName(),
+		Seed:      e.s.Seed,
+		Nodes:     e.s.Nodes,
+		Settle:    e.sched.Settle,
+		End:       e.sched.End,
+		Total:     e.sched.Total,
+		EventsRun: e.eventsRun,
+		Final:     e.c.Net.Stats(),
+		Trace:     e.trace,
+	}
+	prev := e.baseNet
+	for pi, cp := range e.sched.Phases {
+		pr := scenario.PhaseReport{
+			Name:         cp.Name,
+			Start:        cp.Start,
+			End:          cp.End,
+			LiveNodes:    e.phaseLive[pi],
+			OpsSent:      e.opsSent[pi],
+			OpsSkipped:   e.opsSkip[pi],
+			OpsDelivered: e.delivered[pi],
+			Net:          scenario.SubStats(e.phaseNet[pi], prev),
+		}
+		if pr.OpsDelivered > 0 {
+			pr.MeanLatency = e.latSum[pi] / time.Duration(pr.OpsDelivered)
+		}
+		prev = e.phaseNet[pi]
+		rep.Phases = append(rep.Phases, pr)
+	}
+	e.c.StopAll()
+	return rep, nil
+}
+
+func (e *scenarioEngine) protoName() string {
+	if e.s.Protocol == "" {
+		return "chord"
+	}
+	return e.s.Protocol
+}
+
+func (e *scenarioEngine) schedule(op scenario.Op) {
+	e.c.Sched.After(op.At, func() { e.apply(op) })
+}
+
+func (e *scenarioEngine) snapshot(pi int) {
+	e.phaseNet[pi] = e.c.Net.Stats()
+	live := 0
+	for _, up := range e.alive {
+		if up {
+			live++
+		}
+	}
+	e.phaseLive[pi] = live
+}
+
+func (e *scenarioEngine) tracef(format string, args ...any) {
+	at := e.c.Sched.Elapsed()
+	e.trace = append(e.trace, fmt.Sprintf("t=%10.3fs  %s", at.Seconds(), fmt.Sprintf(format, args...)))
+}
+
+// apply executes one op at its scheduled instant.
+func (e *scenarioEngine) apply(op scenario.Op) {
+	e.eventsRun++
+	addr := e.c.Addrs[op.Node]
+	switch op.Kind {
+	case scenario.OpSpawn:
+		if e.alive[op.Node] {
+			e.tracef("spawn node %d skipped (already up)", op.Node)
+			return
+		}
+		if _, err := e.c.Spawn(op.Node, e.stack); err != nil {
+			panic(fmt.Sprintf("harness: scenario spawn %d: %v", op.Node, err))
+		}
+		e.alive[op.Node] = true
+		e.attach(op.Node)
+		e.tracef("spawn node %d (%v)", op.Node, addr)
+	case scenario.OpKill:
+		if !e.alive[op.Node] {
+			e.tracef("kill node %d skipped (already down)", op.Node)
+			return
+		}
+		e.c.Kill(op.Node)
+		e.alive[op.Node] = false
+		e.tracef("kill node %d (%v)", op.Node, addr)
+	case scenario.OpRevive:
+		if e.alive[op.Node] {
+			e.tracef("revive node %d skipped (already up)", op.Node)
+			return
+		}
+		if _, err := e.c.Revive(op.Node, e.stack); err != nil {
+			panic(fmt.Sprintf("harness: scenario revive %d: %v", op.Node, err))
+		}
+		e.alive[op.Node] = true
+		e.attach(op.Node)
+		e.tracef("revive node %d (%v)", op.Node, addr)
+	case scenario.OpNodeDown:
+		_ = e.c.Net.SetDown(addr, true)
+		e.tracef("node_down node %d (%v)", op.Node, addr)
+	case scenario.OpNodeUp:
+		_ = e.c.Net.SetDown(addr, false)
+		e.tracef("node_up node %d (%v)", op.Node, addr)
+	case scenario.OpPartition:
+		sides := make(map[overlay.Address]int, len(e.c.Addrs))
+		for i, a := range e.c.Addrs {
+			if i < op.SideA {
+				sides[a] = 1
+			} else {
+				sides[a] = 2
+			}
+		}
+		e.c.Net.SetPartition(sides)
+		e.tracef("partition [0..%d) | [%d..%d)", op.SideA, op.SideA, len(e.c.Addrs))
+	case scenario.OpHeal:
+		e.c.Net.ClearPartition()
+		e.tracef("heal partition")
+	case scenario.OpDegrade:
+		_ = e.c.Net.DegradeNodeAccess(addr, simnet.Degradation{LatencyFactor: op.LatencyFactor, LossRate: op.Loss})
+		e.tracef("degrade node %d (latency x%.1f, loss %.2f)", op.Node, op.LatencyFactor, op.Loss)
+	case scenario.OpRestore:
+		_ = e.c.Net.RestoreNodeAccess(addr)
+		e.tracef("restore node %d", op.Node)
+	case scenario.OpLinkDown:
+		_ = e.c.Net.SetNodeAccessDown(addr, true)
+		e.tracef("link_down node %d", op.Node)
+	case scenario.OpLinkUp:
+		_ = e.c.Net.SetNodeAccessDown(addr, false)
+		e.tracef("link_up node %d", op.Node)
+	case scenario.OpLookup:
+		if !e.alive[op.Node] {
+			e.opsSkip[op.Phase]++
+			e.tracef("lookup #%d skipped (node %d down)", op.ID, op.Node)
+			return
+		}
+		e.sendTime[op.ID] = e.c.Sched.Elapsed()
+		e.sendPhase[op.ID] = op.Phase
+		e.opsSent[op.Phase]++
+		_ = e.c.Nodes[addr].Route(overlay.Key(op.Key), make([]byte, op.Size), int32(op.ID), overlay.PriorityDefault)
+	case scenario.OpMulticast:
+		if !e.alive[op.Node] {
+			e.opsSkip[op.Phase]++
+			e.tracef("multicast #%d skipped (node %d down)", op.ID, op.Node)
+			return
+		}
+		e.sendTime[op.ID] = e.c.Sched.Elapsed()
+		e.sendPhase[op.ID] = op.Phase
+		e.opsSent[op.Phase]++
+		_ = e.c.Nodes[addr].Multicast(e.group, make([]byte, op.Size), int32(op.ID), overlay.PriorityDefault)
+	}
+}
+
+// attach registers delivery accounting (and group membership) on a node
+// that just spawned or revived.
+func (e *scenarioEngine) attach(i int) {
+	n := e.c.Nodes[e.c.Addrs[i]]
+	n.RegisterHandlers(core.Handlers{
+		Deliver: func(payload []byte, typ int32, src overlay.Address) {
+			e.onDeliver(int(typ))
+		},
+	})
+	if e.needsGroup {
+		if i == 0 {
+			_ = n.CreateGroup(e.group)
+		} else {
+			_ = n.Join(e.group)
+		}
+	}
+}
+
+func (e *scenarioEngine) onDeliver(opID int) {
+	at, ok := e.sendTime[opID]
+	if !ok {
+		return
+	}
+	ph := e.sendPhase[opID]
+	e.delivered[ph]++
+	e.latSum[ph] += e.c.Sched.Elapsed() - at
+}

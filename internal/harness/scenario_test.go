@@ -1,0 +1,189 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"macedon/internal/scenario"
+)
+
+// testScenario is the canonical shape of the acceptance criterion: Poisson
+// churn, a mid-run network partition, and a phased lookup workload — small
+// enough for CI.
+func testScenario() *scenario.Scenario {
+	return &scenario.Scenario{
+		Name:     "churn-partition-lookups",
+		Seed:     2004,
+		Nodes:    12,
+		Routers:  80,
+		Protocol: "chord",
+		Join:     scenario.JoinSpec{Process: "staggered", Window: scenario.Duration(10 * time.Second)},
+		Settle:   scenario.Duration(60 * time.Second),
+		Drain:    scenario.Duration(15 * time.Second),
+		Phases: []scenario.Phase{
+			{
+				Name:     "baseline",
+				Duration: scenario.Duration(30 * time.Second),
+				Workload: &scenario.Workload{Kind: scenario.WlLookups, Rate: 1},
+			},
+			{
+				Name:     "churn",
+				Duration: scenario.Duration(40 * time.Second),
+				Churn: &scenario.Churn{
+					Model:    "poisson",
+					Rate:     0.1,
+					Downtime: scenario.Duration(15 * time.Second),
+				},
+				Workload: &scenario.Workload{Kind: scenario.WlLookups, Rate: 1},
+			},
+			{
+				Name:     "partition",
+				Duration: scenario.Duration(30 * time.Second),
+				Events: []scenario.Event{
+					{At: scenario.Duration(5 * time.Second), Kind: scenario.EvPartition, Fraction: 0.33},
+					{At: scenario.Duration(20 * time.Second), Kind: scenario.EvHeal},
+				},
+				Workload: &scenario.Workload{Kind: scenario.WlLookups, Rate: 1},
+			},
+		},
+	}
+}
+
+// TestScenarioDeterminism runs the same scenario twice and requires
+// byte-identical event traces and metric reports — the engine's core
+// reproducibility guarantee.
+func TestScenarioDeterminism(t *testing.T) {
+	a, err := RunScenario(testScenario())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunScenario(testScenario())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TraceText() != b.TraceText() {
+		at, bt := a.Trace, b.Trace
+		for i := 0; i < len(at) && i < len(bt); i++ {
+			if at[i] != bt[i] {
+				t.Fatalf("traces diverge at line %d:\n  run1: %s\n  run2: %s", i, at[i], bt[i])
+			}
+		}
+		t.Fatalf("trace lengths differ: %d vs %d", len(at), len(bt))
+	}
+	if a.String() != b.String() {
+		t.Fatalf("reports differ:\n--- run1\n%s\n--- run2\n%s", a, b)
+	}
+}
+
+// TestScenarioRunsTheScript checks the executed run actually contains what
+// the scenario declared: kills, a partition, heals, lookups, and sane
+// metrics.
+func TestScenarioRunsTheScript(t *testing.T) {
+	rep, err := RunScenario(testScenario())
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := rep.TraceText()
+	for _, want := range []string{"spawn node 0", "kill node", "partition [0..4)", "heal partition"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("trace is missing %q:\n%s", want, text)
+		}
+	}
+	if len(rep.Phases) != 3 {
+		t.Fatalf("phases = %d", len(rep.Phases))
+	}
+	base := rep.Phases[0]
+	if base.OpsSent == 0 {
+		t.Fatal("baseline phase sent no lookups")
+	}
+	if base.OpsDelivered == 0 {
+		t.Fatal("baseline lookups never delivered")
+	}
+	if base.MeanLatency <= 0 {
+		t.Fatal("baseline mean latency missing")
+	}
+	if base.LiveNodes != 12 {
+		t.Errorf("baseline live = %d, want 12", base.LiveNodes)
+	}
+	part := rep.Phases[2]
+	if part.Net.PartitionDrops == 0 {
+		t.Error("partition phase recorded no partition drops")
+	}
+	if rep.Final.Sent == 0 || rep.Final.Delivered == 0 {
+		t.Errorf("final counters empty: %+v", rep.Final)
+	}
+}
+
+// TestScenarioMulticastWorkload drives the multicast workload over
+// RandTree with wave churn and revives.
+func TestScenarioMulticastWorkload(t *testing.T) {
+	s := &scenario.Scenario{
+		Name:           "stream-massacre",
+		Seed:           7,
+		Nodes:          10,
+		Routers:        60,
+		Protocol:       "randtree",
+		Settle:         scenario.Duration(30 * time.Second),
+		Drain:          scenario.Duration(10 * time.Second),
+		HeartbeatAfter: scenario.Duration(2 * time.Second),
+		FailAfter:      scenario.Duration(6 * time.Second),
+		Phases: []scenario.Phase{
+			{
+				Name:     "steady",
+				Duration: scenario.Duration(20 * time.Second),
+				Workload: &scenario.Workload{Kind: scenario.WlMulticast, Rate: 2, Size: 256},
+			},
+			{
+				Name:     "massacre",
+				Duration: scenario.Duration(40 * time.Second),
+				Churn: &scenario.Churn{
+					Model:    "wave",
+					Kill:     2,
+					Period:   scenario.Duration(15 * time.Second),
+					Downtime: scenario.Duration(10 * time.Second),
+				},
+				Workload: &scenario.Workload{Kind: scenario.WlMulticast, Rate: 2, Size: 256},
+			},
+		},
+	}
+	rep, err := RunScenario(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	steady := rep.Phases[0]
+	if steady.OpsSent == 0 || steady.OpsDelivered == 0 {
+		t.Fatalf("steady multicast: sent=%d delivered=%d", steady.OpsSent, steady.OpsDelivered)
+	}
+	// A full tree delivers each packet to every other member.
+	if steady.OpsDelivered < steady.OpsSent*5 {
+		t.Errorf("steady multicast reached too few members: sent=%d deliveries=%d",
+			steady.OpsSent, steady.OpsDelivered)
+	}
+	if !strings.Contains(rep.TraceText(), "revive node") {
+		t.Error("wave churn with downtime produced no revives")
+	}
+}
+
+// TestScenarioReviveKeepsRunning checks kill/revive over the same address:
+// the revived node must actually rejoin and the run must stay alive (the
+// endpoint detach/reattach path).
+func TestScenarioReviveKeepsRunning(t *testing.T) {
+	s := testScenario()
+	s.Phases = s.Phases[:2] // baseline + churn only
+	rep, err := RunScenario(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := rep.TraceText()
+	if !strings.Contains(text, "kill node") {
+		t.Skip("no kills under this seed")
+	}
+	if !strings.Contains(text, "revive node") {
+		t.Error("kills never revived despite downtime")
+	}
+	last := rep.Phases[len(rep.Phases)-1]
+	if last.LiveNodes < 10 {
+		t.Errorf("population did not recover: live=%d", last.LiveNodes)
+	}
+}

@@ -20,6 +20,11 @@ type Params struct {
 	// RejoinDelay is how long an orphan waits before rejoining through the
 	// root after its parent fails (default 1 s).
 	RejoinDelay time.Duration
+	// MaxHops bounds tree-data forwarding (default 32). Churn can briefly
+	// cycle the tree — an orphan rejoining under its own descendant — and
+	// the hop limit keeps packets from circulating such a cycle forever,
+	// exactly as the IP TTL would on a routing loop.
+	MaxHops int
 }
 
 func (p *Params) setDefaults() {
@@ -28,6 +33,9 @@ func (p *Params) setDefaults() {
 	}
 	if p.RejoinDelay <= 0 {
 		p.RejoinDelay = time.Second
+	}
+	if p.MaxHops <= 0 {
+		p.MaxHops = 32
 	}
 }
 
@@ -62,6 +70,7 @@ func (m *joinReply) Decode(r *overlay.Reader) error {
 type mdata struct {
 	Src     overlay.Address
 	Typ     int32
+	TTL     uint32
 	Payload []byte
 }
 
@@ -69,11 +78,13 @@ func (m *mdata) MsgName() string { return "mdata" }
 func (m *mdata) Encode(w *overlay.Writer) {
 	w.Addr(m.Src)
 	w.U32(uint32(m.Typ))
+	w.U32(m.TTL)
 	w.Bytes32(m.Payload)
 }
 func (m *mdata) Decode(r *overlay.Reader) error {
 	m.Src = r.Addr()
 	m.Typ = int32(r.U32())
+	m.TTL = r.U32()
 	m.Payload = append([]byte(nil), r.Bytes32()...)
 	return r.Err()
 }
@@ -81,6 +92,7 @@ func (m *mdata) Decode(r *overlay.Reader) error {
 type cdata struct {
 	Src     overlay.Address
 	Typ     int32
+	TTL     uint32
 	Payload []byte
 }
 
@@ -88,11 +100,13 @@ func (m *cdata) MsgName() string { return "cdata" }
 func (m *cdata) Encode(w *overlay.Writer) {
 	w.Addr(m.Src)
 	w.U32(uint32(m.Typ))
+	w.U32(m.TTL)
 	w.Bytes32(m.Payload)
 }
 func (m *cdata) Decode(r *overlay.Reader) error {
 	m.Src = r.Addr()
 	m.Typ = int32(r.U32())
+	m.TTL = r.U32()
 	m.Payload = append([]byte(nil), r.Bytes32()...)
 	return r.Err()
 }
@@ -207,7 +221,11 @@ func (rt *Protocol) onRejoin(ctx *core.Context) {
 
 func (rt *Protocol) apiError(ctx *core.Context, call *core.APICall) {
 	parent := ctx.Neighbors("parent")
-	if parent.Size() == 0 && ctx.State() == "joined" && call.Failed != overlay.NilAddress {
+	// The self != root guard matters: the root never has a parent, so a
+	// dead *child* of the root would otherwise read as "my parent died"
+	// and send the root join-chasing itself in a zero-latency loop
+	// (specs/randtree.mac always had the guard; the port had drifted).
+	if parent.Size() == 0 && ctx.State() == "joined" && rt.self != rt.root && call.Failed != overlay.NilAddress {
 		// Our parent died (the engine already removed it): rejoin via root.
 		ctx.StateChange("joining")
 		ctx.TimerSched("rejoin", rt.p.RejoinDelay)
@@ -216,21 +234,23 @@ func (rt *Protocol) apiError(ctx *core.Context, call *core.APICall) {
 }
 
 func (rt *Protocol) apiMulticast(ctx *core.Context, call *core.APICall) {
-	m := &mdata{Src: rt.self, Typ: call.PayloadType, Payload: call.Payload}
+	m := &mdata{Src: rt.self, Typ: call.PayloadType, TTL: uint32(rt.p.MaxHops), Payload: call.Payload}
 	rt.disseminate(ctx, m, overlay.NilAddress, call.Priority)
 }
 
 func (rt *Protocol) disseminate(ctx *core.Context, m *mdata, except overlay.Address, pri int) {
-	for _, kid := range ctx.Neighbors("kids").Addrs() {
-		if kid == except {
-			continue
+	if m.TTL > 0 {
+		for _, kid := range ctx.Neighbors("kids").Addrs() {
+			if kid == except {
+				continue
+			}
+			ok, next, payload := ctx.Forward(m.Payload, m.Typ, kid, overlay.HashAddress(kid))
+			if !ok {
+				continue
+			}
+			fwd := &mdata{Src: m.Src, Typ: m.Typ, TTL: m.TTL - 1, Payload: payload}
+			_ = ctx.Send(next, fwd, pri)
 		}
-		ok, next, payload := ctx.Forward(m.Payload, m.Typ, kid, overlay.HashAddress(kid))
-		if !ok {
-			continue
-		}
-		fwd := &mdata{Src: m.Src, Typ: m.Typ, Payload: payload}
-		_ = ctx.Send(next, fwd, pri)
 	}
 	if m.Src != rt.self {
 		ctx.Deliver(m.Payload, m.Typ, m.Src)
@@ -242,7 +262,7 @@ func (rt *Protocol) recvMdata(ctx *core.Context, ev *core.MsgEvent) {
 }
 
 func (rt *Protocol) apiCollect(ctx *core.Context, call *core.APICall) {
-	rt.sendUp(ctx, &cdata{Src: rt.self, Typ: call.PayloadType, Payload: call.Payload}, call.Priority)
+	rt.sendUp(ctx, &cdata{Src: rt.self, Typ: call.PayloadType, TTL: uint32(rt.p.MaxHops), Payload: call.Payload}, call.Priority)
 }
 
 func (rt *Protocol) sendUp(ctx *core.Context, m *cdata, pri int) {
@@ -257,6 +277,10 @@ func (rt *Protocol) sendUp(ctx *core.Context, m *cdata, pri int) {
 
 func (rt *Protocol) recvCdata(ctx *core.Context, ev *core.MsgEvent) {
 	m := ev.Msg.(*cdata)
+	if m.TTL == 0 {
+		return // parent-chain cycle under churn: the hop limit ends it
+	}
+	m.TTL--
 	// Offer the payload to the layer above for in-path aggregation; it may
 	// rewrite it through the extensible downcall before it travels on.
 	ok, _, payload := ctx.Forward(m.Payload, m.Typ, rt.self, ctx.SelfKey())

@@ -1,0 +1,112 @@
+package scenario
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Churn models: a churn spec expands into concrete kill instants at
+// compile time, so the whole kill/revive schedule is a pure function of the
+// scenario and seed. Victims are assigned later by the compiler's
+// chronological walk (see schedule.go), which knows who is still up.
+
+// killTimes generates the kill instants of a churn spec within
+// [start, end), using rng for every random draw.
+func killTimes(c *Churn, start, end time.Duration, rng *rand.Rand) []time.Duration {
+	var out []time.Duration
+	switch c.Model {
+	case "poisson":
+		// Independent kills: exponential interarrivals at Rate per second.
+		for t := start + expDuration(rng, c.Rate); t < end; t += expDuration(rng, c.Rate) {
+			out = append(out, t)
+		}
+	case "wave":
+		// Massacres: Kill simultaneous deaths every Period, first wave one
+		// period into the phase.
+		for t := start + c.Period.D(); t < end; t += c.Period.D() {
+			for i := 0; i < c.Kill; i++ {
+				out = append(out, t)
+			}
+		}
+	}
+	return out
+}
+
+// expDuration draws an exponential interarrival for a rate in events/sec.
+func expDuration(rng *rand.Rand, ratePerSec float64) time.Duration {
+	return time.Duration(rng.ExpFloat64() / ratePerSec * float64(time.Second))
+}
+
+// population tracks, during compilation, which node indices are up so that
+// churn victims are always chosen among live nodes. Node 0 (the bootstrap)
+// is never a churn victim.
+type population struct {
+	up      []bool
+	upCount int
+	revives reviveQueue
+}
+
+func newPopulation(n int) *population {
+	p := &population{up: make([]bool, n), upCount: n}
+	for i := range p.up {
+		p.up[i] = true
+	}
+	return p
+}
+
+// advance applies every revive due at or before t.
+func (p *population) advance(t time.Duration) {
+	for len(p.revives) > 0 && p.revives[0].at <= t {
+		p.setUp(p.revives[0].node, true)
+		p.revives = p.revives[1:]
+	}
+}
+
+func (p *population) setUp(node int, up bool) {
+	if p.up[node] == up {
+		return
+	}
+	p.up[node] = up
+	if up {
+		p.upCount++
+	} else {
+		p.upCount--
+	}
+}
+
+// scheduleRevive records that node comes back at t.
+func (p *population) scheduleRevive(node int, t time.Duration) {
+	p.revives = append(p.revives, revive{at: t, node: node})
+	sort.SliceStable(p.revives, func(i, j int) bool { return p.revives[i].at < p.revives[j].at })
+}
+
+// pickVictim chooses a live non-bootstrap node uniformly, or -1 if churn
+// has exhausted the population.
+func (p *population) pickVictim(rng *rand.Rand) int {
+	candidates := p.upCount
+	if p.up[0] {
+		candidates--
+	}
+	if candidates <= 0 {
+		return -1
+	}
+	k := rng.Intn(candidates)
+	for i := 1; i < len(p.up); i++ {
+		if !p.up[i] {
+			continue
+		}
+		if k == 0 {
+			return i
+		}
+		k--
+	}
+	return -1
+}
+
+type revive struct {
+	at   time.Duration
+	node int
+}
+
+type reviveQueue []revive

@@ -1,0 +1,103 @@
+package scenario
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"macedon/internal/simnet"
+)
+
+// SubStats returns a-b field-wise: the per-phase delta of network counters.
+func SubStats(a, b simnet.Stats) simnet.Stats {
+	return simnet.Stats{
+		Sent:           a.Sent - b.Sent,
+		Delivered:      a.Delivered - b.Delivered,
+		QueueDrops:     a.QueueDrops - b.QueueDrops,
+		RandomLoss:     a.RandomLoss - b.RandomLoss,
+		DownDrops:      a.DownDrops - b.DownDrops,
+		LinkDownDrops:  a.LinkDownDrops - b.LinkDownDrops,
+		DegradeLoss:    a.DegradeLoss - b.DegradeLoss,
+		PartitionDrops: a.PartitionDrops - b.PartitionDrops,
+		NoRouteDrops:   a.NoRouteDrops - b.NoRouteDrops,
+		Bytes:          a.Bytes - b.Bytes,
+	}
+}
+
+// PhaseReport is the metric snapshot of one phase.
+type PhaseReport struct {
+	Name       string
+	Start, End time.Duration
+	// LiveNodes is the population still up when the phase ended.
+	LiveNodes int
+	// OpsSent counts workload operations issued during the phase (skipped
+	// ops — dead sender — are excluded); OpsDelivered counts deliveries
+	// attributed to them, by the end of the whole run. A multicast op
+	// yields one delivery per receiving member.
+	OpsSent, OpsDelivered int
+	// OpsSkipped counts workload operations whose sender was down.
+	OpsSkipped int
+	// MeanLatency averages delivery latency over the phase's delivered
+	// operations (0 when none).
+	MeanLatency time.Duration
+	// Net is the network counter delta across the phase.
+	Net simnet.Stats
+}
+
+// Report is the structured result of an executed scenario.
+type Report struct {
+	Scenario string
+	Protocol string
+	Seed     int64
+	Nodes    int
+	// Settle/End/Total are the resolved timeline boundaries.
+	Settle, End, Total time.Duration
+	// EventsRun counts schedule operations executed.
+	EventsRun int
+	Phases    []PhaseReport
+	// Final is the network counter total over the whole run.
+	Final simnet.Stats
+	// Trace is the executed event log, one line per operation, identical
+	// across runs of the same scenario and seed.
+	Trace []string
+}
+
+// TraceText joins the event trace into one newline-terminated string.
+func (r *Report) TraceText() string {
+	if len(r.Trace) == 0 {
+		return ""
+	}
+	return strings.Join(r.Trace, "\n") + "\n"
+}
+
+// Format renders the report deterministically.
+func (r *Report) Format(w func(format string, args ...any)) {
+	w("scenario %q: protocol=%s nodes=%d seed=%d\n", r.Scenario, r.Protocol, r.Nodes, r.Seed)
+	w("timeline: settle=%s end=%s total=%s events=%d\n", r.Settle, r.End, r.Total, r.EventsRun)
+	for i, p := range r.Phases {
+		w("phase %d %-14q [%s..%s] live=%d", i, p.Name, p.Start, p.End, p.LiveNodes)
+		if p.OpsSent > 0 || p.OpsSkipped > 0 {
+			w(" ops=%d delivered=%d", p.OpsSent, p.OpsDelivered)
+			if p.OpsSkipped > 0 {
+				w(" skipped=%d", p.OpsSkipped)
+			}
+			if p.MeanLatency > 0 {
+				w(" mean_latency=%.3fms", float64(p.MeanLatency.Microseconds())/1000)
+			}
+		}
+		w("\n")
+		w("  net: sent=%d delivered=%d qdrop=%d loss=%d down=%d linkdown=%d degrade=%d partition=%d noroute=%d\n",
+			p.Net.Sent, p.Net.Delivered, p.Net.QueueDrops, p.Net.RandomLoss, p.Net.DownDrops,
+			p.Net.LinkDownDrops, p.Net.DegradeLoss, p.Net.PartitionDrops, p.Net.NoRouteDrops)
+	}
+	w("total: sent=%d delivered=%d qdrop=%d loss=%d down=%d linkdown=%d degrade=%d partition=%d noroute=%d\n",
+		r.Final.Sent, r.Final.Delivered, r.Final.QueueDrops, r.Final.RandomLoss, r.Final.DownDrops,
+		r.Final.LinkDownDrops, r.Final.DegradeLoss, r.Final.PartitionDrops, r.Final.NoRouteDrops)
+}
+
+// String renders the report to a string (for determinism comparisons).
+func (r *Report) String() string {
+	var b strings.Builder
+	r.Format(func(format string, args ...any) { fmt.Fprintf(&b, format, args...) })
+	return b.String()
+}

@@ -1,0 +1,289 @@
+// Package scenario is the declarative experiment engine: a scenario
+// describes an entire overlay evaluation — how the population joins, how it
+// churns, which network events strike, and what workload runs in each
+// phase — and compiles into a deterministic virtual-time event schedule.
+// The same scenario and seed always produce the identical event trace and
+// metric report, which turns "as many scenarios as you can imagine" into
+// reproducible regression tests instead of hand-rolled driver code.
+//
+// Scenarios are built either with Go literals or loaded from JSON (see
+// docs/scenarios.md); internal/harness.RunScenario executes the compiled
+// schedule against an emulated cluster.
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+)
+
+// Duration is a time.Duration that marshals as a Go duration string
+// ("250ms", "1m30s") in JSON.
+type Duration time.Duration
+
+// D returns the underlying time.Duration.
+func (d Duration) D() time.Duration { return time.Duration(d) }
+
+// MarshalJSON renders the duration as a string.
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+// UnmarshalJSON accepts either a duration string or nanoseconds.
+func (d *Duration) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err == nil {
+		v, err := time.ParseDuration(s)
+		if err != nil {
+			return fmt.Errorf("scenario: bad duration %q: %v", s, err)
+		}
+		*d = Duration(v)
+		return nil
+	}
+	var ns int64
+	if err := json.Unmarshal(b, &ns); err != nil {
+		return fmt.Errorf("scenario: duration must be a string like \"10s\"")
+	}
+	*d = Duration(ns)
+	return nil
+}
+
+// Scenario is a complete declarative experiment description.
+type Scenario struct {
+	// Name labels the scenario in reports and traces.
+	Name string `json:"name"`
+	// Seed drives every random choice: joins, churn, events, workload.
+	Seed int64 `json:"seed"`
+	// Nodes is the overlay population size.
+	Nodes int `json:"nodes"`
+	// Routers sizes the generated INET topology (0 = default).
+	Routers int `json:"routers,omitempty"`
+	// Protocol selects the stack: chord, pastry, randtree, scribe
+	// (pastry+scribe), or nice.
+	Protocol string `json:"protocol"`
+	// Join describes how the population enters the overlay.
+	Join JoinSpec `json:"join"`
+	// Settle is the setup period before the first phase: joins happen
+	// inside it and protocols converge. 0 = join span + 60 s.
+	Settle Duration `json:"settle,omitempty"`
+	// Drain extends the run after the last phase so in-flight work can
+	// finish before the final snapshot. 0 = 10 s.
+	Drain Duration `json:"drain,omitempty"`
+	// Phases run back-to-back after Settle.
+	Phases []Phase `json:"phases"`
+
+	// HeartbeatAfter/FailAfter tune the engine failure detector (§3.1);
+	// zero keeps the node defaults.
+	HeartbeatAfter Duration `json:"heartbeat_after,omitempty"`
+	FailAfter      Duration `json:"fail_after,omitempty"`
+}
+
+// JoinSpec describes the join process.
+type JoinSpec struct {
+	// Process is "immediate" (default), "staggered", or "poisson".
+	Process string `json:"process,omitempty"`
+	// Window spreads staggered joins uniformly across this duration.
+	Window Duration `json:"window,omitempty"`
+	// Rate is the Poisson arrival rate in joins per second.
+	Rate float64 `json:"rate,omitempty"`
+}
+
+// Phase is one experiment stage: a duration with optional churn, network
+// events, and workload, snapshotted into the report when it ends.
+type Phase struct {
+	Name     string    `json:"name"`
+	Duration Duration  `json:"duration"`
+	Churn    *Churn    `json:"churn,omitempty"`
+	Events   []Event   `json:"events,omitempty"`
+	Workload *Workload `json:"workload,omitempty"`
+}
+
+// Churn is a node kill/revive process running for a phase.
+type Churn struct {
+	// Model is "poisson" (independent kills at Rate per second) or "wave"
+	// (a massacre of Kill nodes every Period).
+	Model string `json:"model"`
+	// Rate is the Poisson kill rate in kills per second.
+	Rate float64 `json:"rate,omitempty"`
+	// Kill is the wave size.
+	Kill int `json:"kill,omitempty"`
+	// Period is the wave interval.
+	Period Duration `json:"period,omitempty"`
+	// Downtime revives each victim this long after its kill; 0 means the
+	// kill is permanent.
+	Downtime Duration `json:"downtime,omitempty"`
+}
+
+// Event kinds.
+const (
+	EvNodeDown  = "node_down" // host unreachable (node keeps running)
+	EvNodeUp    = "node_up"   // host reachable again
+	EvKill      = "kill"      // process death (node stops; cold rejoin on revive)
+	EvRevive    = "revive"    // respawn a killed node
+	EvPartition = "partition" // split the population in two
+	EvHeal      = "heal"      // heal the partition
+	EvDegrade   = "degrade"   // worsen a node's access pipe
+	EvRestore   = "restore"   // restore a node's access pipe
+	EvLinkDown  = "link_down" // fail a node's access pipe
+	EvLinkUp    = "link_up"   // restore a failed access pipe
+)
+
+// Event is one scripted network event inside a phase.
+type Event struct {
+	// At is the offset from the phase start.
+	At Duration `json:"at"`
+	// Kind is one of the Ev* constants.
+	Kind string `json:"kind"`
+	// Node is the target node index (node events, degrade, link_down).
+	Node int `json:"node,omitempty"`
+	// Fraction sizes side A of a partition (0 < f < 1). Side A is the
+	// first ⌈f·Nodes⌉ addresses, so the cut is deterministic.
+	Fraction float64 `json:"fraction,omitempty"`
+	// LatencyFactor multiplies the access-pipe latency (degrade).
+	LatencyFactor float64 `json:"latency_factor,omitempty"`
+	// Loss adds per-hop loss probability on the access pipe (degrade).
+	Loss float64 `json:"loss,omitempty"`
+}
+
+// Workload kinds.
+const (
+	WlLookups   = "lookups"   // DHT lookup storm: random keys from random nodes
+	WlMulticast = "multicast" // node 0 streams to a group every member joins
+)
+
+// Workload is the application traffic of a phase.
+type Workload struct {
+	// Kind is "lookups" or "multicast".
+	Kind string `json:"kind"`
+	// Rate is operations (or stream packets) per second.
+	Rate float64 `json:"rate"`
+	// Size is the payload size in bytes (default 64, minimum 8).
+	Size int `json:"size,omitempty"`
+	// Group names the multicast session (default the scenario name).
+	Group string `json:"group,omitempty"`
+}
+
+// Load reads and validates a JSON scenario file.
+func Load(path string) (*Scenario, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Parse(b)
+}
+
+// Parse decodes and validates a JSON scenario.
+func Parse(b []byte) (*Scenario, error) {
+	var s Scenario
+	if err := json.Unmarshal(b, &s); err != nil {
+		return nil, fmt.Errorf("scenario: %v", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// Validate checks the description before compilation.
+func (s *Scenario) Validate() error {
+	if s.Nodes < 2 {
+		return fmt.Errorf("scenario %q: need at least 2 nodes, have %d", s.Name, s.Nodes)
+	}
+	switch s.Join.Process {
+	case "", "immediate":
+	case "staggered":
+		if s.Join.Window <= 0 {
+			return fmt.Errorf("scenario %q: staggered join needs a window", s.Name)
+		}
+	case "poisson":
+		if s.Join.Rate <= 0 {
+			return fmt.Errorf("scenario %q: poisson join needs a rate", s.Name)
+		}
+	default:
+		return fmt.Errorf("scenario %q: unknown join process %q", s.Name, s.Join.Process)
+	}
+	if len(s.Phases) == 0 {
+		return fmt.Errorf("scenario %q: no phases", s.Name)
+	}
+	for i, p := range s.Phases {
+		if p.Duration <= 0 {
+			return fmt.Errorf("scenario %q: phase %d (%s) has no duration", s.Name, i, p.Name)
+		}
+		if c := p.Churn; c != nil {
+			switch c.Model {
+			case "poisson":
+				if c.Rate <= 0 {
+					return fmt.Errorf("scenario %q: phase %s: poisson churn needs a rate", s.Name, p.Name)
+				}
+			case "wave":
+				if c.Kill <= 0 || c.Period <= 0 {
+					return fmt.Errorf("scenario %q: phase %s: wave churn needs kill and period", s.Name, p.Name)
+				}
+			default:
+				return fmt.Errorf("scenario %q: phase %s: unknown churn model %q", s.Name, p.Name, c.Model)
+			}
+		}
+		for _, e := range p.Events {
+			switch e.Kind {
+			case EvNodeDown, EvNodeUp, EvKill, EvRevive, EvDegrade, EvRestore, EvLinkDown, EvLinkUp:
+				if e.Node < 0 || e.Node >= s.Nodes {
+					return fmt.Errorf("scenario %q: phase %s: event %s targets node %d of %d", s.Name, p.Name, e.Kind, e.Node, s.Nodes)
+				}
+			case EvPartition:
+				if e.Fraction <= 0 || e.Fraction >= 1 {
+					return fmt.Errorf("scenario %q: phase %s: partition fraction must be in (0,1)", s.Name, p.Name)
+				}
+			case EvHeal:
+			default:
+				return fmt.Errorf("scenario %q: phase %s: unknown event kind %q", s.Name, p.Name, e.Kind)
+			}
+			if e.Kind == EvDegrade {
+				if e.LatencyFactor != 0 && e.LatencyFactor < 1 {
+					return fmt.Errorf("scenario %q: phase %s: degrade latency_factor must be >= 1 (or 0 for unchanged)", s.Name, p.Name)
+				}
+				if e.Loss < 0 || e.Loss >= 1 {
+					return fmt.Errorf("scenario %q: phase %s: degrade loss must be in [0,1)", s.Name, p.Name)
+				}
+			}
+			if e.At < 0 || e.At.D() >= p.Duration.D() {
+				return fmt.Errorf("scenario %q: phase %s: event at %v outside the phase", s.Name, p.Name, e.At.D())
+			}
+		}
+		if w := p.Workload; w != nil {
+			switch w.Kind {
+			case WlLookups, WlMulticast:
+			default:
+				return fmt.Errorf("scenario %q: phase %s: unknown workload %q", s.Name, p.Name, w.Kind)
+			}
+			if w.Rate <= 0 {
+				return fmt.Errorf("scenario %q: phase %s: workload needs a rate", s.Name, p.Name)
+			}
+		}
+	}
+	return nil
+}
+
+// NeedsGroup reports whether any phase runs a multicast workload (the
+// engine then creates a group and has every member join during setup).
+func (s *Scenario) NeedsGroup() bool {
+	for _, p := range s.Phases {
+		if p.Workload != nil && p.Workload.Kind == WlMulticast {
+			return true
+		}
+	}
+	return false
+}
+
+// GroupName returns the multicast session name.
+func (s *Scenario) GroupName() string {
+	for _, p := range s.Phases {
+		if p.Workload != nil && p.Workload.Kind == WlMulticast && p.Workload.Group != "" {
+			return p.Workload.Group
+		}
+	}
+	if s.Name != "" {
+		return s.Name
+	}
+	return "scenario-session"
+}

@@ -1,0 +1,262 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+
+	"macedon/internal/overlay"
+	"macedon/internal/topology"
+)
+
+// diamondNet builds two clients joined by two disjoint router paths: a fast
+// one (r1-r2-r4) and a slow one (r1-r3-r4), so routing has an alternative
+// when a link fails. Returns the network and the fast path's middle link.
+func diamondNet(t *testing.T) (*Network, *Scheduler, topology.LinkID) {
+	t.Helper()
+	g := topology.NewGraph()
+	r1, r2, r3, r4 := g.AddRouter(), g.AddRouter(), g.AddRouter(), g.AddRouter()
+	bw := int64(10_000_000)
+	q := 64 << 10
+	fast, _ := g.AddLink(r1, r2, 2*time.Millisecond, bw, q)
+	g.AddLink(r2, r4, 2*time.Millisecond, bw, q)
+	g.AddLink(r1, r3, 20*time.Millisecond, bw, q)
+	g.AddLink(r3, r4, 20*time.Millisecond, bw, q)
+	access := topology.AccessLink{Latency: time.Millisecond, Bandwidth: bw, QueueBytes: q}
+	g.AttachClient(1, r1, access)
+	g.AttachClient(2, r4, access)
+	s := NewScheduler(11)
+	return New(s, g, Config{}), s, fast
+}
+
+// TestLinkDownReroutes fails the fast path and expects traffic to arrive
+// via the slow one — which requires invalidating the cached path.
+func TestLinkDownReroutes(t *testing.T) {
+	n, s, fast := diamondNet(t)
+	e1, _ := n.Endpoint(1)
+	e2, _ := n.Endpoint(2)
+	var lastAt time.Duration
+	got := 0
+	e2.SetRecv(func(src overlay.Address, p []byte) {
+		got++
+		lastAt = s.Elapsed()
+	})
+
+	// Baseline: the fast path carries the packet in ~6 ms.
+	if err := e1.Send(2, make([]byte, 100)); err != nil {
+		t.Fatal(err)
+	}
+	s.RunUntilIdle()
+	if got != 1 {
+		t.Fatalf("baseline not delivered")
+	}
+	fastLatency := lastAt
+	if fastLatency > 10*time.Millisecond {
+		t.Fatalf("baseline took %v, expected the fast path", fastLatency)
+	}
+
+	// Fail the fast path: the cached path must be discarded and the slow
+	// path used.
+	n.SetLinkDown(fast, true)
+	start := s.Elapsed()
+	if err := e1.Send(2, make([]byte, 100)); err != nil {
+		t.Fatal(err)
+	}
+	s.RunUntilIdle()
+	if got != 2 {
+		t.Fatalf("not delivered after reroute (stats %+v)", n.Stats())
+	}
+	if d := lastAt - start; d < 40*time.Millisecond {
+		t.Fatalf("rerouted delivery took %v, expected the slow path (>40ms)", d)
+	}
+
+	// Restore: back on the fast path.
+	n.SetLinkDown(fast, false)
+	start = s.Elapsed()
+	if err := e1.Send(2, make([]byte, 100)); err != nil {
+		t.Fatal(err)
+	}
+	s.RunUntilIdle()
+	if got != 3 {
+		t.Fatal("not delivered after restore")
+	}
+	if d := lastAt - start; d > 10*time.Millisecond {
+		t.Fatalf("restored delivery took %v, expected the fast path again", d)
+	}
+}
+
+// TestAccessLinkDownSeversNode fails a node's access pipe: no route
+// survives, sends drop silently and are counted.
+func TestAccessLinkDownSeversNode(t *testing.T) {
+	n, s, _ := diamondNet(t)
+	e1, _ := n.Endpoint(1)
+	e2, _ := n.Endpoint(2)
+	got := 0
+	e2.SetRecv(func(overlay.Address, []byte) { got++ })
+
+	if err := n.SetNodeAccessDown(2, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := e1.Send(2, make([]byte, 50)); err != nil {
+		t.Fatalf("severed send must drop silently, got error %v", err)
+	}
+	s.RunUntilIdle()
+	if got != 0 {
+		t.Fatal("delivered across a failed access link")
+	}
+	if st := n.Stats(); st.NoRouteDrops != 1 {
+		t.Fatalf("NoRouteDrops = %d, want 1 (stats %+v)", st.NoRouteDrops, st)
+	}
+
+	if err := n.SetNodeAccessDown(2, false); err != nil {
+		t.Fatal(err)
+	}
+	_ = e1.Send(2, make([]byte, 50))
+	s.RunUntilIdle()
+	if got != 1 {
+		t.Fatal("not delivered after access link restored")
+	}
+}
+
+// TestPartitionAppliesAndHeals checks cross-side traffic drops (counted),
+// same-side traffic flows, and healing restores connectivity.
+func TestPartitionAppliesAndHeals(t *testing.T) {
+	g := topology.NewGraph()
+	r := g.AddRouter()
+	access := topology.AccessLink{Latency: time.Millisecond, Bandwidth: 10_000_000, QueueBytes: 64 << 10}
+	g.AttachClient(1, r, access)
+	g.AttachClient(2, r, access)
+	g.AttachClient(3, r, access)
+	s := NewScheduler(5)
+	n := New(s, g, Config{})
+	recv := map[overlay.Address]int{}
+	for _, a := range []overlay.Address{1, 2, 3} {
+		ep, _ := n.Endpoint(a)
+		addr := a
+		ep.SetRecv(func(overlay.Address, []byte) { recv[addr]++ })
+	}
+	e1, _ := n.Endpoint(1)
+	e2, _ := n.Endpoint(2)
+
+	n.SetPartition(map[overlay.Address]int{1: 1, 2: 1, 3: 2})
+	if n.Partitioned(1, 3) != true || n.Partitioned(1, 2) != false {
+		t.Fatal("Partitioned predicate wrong")
+	}
+	_ = e1.Send(3, make([]byte, 20)) // cross-side: dropped
+	_ = e1.Send(2, make([]byte, 20)) // same side: delivered
+	_ = e2.Send(1, make([]byte, 20)) // same side: delivered
+	s.RunUntilIdle()
+	if recv[3] != 0 {
+		t.Fatal("partition leaked a datagram")
+	}
+	if recv[2] != 1 || recv[1] != 1 {
+		t.Fatalf("same-side traffic lost: %v", recv)
+	}
+	if st := n.Stats(); st.PartitionDrops != 1 {
+		t.Fatalf("PartitionDrops = %d, want 1", st.PartitionDrops)
+	}
+
+	n.ClearPartition()
+	_ = e1.Send(3, make([]byte, 20))
+	s.RunUntilIdle()
+	if recv[3] != 1 {
+		t.Fatal("heal did not restore connectivity")
+	}
+}
+
+// TestPartitionDropsInFlight: a datagram crossing the cut when the
+// partition forms is dropped on arrival.
+func TestPartitionDropsInFlight(t *testing.T) {
+	access := topology.AccessLink{Latency: 5 * time.Millisecond, Bandwidth: 10_000_000, QueueBytes: 64 << 10}
+	n, s := twoNodeNet(t, access, Config{})
+	e1, _ := n.Endpoint(1)
+	e2, _ := n.Endpoint(2)
+	got := 0
+	e2.SetRecv(func(overlay.Address, []byte) { got++ })
+	_ = e1.Send(2, make([]byte, 100))
+	// Partition forms while the packet is mid-path.
+	s.RunFor(time.Millisecond)
+	n.SetPartition(map[overlay.Address]int{1: 1, 2: 2})
+	s.RunUntilIdle()
+	if got != 0 {
+		t.Fatal("in-flight datagram crossed a fresh partition")
+	}
+	if st := n.Stats(); st.PartitionDrops != 1 {
+		t.Fatalf("PartitionDrops = %d, want 1", st.PartitionDrops)
+	}
+}
+
+// TestDegradeLink checks the latency multiplier and extra loss process.
+func TestDegradeLink(t *testing.T) {
+	access := topology.AccessLink{Latency: time.Millisecond, Bandwidth: 10_000_000, QueueBytes: 64 << 10}
+	n, s := twoNodeNet(t, access, Config{})
+	e1, _ := n.Endpoint(1)
+	e2, _ := n.Endpoint(2)
+	var at time.Duration
+	got := 0
+	e2.SetRecv(func(overlay.Address, []byte) { got++; at = s.Elapsed() })
+
+	_ = e1.Send(2, make([]byte, 100))
+	s.RunUntilIdle()
+	base := at
+
+	// 10x latency on node 1's access pipe.
+	if err := n.DegradeNodeAccess(1, Degradation{LatencyFactor: 10}); err != nil {
+		t.Fatal(err)
+	}
+	start := s.Elapsed()
+	_ = e1.Send(2, make([]byte, 100))
+	s.RunUntilIdle()
+	if got != 2 {
+		t.Fatal("degraded packet lost")
+	}
+	slowed := at - start
+	if slowed <= base {
+		t.Fatalf("degradation did not slow delivery: %v vs %v", slowed, base)
+	}
+
+	// Total loss drops everything entering the pipe.
+	if err := n.DegradeNodeAccess(1, Degradation{LossRate: 0.999999999}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		_ = e1.Send(2, make([]byte, 100))
+	}
+	s.RunUntilIdle()
+	if got != 2 {
+		t.Fatalf("lossy pipe still delivered (%d)", got)
+	}
+	if st := n.Stats(); st.DegradeLoss == 0 {
+		t.Fatal("DegradeLoss not counted")
+	}
+
+	if err := n.RestoreNodeAccess(1); err != nil {
+		t.Fatal(err)
+	}
+	_ = e1.Send(2, make([]byte, 100))
+	s.RunUntilIdle()
+	if got != 3 {
+		t.Fatal("restore did not clear degradation")
+	}
+}
+
+// TestDetachAllowsReattach: after Detach a fresh receive handler can be
+// installed, the revive path of kill/revive churn.
+func TestDetachAllowsReattach(t *testing.T) {
+	access := topology.AccessLink{Latency: time.Millisecond, Bandwidth: 10_000_000, QueueBytes: 64 << 10}
+	n, s := twoNodeNet(t, access, Config{})
+	e1, _ := n.Endpoint(1)
+	e2, _ := n.Endpoint(2)
+	first, second := 0, 0
+	e2.SetRecv(func(overlay.Address, []byte) { first++ })
+	_ = e1.Send(2, make([]byte, 10))
+	s.RunUntilIdle()
+	if err := n.Detach(2); err != nil {
+		t.Fatal(err)
+	}
+	e2.SetRecv(func(overlay.Address, []byte) { second++ })
+	_ = e1.Send(2, make([]byte, 10))
+	s.RunUntilIdle()
+	if first != 1 || second != 1 {
+		t.Fatalf("handlers saw %d/%d deliveries, want 1/1", first, second)
+	}
+}

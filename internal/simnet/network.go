@@ -15,12 +15,16 @@ const MTU = 1500
 
 // Stats aggregates network-wide packet accounting.
 type Stats struct {
-	Sent       uint64 // datagrams entering the network
-	Delivered  uint64 // datagrams handed to a receiving endpoint
-	QueueDrops uint64 // datagrams dropped at a full pipe queue
-	RandomLoss uint64 // datagrams dropped by the loss model
-	DownDrops  uint64 // datagrams dropped at a failed node
-	Bytes      uint64 // payload bytes entering the network
+	Sent           uint64 // datagrams entering the network
+	Delivered      uint64 // datagrams handed to a receiving endpoint
+	QueueDrops     uint64 // datagrams dropped at a full pipe queue
+	RandomLoss     uint64 // datagrams dropped by the loss model
+	DownDrops      uint64 // datagrams dropped at a failed node
+	LinkDownDrops  uint64 // datagrams dropped entering a failed pipe
+	DegradeLoss    uint64 // datagrams dropped by per-pipe degradation
+	PartitionDrops uint64 // datagrams dropped by a network partition
+	NoRouteDrops   uint64 // datagrams with no surviving route
+	Bytes          uint64 // payload bytes entering the network
 }
 
 // LinkCounters is per-pipe accounting used by overhead metrics.
@@ -45,12 +49,17 @@ type Config struct {
 type Network struct {
 	sched  *Scheduler
 	graph  *topology.Graph
-	routes *topology.Routes
+	routes *topology.Routes // failure-free oracle, for metrics
+	live   *topology.Routes // forwarding oracle, routes around failed links
 	cfg    Config
 
 	links []linkState // indexed by topology.LinkID
 	eps   map[overlay.Address]*endpoint
 	paths map[pathKey][]topology.LinkID
+
+	blocked  map[topology.LinkID]bool
+	degraded map[topology.LinkID]Degradation
+	sides    map[overlay.Address]int // partition sides; nil = healed
 
 	stats Stats
 }
@@ -67,14 +76,17 @@ type pathKey struct{ src, dst topology.RouterID }
 // already have all clients attached.
 func New(sched *Scheduler, g *topology.Graph, cfg Config) *Network {
 	n := &Network{
-		sched:  sched,
-		graph:  g,
-		routes: topology.NewRoutes(g),
-		cfg:    cfg,
-		links:  make([]linkState, g.NumLinks()),
-		eps:    make(map[overlay.Address]*endpoint),
-		paths:  make(map[pathKey][]topology.LinkID),
+		sched:    sched,
+		graph:    g,
+		routes:   topology.NewRoutes(g),
+		cfg:      cfg,
+		links:    make([]linkState, g.NumLinks()),
+		eps:      make(map[overlay.Address]*endpoint),
+		paths:    make(map[pathKey][]topology.LinkID),
+		blocked:  make(map[topology.LinkID]bool),
+		degraded: make(map[topology.LinkID]Degradation),
 	}
+	n.live = n.routes
 	for _, addr := range g.Clients() {
 		n.eps[addr] = &endpoint{net: n, addr: addr}
 	}
@@ -130,7 +142,7 @@ func (n *Network) path(src, dst topology.RouterID) []topology.LinkID {
 	if p, ok := n.paths[k]; ok {
 		return p
 	}
-	p := n.routes.Path(src, dst)
+	p := n.live.Path(src, dst)
 	n.paths[k] = p
 	return p
 }
@@ -157,6 +169,10 @@ func (n *Network) send(src *endpoint, dst overlay.Address, payload []byte) error
 		n.stats.DownDrops++
 		return nil // like IP: silently dropped, sender learns nothing
 	}
+	if n.Partitioned(src.addr, dst) {
+		n.stats.PartitionDrops++
+		return nil // partitions drop silently, like a blackholed route
+	}
 	if src.addr == dst {
 		// Loopback bypasses the topology, as the kernel would.
 		n.sched.post(0, func() { n.deliver(dstEp, src.addr, payload) })
@@ -166,6 +182,11 @@ func (n *Network) send(src *endpoint, dst overlay.Address, payload []byte) error
 	dv, _ := n.graph.ClientVertex(dst)
 	path := n.path(sv, dv)
 	if path == nil {
+		if len(n.blocked) > 0 {
+			// Link failures severed every route: drop like a blackhole.
+			n.stats.NoRouteDrops++
+			return nil
+		}
 		return fmt.Errorf("simnet: no route from %v to %v", src.addr, dst)
 	}
 	pkt := &packet{src: src.addr, dst: dst, payload: payload, path: path}
@@ -176,6 +197,12 @@ func (n *Network) send(src *endpoint, dst overlay.Address, payload []byte) error
 // enqueue places pkt at the entrance of its current hop's pipe.
 func (n *Network) enqueue(pkt *packet) {
 	l := pkt.path[pkt.hop]
+	if n.blocked[l] {
+		// The pipe failed (possibly after this packet's path was chosen):
+		// everything entering it is lost.
+		n.stats.LinkDownDrops++
+		return
+	}
 	link := n.graph.Link(l)
 	ls := &n.links[l]
 	size := len(pkt.payload) + headerOverhead
@@ -186,6 +213,11 @@ func (n *Network) enqueue(pkt *packet) {
 	}
 	if n.cfg.LossRate > 0 && n.sched.rng.Float64() < n.cfg.LossRate {
 		n.stats.RandomLoss++
+		return
+	}
+	deg, isDegraded := n.degraded[l]
+	if isDegraded && deg.LossRate > 0 && n.sched.rng.Float64() < deg.LossRate {
+		n.stats.DegradeLoss++
 		return
 	}
 	ls.queuedBytes += size
@@ -199,7 +231,11 @@ func (n *Network) enqueue(pkt *packet) {
 	}
 	txDone := start + txTime(size, link.Bandwidth)
 	ls.busyUntil = txDone
-	arrive := txDone + link.Latency + n.cfg.PerHopOverhead
+	latency := link.Latency
+	if isDegraded && deg.LatencyFactor > 0 {
+		latency = time.Duration(float64(latency) * deg.LatencyFactor)
+	}
+	arrive := txDone + latency + n.cfg.PerHopOverhead
 
 	// The packet's bytes leave the queue when serialization completes.
 	n.sched.post(txDone-now, func() { ls.queuedBytes -= size })
@@ -226,6 +262,11 @@ func (n *Network) arriveHop(pkt *packet) {
 	ep, ok := n.eps[pkt.dst]
 	if !ok || ep.down {
 		n.stats.DownDrops++
+		return
+	}
+	if n.Partitioned(pkt.src, pkt.dst) {
+		// The partition formed while the datagram was in flight.
+		n.stats.PartitionDrops++
 		return
 	}
 	n.deliver(ep, pkt.src, pkt.payload)

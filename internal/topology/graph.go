@@ -143,6 +143,18 @@ func (g *Graph) AttachClient(addr overlay.Address, at RouterID, access AccessLin
 	return v
 }
 
+// AccessLinks returns the directed access links of a client: up carries
+// traffic from the client into the network, down the reverse. ok is false
+// when the address is not attached.
+func (g *Graph) AccessLinks(addr overlay.Address) (up, down LinkID, ok bool) {
+	v, attached := g.clients[addr]
+	if !attached || len(g.adj[v]) == 0 {
+		return NilLink, NilLink, false
+	}
+	up = g.adj[v][0].link
+	return up, up ^ 1, true
+}
+
 // ClientVertex returns the vertex a client address is attached at.
 func (g *Graph) ClientVertex(addr overlay.Address) (RouterID, bool) {
 	v, ok := g.clients[addr]
@@ -194,14 +206,25 @@ type spt struct {
 // shortest-path tree per queried destination. Latency is the routing metric,
 // as in ModelNet topology routing.
 type Routes struct {
-	g     *Graph
-	trees map[RouterID]*spt
+	g       *Graph
+	trees   map[RouterID]*spt
+	blocked func(LinkID) bool // nil = every link usable
 }
 
 // NewRoutes returns a route oracle for g. The graph must not change
 // afterwards.
 func NewRoutes(g *Graph) *Routes {
 	return &Routes{g: g, trees: make(map[RouterID]*spt)}
+}
+
+// NewRoutesExcluding returns a route oracle that routes around links for
+// which blocked returns true — the oracle a ModelNet core would rebuild
+// after a link failure. The blocked predicate is consulted only while
+// computing trees, so callers must construct a fresh oracle whenever the
+// failed-link set changes (simnet does exactly that to invalidate its path
+// cache).
+func NewRoutesExcluding(g *Graph, blocked func(LinkID) bool) *Routes {
+	return &Routes{g: g, trees: make(map[RouterID]*spt), blocked: blocked}
 }
 
 type pqItem struct {
@@ -246,7 +269,12 @@ func (r *Routes) tree(dst RouterID) *spt {
 		}
 		for _, e := range r.g.adj[it.v] {
 			// e goes it.v→e.to; the reverse direction is the same pipe, so
-			// walking out-edges from dst explores paths *to* dst.
+			// walking out-edges from dst explores paths *to* dst. The link
+			// traffic would actually traverse is e.link's partner: that is
+			// the one the blocked predicate must veto.
+			if r.blocked != nil && r.blocked(r.partner(e.link)) {
+				continue
+			}
 			nd := it.dist + r.g.links[e.link].Latency
 			if nd < t.dist[e.to] {
 				t.dist[e.to] = nd
