@@ -1,0 +1,81 @@
+// Command benchjson converts `go test -bench` text output (stdin) into a
+// JSON document (stdout) for the CI benchmark artifact: one record per
+// benchmark with every reported metric, plus run metadata. The artifacts
+// (BENCH_<sha>.json) accumulate the repository's performance trajectory.
+//
+//	go test -run '^$' -bench . -benchtime=1x | benchjson > BENCH_$(git rev-parse HEAD).json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Result is one benchmark line.
+type Result struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Document is the artifact schema.
+type Document struct {
+	Commit    string    `json:"commit,omitempty"`
+	Timestamp time.Time `json:"timestamp"`
+	GoVersion string    `json:"go_version"`
+	GOOS      string    `json:"goos"`
+	GOARCH    string    `json:"goarch"`
+	Results   []Result  `json:"results"`
+}
+
+func main() {
+	doc := Document{
+		Commit:    os.Getenv("GITHUB_SHA"),
+		Timestamp: time.Now().UTC(),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		r := Result{Name: fields[0], Iterations: iters, Metrics: map[string]float64{}}
+		// The remainder alternates value/unit pairs: "123 ns/op 4.5 stretch_mean".
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			r.Metrics[fields[i+1]] = v
+		}
+		doc.Results = append(doc.Results, r)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}

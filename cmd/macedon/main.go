@@ -8,7 +8,7 @@
 //	macedon check spec.mac...            validate specifications
 //	macedon gen -pkg name spec.mac       generate a Go agent to stdout
 //	macedon loc spec.mac...              count specification lines (Figure 7)
-//	macedon scenario [-trace] file.json  run a churn/failure/workload scenario
+//	macedon scenario [-trace] [-shards N] file.json  run a churn/failure/workload scenario
 package main
 
 import (

@@ -4,6 +4,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"macedon/internal/harness"
 	"macedon/internal/scenario"
@@ -18,6 +19,7 @@ func runScenario(args []string) int {
 	seed := fs.Int64("seed", 0, "override the scenario's seed")
 	trace := fs.Bool("trace", false, "print the executed event trace")
 	check := fs.Bool("check", false, "validate and compile only; print the schedule summary")
+	shards := fs.Int("shards", 0, "event-loop shards (0 = GOMAXPROCS, 1 = sequential); any value prints identical output")
 	_ = fs.Parse(args)
 	if fs.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "macedon scenario: exactly one scenario file required")
@@ -42,7 +44,11 @@ func runScenario(args []string) int {
 			sched.Settle, sched.Total)
 		return 0
 	}
-	rep, err := harness.RunScenario(s)
+	n := *shards
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	rep, err := harness.RunScenarioShards(s, n)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "%s: %v\n", fs.Arg(0), err)
 		return 1

@@ -1,0 +1,83 @@
+// Golden-trace regression corpus: every scenario in the corpus runs at
+// -shards=1 and -shards=4 and both outputs must be byte-identical to the
+// checked-in golden trace. This is the CI determinism gate — stronger than
+// the old self-diff step, because it pins behaviour across commits and
+// across shard counts, not just within one run.
+//
+// Regenerate the goldens after an intentional behaviour change with:
+//
+//	MACEDON_UPDATE_GOLDEN=1 go test -run TestGoldenTraces .
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"macedon/internal/harness"
+	"macedon/internal/scenario"
+)
+
+// goldenScenarios lists the corpus: the PR 1 churn-partition scenario plus
+// link-failure, multicast-workload, and the NICE/Overcast churn audits.
+var goldenScenarios = []string{
+	"churn-partition",
+	"link-failure",
+	"multicast-workload",
+	"nice-churn",
+	"overcast-churn",
+}
+
+// goldenOutput renders a report exactly as `macedon scenario -trace` prints
+// it, so the checked-in files double as CLI-diff targets.
+func goldenOutput(rep *scenario.Report) string {
+	return rep.TraceText() + "\n" + rep.String()
+}
+
+func TestGoldenTraces(t *testing.T) {
+	update := os.Getenv("MACEDON_UPDATE_GOLDEN") != ""
+	for _, name := range goldenScenarios {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			s, err := scenario.Load(filepath.Join("examples", "scenarios", name+".json"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			goldenPath := filepath.Join("testdata", "golden", name+".txt")
+			for _, shards := range []int{1, 4} {
+				rep, err := harness.RunScenarioShards(s, shards)
+				if err != nil {
+					t.Fatalf("shards=%d: %v", shards, err)
+				}
+				got := goldenOutput(rep)
+				if update && shards == 1 {
+					if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+						t.Fatal(err)
+					}
+				}
+				want, err := os.ReadFile(goldenPath)
+				if err != nil {
+					t.Fatalf("missing golden (run with MACEDON_UPDATE_GOLDEN=1 to create): %v", err)
+				}
+				if got != string(want) {
+					t.Fatalf("shards=%d output diverges from %s:\n%s",
+						shards, goldenPath, firstDiff(string(want), got))
+				}
+			}
+		})
+	}
+}
+
+// firstDiff locates the first differing line for a readable failure.
+func firstDiff(want, got string) string {
+	wl := strings.Split(want, "\n")
+	gl := strings.Split(got, "\n")
+	for i := 0; i < len(wl) && i < len(gl); i++ {
+		if wl[i] != gl[i] {
+			return fmt.Sprintf("line %d:\n  golden: %s\n  got:    %s", i+1, wl[i], gl[i])
+		}
+	}
+	return fmt.Sprintf("line counts differ: golden %d vs got %d", len(wl), len(gl))
+}

@@ -199,6 +199,20 @@ func (n *Node) post(fn func()) {
 	n.queueMu <- struct{}{}
 }
 
+// Exec runs fn on the node's serialized execution queue and waits for it to
+// finish: the safe way for code outside the event loop — live deployments
+// and tests polling protocol state while socket goroutines dispatch — to
+// inspect or mutate protocol instances. Must not be called from within the
+// node's own event handlers (it would deadlock waiting on itself).
+func (n *Node) Exec(fn func()) {
+	done := make(chan struct{})
+	n.post(func() {
+		fn()
+		close(done)
+	})
+	<-done
+}
+
 // Addr returns the node's address.
 func (n *Node) Addr() overlay.Address { return n.addr }
 

@@ -25,6 +25,11 @@ type ClusterConfig struct {
 	Routers int
 	// Seed drives every random choice in the experiment.
 	Seed int64
+	// Shards is the number of parallel event-loop shards. 0 or 1 selects
+	// the sequential loop; any value produces byte-identical results (see
+	// docs/simnet.md), larger values trade synchronization overhead for
+	// parallelism on big populations.
+	Shards int
 
 	// Graph optionally supplies a prebuilt topology with clients attached
 	// (addresses Addrs). When nil an INET topology is generated and clients
@@ -63,7 +68,11 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	if cfg.Nodes <= 0 && cfg.Graph == nil {
 		return nil, fmt.Errorf("harness: cluster needs nodes")
 	}
-	sched := simnet.NewScheduler(cfg.Seed)
+	shards := cfg.Shards
+	if shards < 1 {
+		shards = 1
+	}
+	sched := simnet.NewSharded(cfg.Seed, shards)
 	g := cfg.Graph
 	addrs := cfg.Addrs
 	if g == nil {
@@ -102,13 +111,28 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 // Bootstrap returns the conventional bootstrap node: the first client.
 func (c *Cluster) Bootstrap() overlay.Address { return c.Addrs[0] }
 
+// NodeSub returns the shard-bound substrate of the i-th node's endpoint:
+// its clock reads the owning shard's virtual time, which is the correct
+// timestamp source inside delivery callbacks of a sharded run.
+func (c *Cluster) NodeSub(i int) *simnet.NodeSubstrate {
+	ns, err := c.Net.NodeNet(c.Addrs[i])
+	if err != nil {
+		panic(fmt.Sprintf("harness: node substrate %d: %v", i, err))
+	}
+	return ns
+}
+
 // Spawn creates and starts the i-th node with the given stack, immediately,
-// at the current virtual time.
+// at the current virtual time. The node runs on its endpoint's event shard.
 func (c *Cluster) Spawn(i int, stack []core.Factory) (*core.Node, error) {
 	addr := c.Addrs[i]
+	sub, err := c.Net.NodeNet(addr)
+	if err != nil {
+		return nil, err
+	}
 	n, err := core.NewNode(core.Config{
 		Addr:           addr,
-		Net:            c.Net,
+		Net:            sub,
 		Stack:          stack,
 		Bootstrap:      c.Bootstrap(),
 		Seed:           c.cfg.Seed + int64(i)*7919 + 13,
@@ -181,9 +205,10 @@ func (c *Cluster) DirectLatency(a, b overlay.Address) (time.Duration, error) {
 	return c.Routes.ClientLatency(a, b)
 }
 
-// StopAll stops every node.
+// StopAll stops every node and releases the scheduler's shard workers.
 func (c *Cluster) StopAll() {
 	for _, n := range c.Nodes {
 		n.Stop()
 	}
+	c.Sched.Close()
 }

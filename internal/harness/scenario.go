@@ -8,6 +8,7 @@ import (
 	"macedon/internal/overlay"
 	"macedon/internal/overlays/chord"
 	"macedon/internal/overlays/nice"
+	"macedon/internal/overlays/overcast"
 	"macedon/internal/overlays/pastry"
 	"macedon/internal/overlays/randtree"
 	"macedon/internal/overlays/scribe"
@@ -15,7 +16,8 @@ import (
 	"macedon/internal/simnet"
 )
 
-// ScenarioStack resolves a scenario protocol name onto a node stack.
+// ScenarioStack resolves a scenario protocol name onto a node stack:
+// chord, pastry, randtree, scribe (pastry+scribe), nice, or overcast.
 func ScenarioStack(proto string) ([]core.Factory, error) {
 	switch proto {
 	case "", "chord":
@@ -28,8 +30,10 @@ func ScenarioStack(proto string) ([]core.Factory, error) {
 		return []core.Factory{pastry.New(pastry.Params{}), scribe.New(scribe.Params{})}, nil
 	case "nice":
 		return []core.Factory{nice.New(nice.Params{})}, nil
+	case "overcast":
+		return []core.Factory{overcast.New(overcast.Params{})}, nil
 	}
-	return nil, fmt.Errorf("harness: unknown scenario protocol %q (have chord, pastry, randtree, scribe, nice)", proto)
+	return nil, fmt.Errorf("harness: unknown scenario protocol %q (have chord, pastry, randtree, scribe, nice, overcast)", proto)
 }
 
 // RunScenario compiles a declarative scenario and executes it against an
@@ -37,6 +41,14 @@ func ScenarioStack(proto string) ([]core.Factory, error) {
 // deterministic: the same scenario and seed produce a byte-identical event
 // trace and report.
 func RunScenario(s *scenario.Scenario) (*scenario.Report, error) {
+	return RunScenarioShards(s, 1)
+}
+
+// RunScenarioShards runs a scenario on a sharded event loop. The shard
+// count is an execution parameter, not a scenario property: any value
+// yields the identical trace and report (docs/simnet.md explains why), so
+// golden traces recorded at one shard count verify every other.
+func RunScenarioShards(s *scenario.Scenario, shards int) (*scenario.Report, error) {
 	sched, err := scenario.Compile(s)
 	if err != nil {
 		return nil, err
@@ -45,10 +57,14 @@ func RunScenario(s *scenario.Scenario) (*scenario.Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	if shards < 1 {
+		shards = 1
+	}
 	c, err := NewCluster(ClusterConfig{
 		Nodes:          s.Nodes,
 		Routers:        s.Routers,
 		Seed:           s.Seed,
+		Shards:         shards,
 		HeartbeatAfter: s.HeartbeatAfter.D(),
 		FailAfter:      s.FailAfter.D(),
 	})
@@ -65,8 +81,8 @@ func RunScenario(s *scenario.Scenario) (*scenario.Report, error) {
 		sendPhase: make(map[int]int),
 		opsSent:   make([]int, len(sched.Phases)),
 		opsSkip:   make([]int, len(sched.Phases)),
-		delivered: make([]int, len(sched.Phases)),
-		latSum:    make([]time.Duration, len(sched.Phases)),
+		delivered: makeGrid[int](shards, len(sched.Phases)),
+		latSum:    makeGrid[time.Duration](shards, len(sched.Phases)),
 		phaseNet:  make([]simnet.Stats, len(sched.Phases)),
 		phaseLive: make([]int, len(sched.Phases)),
 	}
@@ -92,14 +108,25 @@ type scenarioEngine struct {
 	sendPhase map[int]int           // workload op id → phase index
 	opsSent   []int
 	opsSkip   []int
-	delivered []int
-	latSum    []time.Duration
+	// Delivery accounting is indexed [shard][phase]: callbacks run on the
+	// receiving node's shard, concurrently with other shards, and the
+	// per-shard sums merge deterministically (addition commutes).
+	delivered [][]int
+	latSum    [][]time.Duration
 	phaseNet  []simnet.Stats // stats snapshot at each phase end
 	phaseLive []int
 	baseNet   simnet.Stats // stats snapshot when phase 0 starts
 
 	eventsRun int
 	trace     []string
+}
+
+func makeGrid[T any](shards, phases int) [][]T {
+	out := make([][]T, shards)
+	for i := range out {
+		out[i] = make([]T, phases)
+	}
+	return out
 }
 
 func (e *scenarioEngine) run() (*scenario.Report, error) {
@@ -136,6 +163,12 @@ func (e *scenarioEngine) run() (*scenario.Report, error) {
 	}
 	prev := e.baseNet
 	for pi, cp := range e.sched.Phases {
+		del := 0
+		var lat time.Duration
+		for sh := range e.delivered {
+			del += e.delivered[sh][pi]
+			lat += e.latSum[sh][pi]
+		}
 		pr := scenario.PhaseReport{
 			Name:         cp.Name,
 			Start:        cp.Start,
@@ -143,11 +176,11 @@ func (e *scenarioEngine) run() (*scenario.Report, error) {
 			LiveNodes:    e.phaseLive[pi],
 			OpsSent:      e.opsSent[pi],
 			OpsSkipped:   e.opsSkip[pi],
-			OpsDelivered: e.delivered[pi],
+			OpsDelivered: del,
 			Net:          scenario.SubStats(e.phaseNet[pi], prev),
 		}
 		if pr.OpsDelivered > 0 {
-			pr.MeanLatency = e.latSum[pi] / time.Duration(pr.OpsDelivered)
+			pr.MeanLatency = lat / time.Duration(pr.OpsDelivered)
 		}
 		prev = e.phaseNet[pi]
 		rep.Phases = append(rep.Phases, pr)
@@ -274,12 +307,15 @@ func (e *scenarioEngine) apply(op scenario.Op) {
 }
 
 // attach registers delivery accounting (and group membership) on a node
-// that just spawned or revived.
+// that just spawned or revived. The deliver callback fires on the node's
+// event shard, so it captures the shard-bound clock and accounting row.
 func (e *scenarioEngine) attach(i int) {
 	n := e.c.Nodes[e.c.Addrs[i]]
+	sub := e.c.NodeSub(i)
+	shard := sub.Shard()
 	n.RegisterHandlers(core.Handlers{
 		Deliver: func(payload []byte, typ int32, src overlay.Address) {
-			e.onDeliver(int(typ))
+			e.onDeliver(int(typ), shard, sub)
 		},
 	})
 	if e.needsGroup {
@@ -291,12 +327,15 @@ func (e *scenarioEngine) attach(i int) {
 	}
 }
 
-func (e *scenarioEngine) onDeliver(opID int) {
+// onDeliver runs on the receiving node's shard. sendTime and sendPhase are
+// only written by workload ops, which execute at barriers while every shard
+// is parked, so the concurrent reads here are safe.
+func (e *scenarioEngine) onDeliver(opID, shard int, sub *simnet.NodeSubstrate) {
 	at, ok := e.sendTime[opID]
 	if !ok {
 		return
 	}
 	ph := e.sendPhase[opID]
-	e.delivered[ph]++
-	e.latSum[ph] += e.c.Sched.Elapsed() - at
+	e.delivered[shard][ph]++
+	e.latSum[shard][ph] += sub.Elapsed() - at
 }

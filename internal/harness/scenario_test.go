@@ -76,6 +76,36 @@ func TestScenarioDeterminism(t *testing.T) {
 	}
 }
 
+// TestScenarioShardInvariance is the sharded event loop's core guarantee:
+// the shard count is an execution parameter, so 1, 2, and 4 shards must
+// produce byte-identical traces and reports for the same scenario and seed.
+func TestScenarioShardInvariance(t *testing.T) {
+	base, err := RunScenarioShards(testScenario(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{2, 4} {
+		got, err := RunScenarioShards(testScenario(), shards)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if got.TraceText() != base.TraceText() {
+			at, bt := base.Trace, got.Trace
+			for i := 0; i < len(at) && i < len(bt); i++ {
+				if at[i] != bt[i] {
+					t.Fatalf("shards=%d: traces diverge at line %d:\n  shards=1: %s\n  shards=%d: %s",
+						shards, i, at[i], shards, bt[i])
+				}
+			}
+			t.Fatalf("shards=%d: trace lengths differ: %d vs %d", shards, len(at), len(bt))
+		}
+		if got.String() != base.String() {
+			t.Fatalf("shards=%d: reports differ:\n--- shards=1\n%s\n--- shards=%d\n%s",
+				shards, base, shards, got)
+		}
+	}
+}
+
 // TestScenarioRunsTheScript checks the executed run actually contains what
 // the scenario declared: kills, a partition, heals, lookups, and sane
 // metrics.
@@ -164,6 +194,95 @@ func TestScenarioMulticastWorkload(t *testing.T) {
 		t.Error("wave churn with downtime produced no revives")
 	}
 }
+
+// disseminationChurnScenario is the kill/revive audit the scenario engine
+// ran against RandTree in PR 1, applied to the other dissemination
+// protocols: wave churn with revives under a multicast workload, then an
+// explicit kill and revive of the multicast source itself (node 0), then a
+// recovery phase whose deliveries prove the revived source's stream is
+// accepted (a source that reuses sequence numbers after a cold restart
+// trips stale dedup state in long-lived receivers).
+func disseminationChurnScenario(proto string) *scenario.Scenario {
+	return &scenario.Scenario{
+		Name:           "dissemination-churn-" + proto,
+		Seed:           41,
+		Nodes:          10,
+		Routers:        60,
+		Protocol:       proto,
+		Settle:         scenario.Duration(40 * time.Second),
+		Drain:          scenario.Duration(10 * time.Second),
+		HeartbeatAfter: scenario.Duration(2 * time.Second),
+		FailAfter:      scenario.Duration(6 * time.Second),
+		Phases: []scenario.Phase{
+			{
+				Name:     "steady",
+				Duration: scenario.Duration(20 * time.Second),
+				Workload: &scenario.Workload{Kind: scenario.WlMulticast, Rate: 2, Size: 200},
+			},
+			{
+				Name:     "members-churn",
+				Duration: scenario.Duration(30 * time.Second),
+				Churn: &scenario.Churn{
+					Model:    "wave",
+					Kill:     2,
+					Period:   scenario.Duration(10 * time.Second),
+					Downtime: scenario.Duration(8 * time.Second),
+				},
+				Workload: &scenario.Workload{Kind: scenario.WlMulticast, Rate: 2, Size: 200},
+			},
+			{
+				Name:     "source-outage",
+				Duration: scenario.Duration(30 * time.Second),
+				Events: []scenario.Event{
+					{At: scenario.Duration(2 * time.Second), Kind: scenario.EvKill, Node: 0},
+					{At: scenario.Duration(12 * time.Second), Kind: scenario.EvRevive, Node: 0},
+				},
+				Workload: &scenario.Workload{Kind: scenario.WlMulticast, Rate: 2, Size: 200},
+			},
+			{
+				Name:     "recovered",
+				Duration: scenario.Duration(30 * time.Second),
+				Workload: &scenario.Workload{Kind: scenario.WlMulticast, Rate: 2, Size: 200},
+			},
+		},
+	}
+}
+
+func auditDissemination(t *testing.T, proto string) {
+	t.Helper()
+	rep, err := RunScenario(disseminationChurnScenario(proto))
+	if err != nil {
+		t.Fatal(err)
+	}
+	steady := rep.Phases[0]
+	if steady.OpsSent == 0 || steady.OpsDelivered < steady.OpsSent*5 {
+		t.Fatalf("%s steady phase broken: sent=%d delivered=%d", proto, steady.OpsSent, steady.OpsDelivered)
+	}
+	churn := rep.Phases[1]
+	if churn.OpsDelivered == 0 {
+		t.Fatalf("%s delivered nothing under member churn", proto)
+	}
+	if !strings.Contains(rep.TraceText(), "revive node") {
+		t.Fatalf("%s: churn produced no revives", proto)
+	}
+	rec := rep.Phases[3]
+	if rec.OpsSent == 0 {
+		t.Fatalf("%s recovery phase sent nothing", proto)
+	}
+	// The revived source must reach most of the population again: require
+	// at least half the full-dissemination volume.
+	if rec.OpsDelivered < rec.OpsSent*(rep.Nodes-1)/2 {
+		t.Fatalf("%s: revived source not accepted: sent=%d delivered=%d (want >= %d)",
+			proto, rec.OpsSent, rec.OpsDelivered, rec.OpsSent*(rep.Nodes-1)/2)
+	}
+}
+
+// TestScenarioNICEChurnAudit audits NICE under kill/revive churn plus a
+// source restart, the way PR 1 audited RandTree.
+func TestScenarioNICEChurnAudit(t *testing.T) { auditDissemination(t, "nice") }
+
+// TestScenarioOvercastChurnAudit audits Overcast the same way.
+func TestScenarioOvercastChurnAudit(t *testing.T) { auditDissemination(t, "overcast") }
 
 // TestScenarioReviveKeepsRunning checks kill/revive over the same address:
 // the revived node must actually rejoin and the run must stay alive (the

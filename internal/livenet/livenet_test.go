@@ -39,9 +39,13 @@ func TestLiveChordRing(t *testing.T) {
 	for {
 		joined := 0
 		for _, nd := range nodes {
-			if nd.Instance("chord").Agent().(*chord.Protocol).Joined() {
-				joined++
-			}
+			// Protocol state is owned by the node's event queue; sample it
+			// through Exec so the poll is serialized with live dispatch.
+			nd.Exec(func() {
+				if nd.Instance("chord").Agent().(*chord.Protocol).Joined() {
+					joined++
+				}
+			})
 		}
 		if joined == n {
 			break
@@ -56,14 +60,17 @@ func TestLiveChordRing(t *testing.T) {
 	// Route a payload over real sockets and watch it arrive somewhere.
 	done := make(chan overlay.Address, n)
 	for _, nd := range nodes {
+		nd := nd
 		addr := nd.Addr()
-		nd.RegisterHandlers(core.Handlers{
-			Deliver: func(p []byte, typ int32, src overlay.Address) {
-				select {
-				case done <- addr:
-				default:
-				}
-			},
+		nd.Exec(func() {
+			nd.RegisterHandlers(core.Handlers{
+				Deliver: func(p []byte, typ int32, src overlay.Address) {
+					select {
+					case done <- addr:
+					default:
+					}
+				},
+			})
 		})
 	}
 	time.Sleep(2 * time.Second) // let stabilization settle

@@ -118,9 +118,13 @@ func (m *heartbeat) Decode(r *overlay.Reader) error {
 	return r.Err()
 }
 
-// mdata is multicast payload moving through the cluster hierarchy.
+// mdata is multicast payload moving through the cluster hierarchy. Inc is
+// the source's incarnation stamp: a member that restarts resets its Seq
+// counter, and without the stamp long-lived receivers would deduplicate the
+// fresh stream against the dead one's sequence numbers.
 type mdata struct {
 	Src     overlay.Address
+	Inc     uint64
 	Seq     uint32
 	Typ     int32
 	Payload []byte
@@ -129,12 +133,14 @@ type mdata struct {
 func (m *mdata) MsgName() string { return "mdata" }
 func (m *mdata) Encode(w *overlay.Writer) {
 	w.Addr(m.Src)
+	w.I64(int64(m.Inc))
 	w.U32(m.Seq)
 	w.U32(uint32(m.Typ))
 	w.Bytes32(m.Payload)
 }
 func (m *mdata) Decode(r *overlay.Reader) error {
 	m.Src = r.Addr()
+	m.Inc = uint64(r.I64())
 	m.Seq = r.U32()
 	m.Typ = int32(r.U32())
 	m.Payload = append([]byte(nil), r.Bytes32()...)

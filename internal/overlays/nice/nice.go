@@ -88,9 +88,19 @@ type Protocol struct {
 	bestCand     overlay.Address
 	bestDist     time.Duration
 
+	inc      uint64 // incarnation stamp carried on our own mdata
 	nextSeq  uint32
-	seen     map[uint64]bool
+	seen     map[pktKey]bool
 	delivers uint64
+}
+
+// pktKey identifies one multicast packet across source restarts: without
+// the incarnation, a churned-and-revived source's reset Seq counter would
+// collide with the seen-window of its previous life.
+type pktKey struct {
+	src overlay.Address
+	inc uint64
+	seq uint32
 }
 
 type probeState struct {
@@ -165,11 +175,15 @@ func (n *Protocol) Define(d *core.Def) {
 func (n *Protocol) apiInit(ctx *core.Context, call *core.APICall) {
 	n.self = ctx.Self()
 	n.rp = call.Bootstrap
+	// The full virtual-nanosecond clock reading: deterministic, and a
+	// revived node always restarts strictly later than its previous
+	// incarnation, so the stamp can never collide across restarts.
+	n.inc = uint64(ctx.Now().UnixNano())
 	n.dists = make(map[overlay.Address]time.Duration)
 	n.probeSent = make(map[uint32]probeState)
 	n.lastSeen = make(map[overlay.Address]time.Time)
 	n.matrix = make(map[overlay.Address]map[overlay.Address]time.Duration)
-	n.seen = make(map[uint64]bool)
+	n.seen = make(map[pktKey]bool)
 	if n.rp == n.self || n.rp == overlay.NilAddress {
 		// The rendezvous point starts as the lone member and leader of L0.
 		n.layers = []*cluster{{leader: n.self, members: map[overlay.Address]bool{n.self: true}}}
@@ -735,7 +749,7 @@ func (n *Protocol) merge(ctx *core.Context, layer int) {
 
 func (n *Protocol) apiMulticast(ctx *core.Context, call *core.APICall) {
 	n.nextSeq++
-	m := &mdata{Src: n.self, Seq: n.nextSeq, Typ: call.PayloadType, Payload: call.Payload}
+	m := &mdata{Src: n.self, Inc: n.inc, Seq: n.nextSeq, Typ: call.PayloadType, Payload: call.Payload}
 	n.forward(ctx, m, -1, call.Priority)
 }
 
@@ -759,13 +773,13 @@ func (n *Protocol) forward(ctx *core.Context, m *mdata, fromLayer int, pri int) 
 
 func (n *Protocol) recvMdata(ctx *core.Context, ev *core.MsgEvent) {
 	m := ev.Msg.(*mdata)
-	key := uint64(m.Src)<<32 | uint64(m.Seq)
+	key := pktKey{src: m.Src, inc: m.Inc, seq: m.Seq}
 	if n.seen[key] {
 		return
 	}
 	n.seen[key] = true
 	if len(n.seen) > 8192 {
-		n.seen = map[uint64]bool{key: true} // coarse window reset
+		n.seen = map[pktKey]bool{key: true} // coarse window reset
 	}
 	// Which of our clusters does the sender share with us?
 	fromLayer := -1

@@ -113,10 +113,13 @@ func (m *familyUpdate) Decode(r *overlay.Reader) error {
 	return r.Err()
 }
 
-// mdata is multicast payload moving down the tree. Seq deduplicates
-// deliveries when relocation rewires the tree mid-flight.
+// mdata is multicast payload moving down the tree. (Inc, Seq) deduplicates
+// deliveries when relocation rewires the tree mid-flight: Inc is the
+// source's incarnation stamp, so a restarted root whose Seq counter resets
+// is not mistaken for a replay of the previous incarnation's stream.
 type mdata struct {
 	Src     overlay.Address
+	Inc     uint64
 	Seq     uint32
 	Typ     int32
 	Payload []byte
@@ -125,12 +128,14 @@ type mdata struct {
 func (m *mdata) MsgName() string { return "mdata" }
 func (m *mdata) Encode(w *overlay.Writer) {
 	w.Addr(m.Src)
+	w.I64(int64(m.Inc))
 	w.U32(m.Seq)
 	w.U32(uint32(m.Typ))
 	w.Bytes32(m.Payload)
 }
 func (m *mdata) Decode(r *overlay.Reader) error {
 	m.Src = r.Addr()
+	m.Inc = uint64(r.I64())
 	m.Seq = r.U32()
 	m.Typ = int32(r.U32())
 	m.Payload = append([]byte(nil), r.Bytes32()...)

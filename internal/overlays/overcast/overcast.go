@@ -34,6 +34,10 @@ type Params struct {
 	// MoveGain is the bandwidth-improvement factor required to relocate
 	// (default 1.2: move only for a 20% better estimate).
 	MoveGain float64
+	// JoinRetryPeriod re-sends a join request that got no reply (joins ride
+	// best-effort UDP; without a retry a lost join orphans the node
+	// forever, which kill/revive churn reliably provokes). Default 2 s.
+	JoinRetryPeriod time.Duration
 }
 
 func (p *Params) setDefaults() {
@@ -57,6 +61,9 @@ func (p *Params) setDefaults() {
 	}
 	if p.MoveGain <= 1 {
 		p.MoveGain = 1.2
+	}
+	if p.JoinRetryPeriod <= 0 {
+		p.JoinRetryPeriod = 2 * time.Second
 	}
 }
 
@@ -96,8 +103,17 @@ type Protocol struct {
 	probesSeen   map[overlay.Address]int
 
 	// Multicast dedup: relocation can transiently double-parent a node.
+	// Keys carry the source's incarnation stamp so a restarted root (whose
+	// Seq counter resets to 0) is never deduplicated against the previous
+	// incarnation's stream — the TTL-class bug kill/revive churn exposes.
+	// curInc/curHigh track the newest incarnation and its stream head so
+	// window pruning is always judged against the live stream, never
+	// against a stale backlog replay.
+	inc      uint64
 	nextSeq  uint32
-	seenSeqs map[uint32]bool
+	seenSeqs map[seqKey]bool
+	curInc   uint64
+	curHigh  uint32
 
 	// Overcast is *reliable* multicast [13]: parents keep a short log and
 	// replay it to newly adopted children so moves do not lose packets.
@@ -106,6 +122,12 @@ type Protocol struct {
 
 // backlogWindow bounds the replay log.
 const backlogWindow = 64
+
+// seqKey identifies one multicast packet across source restarts.
+type seqKey struct {
+	inc uint64
+	seq uint32
+}
 
 type bandwidthEstimate struct {
 	bitsPerSec float64
@@ -146,6 +168,7 @@ func (o *Protocol) Define(d *core.Def) {
 	d.Timer("probe_requester", o.p.ProbeRequestPeriod) // timer Q
 	d.Timer("keep_probing", o.p.ProbeSpacing)          // timer Z
 	d.Timer("probe_timeout", o.p.ProbeTimeout)
+	d.Timer("join_retry", o.p.JoinRetryPeriod)
 
 	d.NeighborList("papa", 1, true)
 	d.NeighborList("kids", o.p.MaxChildren, true)
@@ -167,16 +190,21 @@ func (o *Protocol) Define(d *core.Def) {
 	d.OnTimer("probe_requester", core.In("joined"), core.Write, o.onProbeRequester)
 	d.OnTimer("keep_probing", core.In("probing"), core.Read, o.onKeepProbing)
 	d.OnTimer("probe_timeout", core.In("probed"), core.Write, o.onProbeTimeout)
+	d.OnTimer("join_retry", core.In("joining"), core.Write, o.onJoinRetry)
 }
 
 func (o *Protocol) apiInit(ctx *core.Context, call *core.APICall) {
 	o.self = ctx.Self()
 	o.root = call.Bootstrap
+	// Incarnation stamp: the full virtual-nanosecond clock reading. A
+	// revived node restarts strictly later than it first started, so the
+	// stamp is distinct per incarnation yet fully deterministic.
+	o.inc = uint64(ctx.Now().UnixNano())
 	o.estimates = make(map[overlay.Address]bandwidthEstimate)
 	o.firstArrival = make(map[overlay.Address]time.Time)
 	o.lastArrival = make(map[overlay.Address]time.Time)
 	o.probesSeen = make(map[overlay.Address]int)
-	o.seenSeqs = make(map[uint32]bool)
+	o.seenSeqs = make(map[seqKey]bool)
 	o.candPaths = make(map[overlay.Address][]overlay.Address)
 	o.rootPath = []overlay.Address{o.self}
 	if o.root == o.self || o.root == overlay.NilAddress {
@@ -185,8 +213,23 @@ func (o *Protocol) apiInit(ctx *core.Context, call *core.APICall) {
 		return
 	}
 	// "Bootstrap = no": send a join request to the bootstrap.
+	o.startJoin(ctx, o.root)
+}
+
+// startJoin enters the joining state, asks target for adoption, and arms
+// the retry timer: joins ride best-effort UDP, so a lost request (or a
+// request sent to a crashed node) must not orphan us forever.
+func (o *Protocol) startJoin(ctx *core.Context, target overlay.Address) {
 	ctx.StateChange("joining")
+	_ = ctx.Send(target, &joinMsg{}, overlay.PriorityDefault)
+	ctx.TimerResched("join_retry", o.p.JoinRetryPeriod)
+}
+
+// onJoinRetry fires while still joining: fall back to the root, the one
+// address every member knows survives redirect chains and crashes.
+func (o *Protocol) onJoinRetry(ctx *core.Context) {
 	_ = ctx.Send(o.root, &joinMsg{}, overlay.PriorityDefault)
+	ctx.TimerResched("join_retry", o.p.JoinRetryPeriod)
 }
 
 // recvJoin: "Recv join request → add child, send join reply".
@@ -242,6 +285,7 @@ func (o *Protocol) recvJoinReply(ctx *core.Context, ev *core.MsgEvent) {
 		}
 		papa.Add(ev.From)
 		ctx.StateChange("joined")
+		ctx.TimerCancel("join_retry")
 		ctx.TimerResched("probe_requester", o.jitter(ctx, o.p.ProbeRequestPeriod))
 		o.grandpa = m.Grandparent
 		o.brothers = m.Siblings
@@ -257,6 +301,7 @@ func (o *Protocol) recvJoinReply(ctx *core.Context, ev *core.MsgEvent) {
 	if papa.Size() > 0 {
 		// We already have a tree position; stay there.
 		ctx.StateChange("joined")
+		ctx.TimerCancel("join_retry")
 		return
 	}
 	_ = ctx.Send(target, &joinMsg{}, overlay.PriorityDefault)
@@ -285,8 +330,7 @@ func (o *Protocol) setRootPath(ctx *core.Context, parentPath []overlay.Address) 
 	for _, a := range parentPath {
 		if a == o.self {
 			ctx.Neighbors("papa").Clear()
-			ctx.StateChange("joining")
-			_ = ctx.Send(o.root, &joinMsg{}, overlay.PriorityDefault)
+			o.startJoin(ctx, o.root)
 			return
 		}
 	}
@@ -349,6 +393,13 @@ func (o *Protocol) onProbeRequester(ctx *core.Context) {
 func (o *Protocol) recvProbeRequest(ctx *core.Context, ev *core.MsgEvent) {
 	if ctx.State() == "probing" || ctx.State() == "probed" {
 		return // one outstanding episode at a time, as the FSM's scalar
+	}
+	if ctx.State() == "joining" {
+		// Refuse while homeless: the probing episode would end in a
+		// StateChange to joined, silently abandoning the join retry and
+		// leaving this node a parentless zombie "root" — the subtree
+		// detachment kill/revive churn of the real root reliably produced.
+		return
 	}
 	m := ev.Msg.(*probeRequest)
 	o.probedNode = ev.From
@@ -458,10 +509,15 @@ func (o *Protocol) decideMove(ctx *core.Context) {
 		}
 		if parentBw == 0 || bestBw > parentBw*o.p.MoveGain {
 			o.moves++
-			ctx.StateChange("joining")
-			_ = ctx.Send(best, &joinMsg{}, overlay.PriorityDefault)
+			o.startJoin(ctx, best)
 			return
 		}
+	}
+	if papa == nil && o.self != o.root {
+		// Root guard: never settle into joined without a parent (the
+		// parent died mid-episode). Resume the join instead.
+		o.startJoin(ctx, o.root)
+		return
 	}
 	ctx.StateChange("joined")
 }
@@ -471,8 +527,7 @@ func (o *Protocol) apiError(ctx *core.Context, call *core.APICall) {
 	if papa.Size() == 0 && ctx.State() != "joining" && ctx.State() != core.StateInit {
 		// Parent failed: rejoin through the root (or become root's child).
 		if o.self != o.root {
-			ctx.StateChange("joining")
-			_ = ctx.Send(o.root, &joinMsg{}, overlay.PriorityDefault)
+			o.startJoin(ctx, o.root)
 		}
 	}
 	ctx.NotifyNeighbors(overlay.NbrTypeChild, ctx.Neighbors("kids").Addrs())
@@ -480,7 +535,7 @@ func (o *Protocol) apiError(ctx *core.Context, call *core.APICall) {
 
 func (o *Protocol) apiMulticast(ctx *core.Context, call *core.APICall) {
 	o.nextSeq++
-	m := &mdata{Src: o.self, Seq: o.nextSeq, Typ: call.PayloadType, Payload: call.Payload}
+	m := &mdata{Src: o.self, Inc: o.inc, Seq: o.nextSeq, Typ: call.PayloadType, Payload: call.Payload}
 	o.disseminate(ctx, m, overlay.NilAddress, call.Priority)
 }
 
@@ -497,7 +552,7 @@ func (o *Protocol) disseminate(ctx *core.Context, m *mdata, except overlay.Addre
 		if !ok {
 			continue
 		}
-		_ = ctx.Send(next, &mdata{Src: m.Src, Seq: m.Seq, Typ: m.Typ, Payload: payload}, pri)
+		_ = ctx.Send(next, &mdata{Src: m.Src, Inc: m.Inc, Seq: m.Seq, Typ: m.Typ, Payload: payload}, pri)
 	}
 	if m.Src != o.self {
 		ctx.Deliver(m.Payload, m.Typ, m.Src)
@@ -506,15 +561,30 @@ func (o *Protocol) disseminate(ctx *core.Context, m *mdata, except overlay.Addre
 
 func (o *Protocol) recvMdata(ctx *core.Context, ev *core.MsgEvent) {
 	m := ev.Msg.(*mdata)
-	key := m.Seq // single multicast source (the root) in Overcast
+	// Track the newest source incarnation (stamps are nanosecond clock
+	// readings, strictly increasing across restarts). Packets of older
+	// incarnations are dead streams — backlog replays of a pre-restart
+	// root — and are dropped outright rather than re-delivered.
+	if m.Inc > o.curInc {
+		o.curInc, o.curHigh = m.Inc, 0
+	} else if m.Inc != o.curInc {
+		return
+	}
+	key := seqKey{inc: m.Inc, seq: m.Seq} // single multicast source (the root) in Overcast
 	if o.seenSeqs[key] {
 		return
 	}
 	o.seenSeqs[key] = true
+	if m.Seq > o.curHigh {
+		o.curHigh = m.Seq
+	}
 	if len(o.seenSeqs) > 4096 {
-		// Bound the window; old entries are far behind the stream head.
+		// Bound the window against the live stream's head: dead-incarnation
+		// entries go first, then live entries far behind curHigh. Keying the
+		// purge to the packet itself would let one stale replay wipe the
+		// live window.
 		for k := range o.seenSeqs {
-			if k+2048 < m.Seq {
+			if k.inc != o.curInc || k.seq+2048 < o.curHigh {
 				delete(o.seenSeqs, k)
 			}
 		}

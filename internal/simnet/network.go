@@ -27,6 +27,21 @@ type Stats struct {
 	Bytes          uint64 // payload bytes entering the network
 }
 
+func (a Stats) add(b Stats) Stats {
+	return Stats{
+		Sent:           a.Sent + b.Sent,
+		Delivered:      a.Delivered + b.Delivered,
+		QueueDrops:     a.QueueDrops + b.QueueDrops,
+		RandomLoss:     a.RandomLoss + b.RandomLoss,
+		DownDrops:      a.DownDrops + b.DownDrops,
+		LinkDownDrops:  a.LinkDownDrops + b.LinkDownDrops,
+		DegradeLoss:    a.DegradeLoss + b.DegradeLoss,
+		PartitionDrops: a.PartitionDrops + b.PartitionDrops,
+		NoRouteDrops:   a.NoRouteDrops + b.NoRouteDrops,
+		Bytes:          a.Bytes + b.Bytes,
+	}
+}
+
 // LinkCounters is per-pipe accounting used by overhead metrics.
 type LinkCounters struct {
 	Packets uint64
@@ -41,11 +56,33 @@ type Config struct {
 	LossRate float64
 	// PerHopOverhead adds fixed per-router forwarding delay.
 	PerHopOverhead time.Duration
+	// OracleCacheSize bounds how many failure-set routing oracles the
+	// network retains (LRU). 0 selects DefaultOracleCacheSize. Scenarios
+	// that cycle through many distinct link-failure sets would otherwise
+	// accumulate one oracle (and its shortest-path trees) per set.
+	OracleCacheSize int
+	// OracleTreeBudget bounds the shortest-path trees cached inside each
+	// routing oracle (see topology.Routes.SetTreeBudget). 0 selects
+	// DefaultOracleTreeBudget; negative means unbounded.
+	OracleTreeBudget int
 }
+
+// Default bounds for routing-oracle memory.
+const (
+	DefaultOracleCacheSize  = 4
+	DefaultOracleTreeBudget = 1024
+)
 
 // Network emulates the topology: it implements substrate.Network by routing
 // each datagram along the shortest path and applying per-pipe bandwidth
 // serialization, propagation delay, and drop-tail queuing at every hop.
+//
+// When the scheduler is sharded, every vertex of the topology (routers and
+// client endpoints alike) is assigned to a shard, and all events touching a
+// vertex's state execute on its shard. Packets hop from vertex to vertex;
+// a hop whose endpoints live on different shards is handed off through the
+// scheduler's cross-shard path, which the conservative lookahead (the
+// minimum cross-shard link latency) makes safe and deterministic.
 type Network struct {
 	sched  *Scheduler
 	graph  *topology.Graph
@@ -53,45 +90,115 @@ type Network struct {
 	live   *topology.Routes // forwarding oracle, routes around failed links
 	cfg    Config
 
-	links []linkState // indexed by topology.LinkID
-	eps   map[overlay.Address]*endpoint
-	paths map[pathKey][]topology.LinkID
+	nshards     int
+	vertexShard []int32 // topology.RouterID -> shard
+	numVertices uint64
+	lossSalt    uint64
+
+	links   []linkState // indexed by topology.LinkID
+	eps     map[overlay.Address]*endpoint
+	pathsBy []shardPaths // per-shard path cache
 
 	blocked  map[topology.LinkID]bool
 	degraded map[topology.LinkID]Degradation
 	sides    map[overlay.Address]int // partition sides; nil = healed
 
-	stats Stats
+	statsBy []shardStats // per-shard counters, summed on demand
+
+	oracles         oracleCache
+	oracleEvictions uint64
+}
+
+type shardPaths struct {
+	m map[pathKey][]topology.LinkID
+	_ [40]byte // keep neighbouring shards' maps off one cache line
+}
+
+// shardStats pads each shard's counters to cache-line multiples: every
+// packet bumps several of them on the hot path, and unpadded neighbours
+// would false-share lines between workers.
+type shardStats struct {
+	Stats
+	_ [48]byte
 }
 
 type linkState struct {
 	busyUntil   time.Duration // virtual instant the pipe finishes its queue
 	queuedBytes int
 	ctr         LinkCounters
+	seq         uint64 // the link actor's event counter
+	lossSeq     uint64 // per-link deterministic loss-draw counter
 }
 
 type pathKey struct{ src, dst topology.RouterID }
 
 // New builds an emulated network over a finished topology. The graph must
-// already have all clients attached.
+// already have all clients attached. The shard count comes from the
+// scheduler; New partitions the vertices and installs the conservative
+// lookahead window.
 func New(sched *Scheduler, g *topology.Graph, cfg Config) *Network {
+	nsh := sched.Shards()
 	n := &Network{
-		sched:    sched,
-		graph:    g,
-		routes:   topology.NewRoutes(g),
-		cfg:      cfg,
-		links:    make([]linkState, g.NumLinks()),
-		eps:      make(map[overlay.Address]*endpoint),
-		paths:    make(map[pathKey][]topology.LinkID),
-		blocked:  make(map[topology.LinkID]bool),
-		degraded: make(map[topology.LinkID]Degradation),
+		sched:       sched,
+		graph:       g,
+		cfg:         cfg,
+		nshards:     nsh,
+		numVertices: uint64(g.NumRouters()),
+		lossSalt:    splitmix64(uint64(sched.Seed()) ^ 0x6d616365646f6e21),
+		links:       make([]linkState, g.NumLinks()),
+		eps:         make(map[overlay.Address]*endpoint),
+		pathsBy:     make([]shardPaths, nsh),
+		blocked:     make(map[topology.LinkID]bool),
+		degraded:    make(map[topology.LinkID]Degradation),
+		statsBy:     make([]shardStats, nsh),
 	}
+	if n.cfg.OracleCacheSize <= 0 {
+		n.cfg.OracleCacheSize = DefaultOracleCacheSize
+	}
+	if n.cfg.OracleTreeBudget == 0 {
+		// Trees are only ever computed toward client vertices (packets
+		// terminate at endpoints), so the working set is one tree per
+		// client: default to that, floored at DefaultOracleTreeBudget. A
+		// budget below the client count would thrash recomputation on
+		// all-pairs traffic at large scale.
+		n.cfg.OracleTreeBudget = len(g.Clients())
+		if n.cfg.OracleTreeBudget < DefaultOracleTreeBudget {
+			n.cfg.OracleTreeBudget = DefaultOracleTreeBudget
+		}
+	}
+	n.routes = topology.NewRoutes(g)
+	n.routes.SetTreeBudget(n.cfg.OracleTreeBudget)
 	n.live = n.routes
+	n.vertexShard = make([]int32, g.NumRouters())
+	for v := range n.vertexShard {
+		n.vertexShard[v] = int32(v % nsh)
+	}
+	for i := range n.pathsBy {
+		n.pathsBy[i].m = make(map[pathKey][]topology.LinkID)
+	}
 	for _, addr := range g.Clients() {
-		n.eps[addr] = &endpoint{net: n, addr: addr}
+		v, _ := g.ClientVertex(addr)
+		n.eps[addr] = &endpoint{net: n, addr: addr, vertex: v, shard: int(n.vertexShard[v])}
+	}
+	if nsh > 1 {
+		if w, ok := topology.MinCrossShardLatency(g, func(v topology.RouterID) int { return int(n.vertexShard[v]) }); ok {
+			sched.SetLookahead(w)
+		} else {
+			// No cross-shard links at all: shards never interact.
+			sched.SetLookahead(1 << 56)
+		}
 	}
 	return n
 }
+
+// Actor identifiers for the deterministic event order: 0 is the global
+// actor, vertices follow, then directed links. The numbering depends only
+// on the topology, never on the shard count.
+func (n *Network) vertexActor(v topology.RouterID) uint64 { return 1 + uint64(v) }
+func (n *Network) linkActor(l topology.LinkID) uint64     { return 1 + n.numVertices + uint64(l) }
+
+// shardOf returns the shard owning a vertex.
+func (n *Network) shardOf(v topology.RouterID) int { return int(n.vertexShard[v]) }
 
 // Scheduler returns the clock driving the network.
 func (n *Network) Scheduler() *Scheduler { return n.sched }
@@ -102,8 +209,16 @@ func (n *Network) Routes() *topology.Routes { return n.routes }
 // Graph returns the underlying topology.
 func (n *Network) Graph() *topology.Graph { return n.graph }
 
-// Stats returns a snapshot of network-wide counters.
-func (n *Network) Stats() Stats { return n.stats }
+// Stats returns a snapshot of network-wide counters, summed across shards.
+// Call it from the coordinating goroutine (between epochs), not from event
+// handlers of a sharded run.
+func (n *Network) Stats() Stats {
+	var sum Stats
+	for i := range n.statsBy {
+		sum = sum.add(n.statsBy[i].Stats)
+	}
+	return sum
+}
 
 // LinkCounters returns a copy of the per-pipe counters for a link.
 func (n *Network) LinkCounters(l topology.LinkID) LinkCounters { return n.links[l].ctr }
@@ -111,7 +226,9 @@ func (n *Network) LinkCounters(l topology.LinkID) LinkCounters { return n.links[
 // Now implements substrate.Clock.
 func (n *Network) Now() time.Time { return n.sched.Now() }
 
-// After implements substrate.Clock.
+// After implements substrate.Clock using the global actor: callbacks run at
+// epoch barriers when the loop is sharded. Emulated nodes must use their
+// NodeSubstrate clock instead so their timers run on their own shard.
 func (n *Network) After(d time.Duration, fn func()) substrate.Timer {
 	return n.sched.After(d, fn)
 }
@@ -125,9 +242,59 @@ func (n *Network) Endpoint(addr overlay.Address) (substrate.Endpoint, error) {
 	return ep, nil
 }
 
+// NodeSubstrate is the shard-bound substrate.Network handed to one emulated
+// node: its clock reads the owning shard's virtual time and its timers run
+// on that shard, which is what lets node event handlers execute in parallel.
+type NodeSubstrate struct {
+	net *Network
+	ep  *endpoint
+}
+
+// NodeNet returns the shard-bound substrate for an attached address. Nodes
+// spawned through the harness always use this; constructing a node directly
+// over the Network still works but serializes its timers through barriers.
+func (n *Network) NodeNet(addr overlay.Address) (*NodeSubstrate, error) {
+	ep, ok := n.eps[addr]
+	if !ok {
+		return nil, fmt.Errorf("simnet: address %v is not attached to the topology", addr)
+	}
+	if ep.sub == nil {
+		ep.sub = &NodeSubstrate{net: n, ep: ep}
+	}
+	return ep.sub, nil
+}
+
+// Shard returns the shard the node's endpoint lives on.
+func (ns *NodeSubstrate) Shard() int { return ns.ep.shard }
+
+// Now implements substrate.Clock with the owning shard's virtual time.
+func (ns *NodeSubstrate) Now() time.Time { return epoch.Add(ns.Elapsed()) }
+
+// Elapsed returns the owning shard's virtual time since the epoch.
+func (ns *NodeSubstrate) Elapsed() time.Duration { return ns.net.sched.timeOn(ns.ep.shard) }
+
+// After implements substrate.Clock on the owning shard, keyed by the
+// endpoint's actor so timer order is deterministic across shard counts.
+func (ns *NodeSubstrate) After(d time.Duration, fn func()) substrate.Timer {
+	if d < 0 {
+		d = 0
+	}
+	ep := ns.ep
+	t := &simTimer{}
+	ep.actorSeq++
+	ns.net.sched.schedule(ep.shard, ns.Elapsed()+d, ns.net.vertexActor(ep.vertex), ep.actorSeq, fn, t)
+	return t
+}
+
+// Endpoint implements substrate.Network.
+func (ns *NodeSubstrate) Endpoint(addr overlay.Address) (substrate.Endpoint, error) {
+	return ns.net.Endpoint(addr)
+}
+
 // SetDown marks a node failed (true) or recovered (false): all datagrams to
 // or from it are silently dropped, emulating a host crash for
-// failure-detection experiments.
+// failure-detection experiments. Like all dynamics mutators it must run
+// from the coordinating goroutine or a global-actor event (a barrier).
 func (n *Network) SetDown(addr overlay.Address, down bool) error {
 	ep, ok := n.eps[addr]
 	if !ok {
@@ -137,13 +304,15 @@ func (n *Network) SetDown(addr overlay.Address, down bool) error {
 	return nil
 }
 
-func (n *Network) path(src, dst topology.RouterID) []topology.LinkID {
+// path resolves (and caches, per shard) the live route between two vertices.
+func (n *Network) path(shard int, src, dst topology.RouterID) []topology.LinkID {
 	k := pathKey{src, dst}
-	if p, ok := n.paths[k]; ok {
+	cache := n.pathsBy[shard].m
+	if p, ok := cache[k]; ok {
 		return p
 	}
 	p := n.live.Path(src, dst)
-	n.paths[k] = p
+	cache[k] = p
 	return p
 }
 
@@ -163,44 +332,48 @@ func (n *Network) send(src *endpoint, dst overlay.Address, payload []byte) error
 	if !ok {
 		return fmt.Errorf("simnet: destination %v is not attached", dst)
 	}
-	n.stats.Sent++
-	n.stats.Bytes += uint64(len(payload))
+	shard := src.shard
+	st := &n.statsBy[shard].Stats
+	st.Sent++
+	st.Bytes += uint64(len(payload))
 	if src.down || dstEp.down {
-		n.stats.DownDrops++
+		st.DownDrops++
 		return nil // like IP: silently dropped, sender learns nothing
 	}
 	if n.Partitioned(src.addr, dst) {
-		n.stats.PartitionDrops++
+		st.PartitionDrops++
 		return nil // partitions drop silently, like a blackholed route
 	}
 	if src.addr == dst {
 		// Loopback bypasses the topology, as the kernel would.
-		n.sched.post(0, func() { n.deliver(dstEp, src.addr, payload) })
+		src.actorSeq++
+		n.sched.schedule(shard, n.sched.timeOn(shard), n.vertexActor(src.vertex), src.actorSeq,
+			func() { n.deliver(shard, dstEp, src.addr, payload) }, nil)
 		return nil
 	}
-	sv, _ := n.graph.ClientVertex(src.addr)
-	dv, _ := n.graph.ClientVertex(dst)
-	path := n.path(sv, dv)
+	path := n.path(shard, src.vertex, dstEp.vertex)
 	if path == nil {
 		if len(n.blocked) > 0 {
 			// Link failures severed every route: drop like a blackhole.
-			n.stats.NoRouteDrops++
+			st.NoRouteDrops++
 			return nil
 		}
 		return fmt.Errorf("simnet: no route from %v to %v", src.addr, dst)
 	}
 	pkt := &packet{src: src.addr, dst: dst, payload: payload, path: path}
-	n.enqueue(pkt)
+	n.enqueue(shard, pkt)
 	return nil
 }
 
-// enqueue places pkt at the entrance of its current hop's pipe.
-func (n *Network) enqueue(pkt *packet) {
+// enqueue places pkt at the entrance of its current hop's pipe. It executes
+// on the shard owning the pipe's tail vertex, which also owns the pipe.
+func (n *Network) enqueue(shard int, pkt *packet) {
 	l := pkt.path[pkt.hop]
+	st := &n.statsBy[shard].Stats
 	if n.blocked[l] {
 		// The pipe failed (possibly after this packet's path was chosen):
 		// everything entering it is lost.
-		n.stats.LinkDownDrops++
+		st.LinkDownDrops++
 		return
 	}
 	link := n.graph.Link(l)
@@ -208,23 +381,23 @@ func (n *Network) enqueue(pkt *packet) {
 	size := len(pkt.payload) + headerOverhead
 	if ls.queuedBytes+size > link.QueueBytes {
 		ls.ctr.Drops++
-		n.stats.QueueDrops++
+		st.QueueDrops++
 		return
 	}
-	if n.cfg.LossRate > 0 && n.sched.rng.Float64() < n.cfg.LossRate {
-		n.stats.RandomLoss++
+	if n.cfg.LossRate > 0 && n.lossDraw(ls, l) < n.cfg.LossRate {
+		st.RandomLoss++
 		return
 	}
 	deg, isDegraded := n.degraded[l]
-	if isDegraded && deg.LossRate > 0 && n.sched.rng.Float64() < deg.LossRate {
-		n.stats.DegradeLoss++
+	if isDegraded && deg.LossRate > 0 && n.lossDraw(ls, l) < deg.LossRate {
+		st.DegradeLoss++
 		return
 	}
 	ls.queuedBytes += size
 	ls.ctr.Packets++
 	ls.ctr.Bytes += uint64(size)
 
-	now := n.sched.now
+	now := n.sched.timeOn(shard)
 	start := now
 	if ls.busyUntil > start {
 		start = ls.busyUntil
@@ -237,10 +410,37 @@ func (n *Network) enqueue(pkt *packet) {
 	}
 	arrive := txDone + latency + n.cfg.PerHopOverhead
 
-	// The packet's bytes leave the queue when serialization completes.
-	n.sched.post(txDone-now, func() { ls.queuedBytes -= size })
-	n.sched.post(arrive-now, func() { n.arriveHop(pkt) })
+	actor := n.linkActor(l)
+	// The packet's bytes leave the queue when serialization completes: an
+	// event on the pipe's own shard.
+	ls.seq++
+	n.sched.schedule(shard, txDone, actor, ls.seq, func() { ls.queuedBytes -= size }, nil)
+	// The arrival advances the packet to the pipe's head vertex, possibly on
+	// another shard. Cross-shard arrivals are always at least the link
+	// latency away, which is what the lookahead window guarantees.
+	next := n.shardOf(link.To)
+	ls.seq++
+	n.sched.schedule(next, arrive, actor, ls.seq, func() { n.arriveHop(next, pkt) }, nil)
 }
+
+// lossDraw produces the next uniform [0,1) variate of a pipe's private loss
+// process. Unlike a shared PRNG, the sequence depends only on the order of
+// packets entering this pipe, so it is identical for every shard count.
+func (n *Network) lossDraw(ls *linkState, l topology.LinkID) float64 {
+	ls.lossSeq++
+	return unitFloat(splitmix64(n.lossSalt ^ (uint64(l)+1)*0x9E3779B97F4A7C15 + ls.lossSeq))
+}
+
+// splitmix64 is the SplitMix64 mixing function.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// unitFloat maps 64 random bits onto [0,1).
+func unitFloat(x uint64) float64 { return float64(x>>11) / (1 << 53) }
 
 // headerOverhead models IP+UDP framing so bandwidth accounting matches what
 // a real pipe would carry.
@@ -253,27 +453,28 @@ func txTime(sizeBytes int, bwBitsPerSec int64) time.Duration {
 	return time.Duration(int64(sizeBytes) * 8 * int64(time.Second) / bwBitsPerSec)
 }
 
-func (n *Network) arriveHop(pkt *packet) {
+func (n *Network) arriveHop(shard int, pkt *packet) {
 	pkt.hop++
 	if pkt.hop < len(pkt.path) {
-		n.enqueue(pkt)
+		n.enqueue(shard, pkt)
 		return
 	}
+	st := &n.statsBy[shard].Stats
 	ep, ok := n.eps[pkt.dst]
 	if !ok || ep.down {
-		n.stats.DownDrops++
+		st.DownDrops++
 		return
 	}
 	if n.Partitioned(pkt.src, pkt.dst) {
 		// The partition formed while the datagram was in flight.
-		n.stats.PartitionDrops++
+		st.PartitionDrops++
 		return
 	}
-	n.deliver(ep, pkt.src, pkt.payload)
+	n.deliver(shard, ep, pkt.src, pkt.payload)
 }
 
-func (n *Network) deliver(ep *endpoint, src overlay.Address, payload []byte) {
-	n.stats.Delivered++
+func (n *Network) deliver(shard int, ep *endpoint, src overlay.Address, payload []byte) {
+	n.statsBy[shard].Stats.Delivered++
 	if ep.recv != nil {
 		ep.recv(src, payload)
 	}
@@ -281,10 +482,14 @@ func (n *Network) deliver(ep *endpoint, src overlay.Address, payload []byte) {
 
 // endpoint implements substrate.Endpoint over the emulated network.
 type endpoint struct {
-	net  *Network
-	addr overlay.Address
-	recv func(src overlay.Address, payload []byte)
-	down bool
+	net      *Network
+	addr     overlay.Address
+	vertex   topology.RouterID
+	shard    int
+	actorSeq uint64
+	sub      *NodeSubstrate
+	recv     func(src overlay.Address, payload []byte)
+	down     bool
 }
 
 func (e *endpoint) Addr() overlay.Address { return e.addr }

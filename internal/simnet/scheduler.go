@@ -3,34 +3,89 @@
 // propagation delay, and drop-tail queuing over a routed topology, while
 // running in virtual time on one machine. Experiments that took the paper
 // 20–50 cluster machines replay deterministically in-process.
+//
+// The event loop is sharded: endpoints and links are partitioned across N
+// shards that each run their own event queue in virtual time, synchronized
+// by a conservative lookahead barrier derived from the minimum cross-shard
+// link latency. Execution order is defined by a deterministic key that is
+// independent of the shard count, so a run with -shards=4 produces a trace
+// byte-identical to the single-threaded run (see docs/simnet.md).
 package simnet
 
 import (
 	"container/heap"
 	"math/rand"
+	"sync"
 	"time"
 
 	"macedon/internal/substrate"
 )
 
-// Scheduler is a deterministic virtual-time event loop. Events scheduled for
-// the same instant fire in scheduling order. It implements substrate.Clock.
+// Scheduler is a deterministic virtual-time event loop, optionally sharded.
+// Events scheduled for the same instant fire in a deterministic order that
+// does not depend on the shard count: each event carries an (actor, seq)
+// key assigned by its logical owner (an endpoint, a link, or the global
+// scheduling context), and ties on the timestamp break by that key. It
+// implements substrate.Clock.
 type Scheduler struct {
-	now  time.Duration // virtual time since epoch
-	seq  uint64
-	evts eventHeap
+	seed int64
+	now  time.Duration // global virtual time since epoch
 	rng  *rand.Rand
 
-	executed uint64
+	shards    []*shard
+	lookahead time.Duration // conservative cross-shard window; 0 = not set
+
+	globalSeq uint64    // seq counter of the global actor (actor 0)
+	global    eventHeap // global-actor events, executed at barriers
+
+	executed uint64 // events run by the coordinator (barriers, Step)
+
+	workers sync.Once
+	closed  sync.Once
+	started bool
 }
 
 // epoch anchors virtual time so traces show sensible absolute timestamps.
 var epoch = time.Date(2004, time.March, 29, 0, 0, 0, 0, time.UTC) // NSDI '04
 
-// NewScheduler returns a scheduler seeded for reproducibility.
-func NewScheduler(seed int64) *Scheduler {
-	return &Scheduler{rng: rand.New(rand.NewSource(seed))}
+// actorGlobal keys events scheduled through the public After/post API: test
+// drivers, the scenario engine, and everything else outside the emulated
+// network. Global events execute at epoch barriers when the loop is sharded.
+const actorGlobal uint64 = 0
+
+// NewScheduler returns a single-shard scheduler seeded for reproducibility:
+// today's sequential behavior.
+func NewScheduler(seed int64) *Scheduler { return NewSharded(seed, 1) }
+
+// NewSharded returns a scheduler with n event shards. n <= 1 selects the
+// sequential loop. The shard count never changes results — only wall-clock
+// time — provided the network installs its lookahead (simnet.New does).
+func NewSharded(seed int64, n int) *Scheduler {
+	if n < 1 {
+		n = 1
+	}
+	s := &Scheduler{seed: seed, rng: rand.New(rand.NewSource(seed))}
+	s.shards = make([]*shard, n)
+	for i := range s.shards {
+		s.shards[i] = &shard{id: i}
+	}
+	return s
 }
+
+// Shards returns the number of event shards.
+func (s *Scheduler) Shards() int { return len(s.shards) }
+
+// SetLookahead installs the conservative synchronization window: the minimum
+// virtual-time distance any cross-shard interaction travels. The network
+// derives it from the smallest cross-shard link latency. Sharded execution
+// without a positive lookahead falls back to sequential stepping.
+func (s *Scheduler) SetLookahead(d time.Duration) { s.lookahead = d }
+
+// Lookahead returns the installed synchronization window.
+func (s *Scheduler) Lookahead() time.Duration { return s.lookahead }
+
+// Seed returns the seed the scheduler was built with.
+func (s *Scheduler) Seed() int64 { return s.seed }
 
 // Now returns the current virtual time.
 func (s *Scheduler) Now() time.Time { return epoch.Add(s.now) }
@@ -39,16 +94,32 @@ func (s *Scheduler) Now() time.Time { return epoch.Add(s.now) }
 func (s *Scheduler) Elapsed() time.Duration { return s.now }
 
 // Rand returns the simulation's seeded PRNG. All randomness in an experiment
-// must come from here (or from PRNGs it seeds) for runs to reproduce.
+// must come from here (or from PRNGs it seeds) for runs to reproduce. It
+// must only be used from the coordinating goroutine (setup code and event
+// drivers), never from per-shard event handlers.
 func (s *Scheduler) Rand() *rand.Rand { return s.rng }
 
 // Executed returns the number of events run so far.
-func (s *Scheduler) Executed() uint64 { return s.executed }
+func (s *Scheduler) Executed() uint64 {
+	n := s.executed
+	for _, sh := range s.shards {
+		n += sh.executedCount()
+	}
+	return n
+}
 
 // Pending returns the number of events waiting, cancelled ones included.
-func (s *Scheduler) Pending() int { return s.evts.Len() }
+func (s *Scheduler) Pending() int {
+	n := s.global.Len()
+	for _, sh := range s.shards {
+		n += sh.pendingCount()
+	}
+	return n
+}
 
-// simTimer implements substrate.Timer by lazy cancellation.
+// simTimer implements substrate.Timer by lazy cancellation. A timer is only
+// touched by contexts owned by its shard (or by the coordinator between
+// epochs), so no locking is needed.
 type simTimer struct {
 	fired   bool
 	stopped bool
@@ -63,22 +134,34 @@ func (t *simTimer) Stop() bool {
 	return true
 }
 
+// event is one scheduled callback. (at, actor, seq) is the deterministic
+// total order: actor identifies the logical scheduling context (0 = global,
+// 1+vertex for endpoints, 1+numVertices+link for pipes) and seq is that
+// actor's private counter. Because every actor schedules from exactly one
+// shard, the key assignment — and therefore the execution order — is
+// independent of how many shards run.
 type event struct {
-	at  time.Duration
-	seq uint64
-	fn  func()
-	tm  *simTimer // nil for internal events that are never cancelled
+	at    time.Duration
+	actor uint64
+	seq   uint64
+	fn    func()
+	tm    *simTimer // nil for internal events that are never cancelled
+}
+
+func keyLess(a, b event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.actor != b.actor {
+		return a.actor < b.actor
+	}
+	return a.seq < b.seq
 }
 
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
+func (h eventHeap) Len() int            { return len(h) }
+func (h eventHeap) Less(i, j int) bool  { return keyLess(h[i], h[j]) }
 func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
 func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
 func (h *eventHeap) Pop() interface{} {
@@ -90,37 +173,223 @@ func (h *eventHeap) Pop() interface{} {
 	return e
 }
 
-// After schedules fn to run once after d of virtual time. A non-positive d
-// runs fn at the current instant, after already-queued events for that
-// instant. The returned timer cancels it.
-func (s *Scheduler) After(d time.Duration, fn func()) substrate.Timer {
-	if d < 0 {
-		d = 0
-	}
-	t := &simTimer{}
-	s.seq++
-	heap.Push(&s.evts, event{at: s.now + d, seq: s.seq, fn: fn, tm: t})
-	return t
+// shard is one partition of the event loop: a locked heap plus the shard's
+// own virtual clock. Cross-shard scheduling pushes into the target heap
+// under its mutex; the conservative lookahead guarantees such events land at
+// or beyond the running epoch's horizon, so the owner never misses one.
+type shard struct {
+	id int
+
+	mu   sync.Mutex
+	evts eventHeap
+
+	now      time.Duration // local virtual time (== last executed event)
+	executed uint64
+
+	run  chan window
+	done chan struct{}
 }
 
-// post schedules an internal (non-cancellable) event.
-func (s *Scheduler) post(d time.Duration, fn func()) {
-	if d < 0 {
-		d = 0
-	}
-	s.seq++
-	heap.Push(&s.evts, event{at: s.now + d, seq: s.seq, fn: fn})
+type window struct {
+	limit     time.Duration
+	inclusive bool
 }
 
-// Step runs the next event, if any, and reports whether one ran.
-func (s *Scheduler) Step() bool {
-	for s.evts.Len() > 0 {
-		e := heap.Pop(&s.evts).(event)
+func (sh *shard) push(e event) {
+	sh.mu.Lock()
+	heap.Push(&sh.evts, e)
+	sh.mu.Unlock()
+}
+
+func (sh *shard) pendingCount() int {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.evts.Len()
+}
+
+// executedCount is coordinator-only: workers are parked whenever it runs,
+// and the epoch channels provide the happens-before edge.
+func (sh *shard) executedCount() uint64 { return sh.executed }
+
+// min returns the shard's earliest pending event key.
+func (sh *shard) min() (event, bool) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.evts.Len() == 0 {
+		return event{}, false
+	}
+	return sh.evts[0], true
+}
+
+// popTop removes exactly the earliest event. run is false when it was a
+// cancelled timer (discarded); any is false when the heap was empty.
+func (sh *shard) popTop() (e event, run, any bool) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.evts.Len() == 0 {
+		return event{}, false, false
+	}
+	e = heap.Pop(&sh.evts).(event)
+	if e.tm != nil {
+		if e.tm.stopped {
+			return event{}, false, true
+		}
+		e.tm.fired = true
+	}
+	return e, true, true
+}
+
+// popIf removes and returns the earliest event when it is due within the
+// window, resolving lazily-cancelled timers inline.
+func (sh *shard) popIf(w window) (event, bool) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	for sh.evts.Len() > 0 {
+		e := sh.evts[0]
+		if e.at > w.limit || (e.at == w.limit && !w.inclusive) {
+			return event{}, false
+		}
+		heap.Pop(&sh.evts)
 		if e.tm != nil {
 			if e.tm.stopped {
 				continue
 			}
 			e.tm.fired = true
+		}
+		return e, true
+	}
+	return event{}, false
+}
+
+// runWindow executes every due event of one window in key order. sh.now
+// and sh.executed are only touched from the goroutine driving the shard's
+// window (a worker, or the coordinator when it inlines a lone busy shard);
+// the epoch channels order all cross-goroutine accesses.
+func (sh *shard) runWindow(w window) {
+	for {
+		e, ok := sh.popIf(w)
+		if !ok {
+			return
+		}
+		if e.at > sh.now {
+			sh.now = e.at
+		}
+		sh.executed++
+		e.fn()
+	}
+}
+
+// serve is the worker loop.
+func (sh *shard) serve() {
+	for w := range sh.run {
+		sh.runWindow(w)
+		sh.done <- struct{}{}
+	}
+}
+
+// schedule enqueues fn on a shard at absolute virtual time at with the given
+// deterministic key. Callers own the (actor, seq) counters.
+func (s *Scheduler) schedule(shardID int, at time.Duration, actor, seq uint64, fn func(), tm *simTimer) {
+	s.shards[shardID].push(event{at: at, actor: actor, seq: seq, fn: fn, tm: tm})
+}
+
+// timeOn returns the current virtual time as seen from a shard: the later
+// of the shard's own clock (current while its events execute) and the
+// global clock (current from the coordinator between epochs). Both reads
+// are safe from either context — the epoch barrier orders all writes.
+func (s *Scheduler) timeOn(shardID int) time.Duration {
+	if sh := s.shards[shardID]; sh.now > s.now {
+		return sh.now
+	}
+	return s.now
+}
+
+// After schedules fn to run once after d of virtual time. A non-positive d
+// runs fn at the current instant, after already-queued global events for
+// that instant. The returned timer cancels it.
+//
+// After uses the global actor: in a sharded run such events execute at
+// epoch barriers with every shard synchronized at exactly that instant, so
+// they may touch cross-shard state (the scenario engine's control events
+// rely on this). After must be called from the coordinating goroutine, not
+// from event handlers; emulated nodes schedule through their NodeSubstrate
+// clock instead.
+func (s *Scheduler) After(d time.Duration, fn func()) substrate.Timer {
+	if d < 0 {
+		d = 0
+	}
+	t := &simTimer{}
+	s.globalSeq++
+	e := event{at: s.now + d, actor: actorGlobal, seq: s.globalSeq, fn: fn, tm: t}
+	if len(s.shards) == 1 {
+		s.shards[0].push(e)
+	} else {
+		heap.Push(&s.global, e)
+	}
+	return t
+}
+
+// post schedules an internal (non-cancellable) global event.
+func (s *Scheduler) post(d time.Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	s.globalSeq++
+	e := event{at: s.now + d, actor: actorGlobal, seq: s.globalSeq, fn: fn}
+	if len(s.shards) == 1 {
+		s.shards[0].push(e)
+	} else {
+		heap.Push(&s.global, e)
+	}
+}
+
+// minQueue finds the queue holding the earliest pending event: src is nil
+// for the global heap, otherwise the shard.
+func (s *Scheduler) minQueue() (best event, src *shard, ok bool) {
+	if s.global.Len() > 0 {
+		best, ok = s.global[0], true
+	}
+	for _, sh := range s.shards {
+		if e, has := sh.min(); has && (!ok || keyLess(e, best)) {
+			best, src, ok = e, sh, true
+		}
+	}
+	return best, src, ok
+}
+
+// minKey returns the earliest pending event key across every queue.
+func (s *Scheduler) minKey() (event, bool) {
+	e, _, ok := s.minQueue()
+	return e, ok
+}
+
+// Step runs the next event in deterministic order, if any, and reports
+// whether one ran. Stepping is always sequential and always valid: sharded
+// execution produces exactly the order Step walks.
+func (s *Scheduler) Step() bool {
+	for {
+		_, src, ok := s.minQueue()
+		if !ok {
+			return false
+		}
+		var e event
+		if src == nil {
+			e = heap.Pop(&s.global).(event)
+			if e.tm != nil {
+				if e.tm.stopped {
+					continue
+				}
+				e.tm.fired = true
+			}
+		} else {
+			got, run, _ := src.popTop()
+			if !run {
+				continue
+			}
+			e = got
+			if e.at > src.now {
+				src.now = e.at
+			}
 		}
 		if e.at > s.now {
 			s.now = e.at
@@ -129,26 +398,174 @@ func (s *Scheduler) Step() bool {
 		e.fn()
 		return true
 	}
-	return false
 }
 
 // RunFor advances virtual time by d, executing every event due in that
 // window, and leaves the clock exactly d later even if the queue drains.
 func (s *Scheduler) RunFor(d time.Duration) {
 	deadline := s.now + d
-	for s.evts.Len() > 0 && s.evts[0].at <= deadline {
-		if !s.Step() {
-			break
+	if len(s.shards) == 1 || s.lookahead <= 0 {
+		s.runSequential(deadline)
+	} else {
+		s.runSharded(deadline)
+	}
+	s.now = deadline
+	for _, sh := range s.shards {
+		sh.now = deadline
+	}
+}
+
+// runSequential executes events through deadline on the caller goroutine.
+func (s *Scheduler) runSequential(deadline time.Duration) {
+	for {
+		e, ok := s.minKey()
+		if !ok || e.at > deadline {
+			return
+		}
+		s.Step()
+	}
+}
+
+// runSharded is the epoch loop: shards execute their queues in parallel up
+// to a horizon no interaction can cross (the lookahead), and global events
+// run single-threaded at barriers where every shard sits at exactly the
+// same instant. Determinism holds because events execute in (at, actor,
+// seq) order within each shard and cross-shard effects always land at or
+// beyond the horizon.
+func (s *Scheduler) runSharded(deadline time.Duration) {
+	s.workers.Do(func() {
+		s.started = true
+		for _, sh := range s.shards {
+			sh.run = make(chan window)
+			sh.done = make(chan struct{})
+			go sh.serve()
+		}
+	})
+	for {
+		e, ok := s.minKey()
+		if !ok || e.at > deadline {
+			return
+		}
+		start := e.at
+		if start < s.now {
+			start = s.now
+		}
+		horizon := start + s.lookahead
+		var tg time.Duration = -1
+		if s.global.Len() > 0 {
+			tg = s.global[0].at
+		}
+		switch {
+		case tg >= 0 && tg <= deadline && tg <= horizon:
+			// A global event is within reach: run everything strictly
+			// before it in parallel, then drain the barrier instant.
+			if tg > start {
+				s.parallel(window{limit: tg})
+			}
+			s.drainBarrier(tg)
+			s.now = tg
+		case horizon > deadline:
+			// Final stretch: nothing global remains in the window and no
+			// cross-shard effect of it can land inside it.
+			s.parallel(window{limit: deadline, inclusive: true})
+			s.now = deadline
+		default:
+			s.parallel(window{limit: horizon})
+			s.now = horizon
 		}
 	}
-	if s.now < deadline {
-		s.now = deadline
+}
+
+// parallel fans one window out to the shard workers and waits for all.
+// Shards with nothing due inside the window are skipped entirely: nothing
+// can add sub-horizon work to an idle shard mid-epoch (cross-shard pushes
+// land at or beyond the horizon, and a shard only feeds itself while its
+// own events execute), so skipping is free and saves two channel hops per
+// idle shard per epoch.
+func (s *Scheduler) parallel(w window) {
+	var active [64]*shard
+	n := 0
+	for _, sh := range s.shards {
+		if e, ok := sh.min(); ok && (e.at < w.limit || (w.inclusive && e.at == w.limit)) {
+			if n < len(active) {
+				active[n] = sh
+				n++
+			} else {
+				// More shards than the stack buffer: dispatch eagerly.
+				sh.run <- w
+				defer func(sh *shard) { <-sh.done }(sh)
+			}
+		}
+	}
+	if n == 1 {
+		// One busy shard: run its window on the coordinator goroutine and
+		// skip the channel round trip entirely.
+		active[0].runWindow(w)
+		return
+	}
+	for i := 0; i < n; i++ {
+		active[i].run <- w
+	}
+	for i := 0; i < n; i++ {
+		<-active[i].done
+	}
+}
+
+// drainBarrier executes every event scheduled at exactly instant t — global
+// and per-shard — single-threaded in deterministic key order, including
+// events spawned during the drain at the same instant. All shard clocks are
+// pinned to t so barrier code observes one consistent time.
+func (s *Scheduler) drainBarrier(t time.Duration) {
+	s.now = t
+	for _, sh := range s.shards {
+		sh.now = t
+	}
+	for {
+		best, src, ok := s.minQueue()
+		if !ok || best.at != t {
+			return
+		}
+		if src == nil {
+			e := heap.Pop(&s.global).(event)
+			if e.tm != nil {
+				if e.tm.stopped {
+					continue
+				}
+				e.tm.fired = true
+			}
+			s.executed++
+			e.fn()
+			continue
+		}
+		e, run, _ := src.popTop()
+		if !run {
+			continue
+		}
+		s.executed++
+		e.fn()
 	}
 }
 
 // RunUntilIdle executes events until none remain. Protocols with periodic
-// timers never go idle; prefer RunFor for those.
+// timers never go idle; prefer RunFor for those. RunUntilIdle steps
+// sequentially regardless of the shard count.
 func (s *Scheduler) RunUntilIdle() {
 	for s.Step() {
 	}
+}
+
+// Close releases the shard worker goroutines. The scheduler must not run
+// afterwards. Harmless to call more than once, or on a scheduler that
+// never went parallel; callers that create many sharded schedulers in one
+// process (benchmarks, the golden corpus) would otherwise leak one parked
+// goroutine per shard per run.
+func (s *Scheduler) Close() {
+	s.closed.Do(func() {
+		if !s.started {
+			return
+		}
+		for _, sh := range s.shards {
+			close(sh.run)
+		}
+	})
 }

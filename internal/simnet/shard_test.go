@@ -1,0 +1,198 @@
+package simnet
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"macedon/internal/overlay"
+	"macedon/internal/topology"
+)
+
+// stormRun drives a deterministic datagram storm over an INET topology and
+// returns the final counters. Everything (workload, loss, queuing) is a
+// pure function of the seed, so any two runs — at any shard counts — must
+// agree exactly.
+func stormRun(t *testing.T, shards int) (Stats, time.Duration) {
+	t.Helper()
+	g, err := topology.INET(topology.DefaultINET(60, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := topology.AttachClients(g, 12, 1, topology.DefaultAccess, 3)
+	s := NewSharded(11, shards)
+	n := New(s, g, Config{LossRate: 0.01})
+	for _, a := range addrs {
+		ep, _ := n.Endpoint(a)
+		ep.SetRecv(func(overlay.Address, []byte) {})
+	}
+	rng := s.Rand()
+	for i := 0; i < 400; i++ {
+		src, _ := n.Endpoint(addrs[rng.Intn(len(addrs))])
+		dst := addrs[rng.Intn(len(addrs))]
+		_ = src.Send(dst, make([]byte, 100+rng.Intn(1000)))
+		s.RunFor(time.Millisecond)
+	}
+	s.RunFor(500 * time.Millisecond)
+	s.Close()
+	return n.Stats(), s.Elapsed()
+}
+
+// TestShardInvarianceRawTraffic checks the tentpole guarantee at the packet
+// level: per-hop serialization, queuing, and the loss process produce the
+// same counters whether the loop runs on 1, 2, 3, or 4 shards.
+func TestShardInvarianceRawTraffic(t *testing.T) {
+	base, elapsed := stormRun(t, 1)
+	if base.Sent == 0 || base.Delivered == 0 || base.RandomLoss == 0 {
+		t.Fatalf("degenerate baseline: %+v", base)
+	}
+	for _, shards := range []int{2, 3, 4} {
+		got, e := stormRun(t, shards)
+		if got != base || e != elapsed {
+			t.Fatalf("shards=%d diverged:\n  1: %+v elapsed=%v\n  %d: %+v elapsed=%v",
+				shards, base, elapsed, shards, got, e)
+		}
+	}
+}
+
+// TestShardInvarianceNodeTimers checks shard-bound clocks: each endpoint's
+// timers fire at identical virtual instants in identical per-endpoint order
+// for every shard count. (Only per-endpoint order is observable — events on
+// different shards at one instant are concurrent by design and may not
+// touch shared state, which is why each endpoint records into its own row.)
+func TestShardInvarianceNodeTimers(t *testing.T) {
+	const clients = 6
+	run := func(shards int) [][]string {
+		g := topology.NewGraph()
+		r := g.AddRouter()
+		r2 := g.AddRouter()
+		g.AddLink(r, r2, 2*time.Millisecond, 1_000_000, 10*1500)
+		for i := 1; i <= clients; i++ {
+			at := r
+			if i%2 == 0 {
+				at = r2
+			}
+			g.AttachClient(overlay.Address(i), at, topology.DefaultAccess)
+		}
+		s := NewSharded(5, shards)
+		n := New(s, g, Config{})
+		rows := make([][]string, clients)
+		for i := 1; i <= clients; i++ {
+			ns, err := n.NodeNet(overlay.Address(i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			row := &rows[i-1]
+			// Same-instant ties between the two timers below must keep
+			// their scheduling order on every shard count.
+			for k := 0; k < 3; k++ {
+				k := k
+				ns.After(time.Duration(k+1)*5*time.Millisecond, func() {
+					*row = append(*row, fmt.Sprintf("a%d@%v", k, ns.Elapsed()))
+				})
+				ns.After(time.Duration(k+1)*5*time.Millisecond, func() {
+					*row = append(*row, fmt.Sprintf("b%d@%v", k, ns.Elapsed()))
+				})
+			}
+		}
+		s.RunFor(50 * time.Millisecond)
+		s.Close()
+		return rows
+	}
+	base := run(1)
+	for i, row := range base {
+		if len(row) != 6 {
+			t.Fatalf("endpoint %d fired %d times, want 6: %v", i+1, len(row), row)
+		}
+	}
+	for _, shards := range []int{2, 4} {
+		got := run(shards)
+		for i := range base {
+			if fmt.Sprint(got[i]) != fmt.Sprint(base[i]) {
+				t.Fatalf("shards=%d endpoint %d: %v, want %v", shards, i+1, got[i], base[i])
+			}
+		}
+	}
+}
+
+// TestOracleCacheEviction is the Routes-memory satellite: cycling through
+// more distinct link-failure sets than the cache bound must evict old
+// oracles instead of accumulating them.
+func TestOracleCacheEviction(t *testing.T) {
+	g, err := topology.INET(topology.DefaultINET(40, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := topology.AttachClients(g, 8, 1, topology.DefaultAccess, 9)
+	s := NewScheduler(1)
+	n := New(s, g, Config{OracleCacheSize: 3})
+	for _, a := range addrs {
+		ep, _ := n.Endpoint(a)
+		ep.SetRecv(func(overlay.Address, []byte) {})
+	}
+	// Fail each client's access pipe in turn: every iteration is a distinct
+	// failure set (the previous link is restored first).
+	var prev topology.LinkID = topology.NilLink
+	for i, a := range addrs {
+		up, _, ok := g.AccessLinks(a)
+		if !ok {
+			t.Fatalf("no access link for %v", a)
+		}
+		if prev != topology.NilLink {
+			n.SetLinkDown(prev, false)
+		}
+		n.SetLinkDown(up, true)
+		prev = up
+		// Exercise routing under the failure so trees actually build.
+		src, _ := n.Endpoint(addrs[(i+1)%len(addrs)])
+		_ = src.Send(addrs[(i+2)%len(addrs)], []byte("x"))
+		s.RunFor(50 * time.Millisecond)
+		if got := n.OracleCacheLen(); got > 3 {
+			t.Fatalf("oracle cache grew to %d, bound is 3", got)
+		}
+	}
+	if n.OracleEvictions() == 0 {
+		t.Fatal("no oracle evictions after 8 distinct failure sets with bound 3")
+	}
+	// A revisited failure set must hit the cache (front entry, no eviction).
+	evBefore := n.OracleEvictions()
+	n.SetLinkDown(prev, false)
+	n.SetLinkDown(prev, true)
+	if n.OracleEvictions() != evBefore {
+		t.Fatal("revisiting the most recent failure set evicted an oracle")
+	}
+}
+
+// TestOracleTreeBudget checks the per-oracle tree bound: more destinations
+// than the budget must not grow the cache past it, and answers must stay
+// correct after eviction.
+func TestOracleTreeBudget(t *testing.T) {
+	g, err := topology.INET(topology.DefaultINET(40, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := topology.AttachClients(g, 10, 1, topology.DefaultAccess, 4)
+	bounded := topology.NewRoutes(g)
+	bounded.SetTreeBudget(3)
+	reference := topology.NewRoutes(g)
+	for round := 0; round < 2; round++ {
+		for _, a := range addrs {
+			for _, b := range addrs {
+				if a == b {
+					continue
+				}
+				got, err1 := bounded.ClientLatency(a, b)
+				want, err2 := reference.ClientLatency(a, b)
+				if err1 != nil || err2 != nil {
+					t.Fatalf("latency errors: %v / %v", err1, err2)
+				}
+				if got != want {
+					t.Fatalf("bounded oracle disagrees for %v->%v: %v vs %v", a, b, got, want)
+				}
+			}
+		}
+		if got := bounded.CachedTrees(); got > 3 {
+			t.Fatalf("tree cache grew to %d, budget is 3", got)
+		}
+	}
+}

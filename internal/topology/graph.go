@@ -10,6 +10,7 @@ package topology
 import (
 	"container/heap"
 	"fmt"
+	"sync"
 	"time"
 
 	"macedon/internal/overlay"
@@ -205,16 +206,43 @@ type spt struct {
 // Routes answers path and latency queries over a finished graph, caching one
 // shortest-path tree per queried destination. Latency is the routing metric,
 // as in ModelNet topology routing.
+//
+// Routes is safe for concurrent use: a sharded simnet queries one oracle
+// from every shard. Results are pure functions of the graph and the blocked
+// predicate, so concurrency (and tree eviction) never changes an answer.
 type Routes struct {
 	g       *Graph
-	trees   map[RouterID]*spt
 	blocked func(LinkID) bool // nil = every link usable
+
+	mu     sync.Mutex
+	trees  map[RouterID]*spt
+	order  []RouterID // insertion order, for tree-budget eviction
+	budget int        // max cached trees; <= 0 = unbounded
 }
 
 // NewRoutes returns a route oracle for g. The graph must not change
 // afterwards.
 func NewRoutes(g *Graph) *Routes {
 	return &Routes{g: g, trees: make(map[RouterID]*spt)}
+}
+
+// SetTreeBudget bounds the number of cached shortest-path trees. Each tree
+// costs O(vertices) memory, and a large experiment can query thousands of
+// destinations, so unbounded caching is the dominant memory term of the
+// ROADMAP's "Routes tree cache" item. When the budget is exceeded the
+// oldest tree is recomputed on next use (results are unaffected). n <= 0
+// removes the bound.
+func (r *Routes) SetTreeBudget(n int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.budget = n
+}
+
+// CachedTrees returns how many shortest-path trees are currently retained.
+func (r *Routes) CachedTrees() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.trees)
 }
 
 // NewRoutesExcluding returns a route oracle that routes around links for
@@ -246,13 +274,38 @@ func (q *pq) Pop() interface{} {
 	return it
 }
 
-// tree computes (or returns cached) the shortest-path tree toward dst.
-// Because every link is one half of a symmetric pair, Dijkstra from dst over
-// out-links yields correct paths toward dst.
+// tree returns the cached shortest-path tree toward dst, computing it on a
+// miss. The computation runs outside the lock (two shards racing on the
+// same destination just do the work twice — the trees are identical); a
+// finished tree is immutable, so holders may keep using one the budget
+// evicts.
 func (r *Routes) tree(dst RouterID) *spt {
+	r.mu.Lock()
 	if t, ok := r.trees[dst]; ok {
+		r.mu.Unlock()
 		return t
 	}
+	r.mu.Unlock()
+	t := r.computeTree(dst)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if exist, ok := r.trees[dst]; ok {
+		return exist
+	}
+	r.trees[dst] = t
+	r.order = append(r.order, dst)
+	if r.budget > 0 && len(r.trees) > r.budget {
+		old := r.order[0]
+		r.order = r.order[1:]
+		delete(r.trees, old)
+	}
+	return t
+}
+
+// computeTree runs Dijkstra toward dst. Because every link is one half of a
+// symmetric pair, Dijkstra from dst over out-links yields correct paths
+// toward dst.
+func (r *Routes) computeTree(dst RouterID) *spt {
 	n := r.g.NumRouters()
 	t := &spt{prev: make([]LinkID, n), dist: make([]time.Duration, n)}
 	const inf = time.Duration(1<<63 - 1)
@@ -284,7 +337,6 @@ func (r *Routes) tree(dst RouterID) *spt {
 			}
 		}
 	}
-	r.trees[dst] = t
 	return t
 }
 

@@ -1,0 +1,23 @@
+package topology
+
+import "time"
+
+// MinCrossShardLatency returns the smallest propagation latency of any link
+// whose endpoints are owned by different shards under the given assignment.
+// This is the conservative lookahead of a sharded discrete-event run over
+// the graph: no interaction between two shards can take effect sooner than
+// one cross-shard link traversal, so shards may safely run that far ahead
+// of each other. ok is false when no link crosses shards.
+func MinCrossShardLatency(g *Graph, shardOf func(RouterID) int) (time.Duration, bool) {
+	var min time.Duration
+	found := false
+	for _, l := range g.Links() {
+		if shardOf(l.From) == shardOf(l.To) {
+			continue
+		}
+		if !found || l.Latency < min {
+			min, found = l.Latency, true
+		}
+	}
+	return min, found
+}

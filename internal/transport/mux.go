@@ -67,6 +67,7 @@ type Mux struct {
 	mu    sync.Mutex
 	ep    substrate.Endpoint
 	clock substrate.Clock
+	boot  uint64 // incarnation stamp carried by reliable segments
 
 	transports []muxMember
 	byName     map[string]uint8
@@ -82,8 +83,20 @@ type muxMember interface {
 
 // NewMux wires a mux onto an endpoint. The mux installs itself as the
 // endpoint's receive handler.
+//
+// The mux stamps its boot time (full nanosecond clock reading at
+// construction) onto every reliable segment: one mux is one incarnation of
+// a node, and a peer that crashes and restarts builds a new mux whose
+// byte-stream offsets restart at zero. Without the stamp, the surviving
+// side would forever discard the new stream as duplicate data and ignore
+// its acknowledgements as out of window — the reliable-transport
+// equivalent of talking to a ghost. The stamp plays the role TCP's initial
+// sequence numbers and RST play at connection establishment; nanosecond
+// resolution makes collision between two incarnations impossible (the
+// simulated clock is strictly later at any later event).
 func NewMux(ep substrate.Endpoint, clock substrate.Clock) *Mux {
-	m := &Mux{ep: ep, clock: clock, byName: make(map[string]uint8)}
+	m := &Mux{ep: ep, clock: clock, byName: make(map[string]uint8),
+		boot: uint64(clock.Now().UnixNano())}
 	ep.SetRecv(m.onDatagram)
 	return m
 }

@@ -14,7 +14,7 @@ import (
 // rule. SWP keeps a fixed window and go-back-N recovery: reliable but
 // congestion-unfriendly, as §3.1 defines it.
 const (
-	relHeaderLen = 8 // [offset u64]
+	relHeaderLen = 20 // [boot u64][gen u32][offset u64]
 
 	initialRTO = 1 * time.Second
 	minRTO     = 100 * time.Millisecond
@@ -68,6 +68,87 @@ type conn struct {
 	rbuf     []byte
 	ooo      map[uint64][]byte
 	oooBytes int
+
+	// Stream-incarnation tracking. localGen numbers this side's outgoing
+	// byte stream on the connection: it bumps whenever the stream restarts
+	// at offset zero mid-conversation (after detecting a peer reboot), so
+	// the receiver can tell a fresh stream from stale retransmissions of a
+	// dead one — the sender's boot alone cannot, because a surviving
+	// node's boot never changes. (peerBoot, peerGen) is the newest stream
+	// identity observed from the peer.
+	localGen  uint32
+	peerBoot  uint64
+	peerGen   uint32
+	peerKnown bool
+}
+
+// resetSend restarts the outgoing stream at offset zero. Frames buffered
+// but unacknowledged are lost, exactly as a TCP RST would lose them;
+// protocols recover through their own soft-state refresh.
+func (c *conn) resetSend() {
+	mss := float64(c.t.mss())
+	c.sndUna, c.sndNxt = 0, 0
+	c.buf = nil
+	c.cwnd, c.ssthresh = 2*mss, initialSSThresh
+	c.dupAcks = 0
+	c.rto, c.srtt, c.rttvar = initialRTO, 0, 0
+	c.inRecovery = false
+	c.recover = 0
+	c.sampling = false
+	c.rexmitHigh = 0
+	if c.rtxTimer != nil {
+		c.rtxTimer.Stop()
+		c.rtxTimer = nil
+	}
+}
+
+// resetRecv discards all receive-side state, including out-of-order
+// segments buffered from a dead peer stream — without this, stale
+// retransmissions captured before the peer's stream reset would later be
+// spliced into the fresh stream as garbage.
+func (c *conn) resetRecv() {
+	c.rcvNxt = 0
+	c.rbuf = nil
+	c.ooo = make(map[uint64][]byte)
+	c.oooBytes = 0
+}
+
+// checkPeer validates an incoming (boot, gen) stream identity and reports
+// whether the packet should be processed.
+//
+//   - A newer boot means the peer node rebooted: both halves reset and our
+//     own stream restarts under a bumped generation (the reborn peer has no
+//     memory of it).
+//   - A newer generation under the same boot means the peer restarted just
+//     its outgoing stream (it detected *our* reboot): only the receive half
+//     resets. No generation bump — our stream is intact — which is what
+//     keeps mutual resets from ping-ponging forever.
+//   - An older identity is a relic of a dead incarnation and is dropped.
+//
+// Boot stamps are full nanosecond readings, strictly increasing across
+// restarts; generations under one boot only ever increase, so plain
+// comparisons suffice.
+func (c *conn) checkPeer(boot uint64, gen uint32) bool {
+	if !c.peerKnown {
+		c.peerBoot, c.peerGen, c.peerKnown = boot, gen, true
+		return true
+	}
+	if boot == c.peerBoot && gen == c.peerGen {
+		return true
+	}
+	if boot > c.peerBoot {
+		c.resetRecv()
+		c.resetSend()
+		c.localGen++
+		c.peerBoot, c.peerGen = boot, gen
+		return true
+	}
+	if boot == c.peerBoot && gen > c.peerGen {
+		c.resetRecv()
+		c.peerGen = gen
+		return true
+	}
+	return false
 }
 
 func newReliable(name string, m *Mux, tcp bool, fixedWindow int) *reliable {
@@ -192,7 +273,9 @@ func (c *conn) pump() {
 
 func (c *conn) sendSegment(offset uint64, payload []byte) {
 	body := make([]byte, relHeaderLen+len(payload))
-	binary.BigEndian.PutUint64(body[0:], offset)
+	binary.BigEndian.PutUint64(body[0:], c.t.mux.boot)
+	binary.BigEndian.PutUint32(body[8:], c.localGen)
+	binary.BigEndian.PutUint64(body[12:], offset)
 	copy(body[relHeaderLen:], payload)
 	c.t.stats.Segments++
 	_ = c.t.mux.emit(c.t.id, kindRelData, c.peer, body)
@@ -275,9 +358,14 @@ func (r *reliable) handleData(src overlay.Address, body []byte) {
 	if len(body) < relHeaderLen {
 		return
 	}
-	offset := binary.BigEndian.Uint64(body[0:])
+	boot := binary.BigEndian.Uint64(body[0:])
+	gen := binary.BigEndian.Uint32(body[8:])
+	offset := binary.BigEndian.Uint64(body[12:])
 	seg := body[relHeaderLen:]
 	c := r.conn(src)
+	if !c.checkPeer(boot, gen) {
+		return
+	}
 
 	if offset <= c.rcvNxt {
 		// In-order (or partially duplicate) segment: take the new tail.
@@ -326,9 +414,17 @@ func (c *conn) drainOOO() {
 	}
 }
 
+// sendAck acknowledges the peer's stream. Besides the acker's own stream
+// identity, the ack echoes which peer stream incarnation the cumulative
+// offset applies to, so a reborn sender can discard acknowledgements aimed
+// at its previous life instead of mistaking them for window updates.
 func (c *conn) sendAck() {
-	var body [8]byte
-	binary.BigEndian.PutUint64(body[:], c.rcvNxt)
+	var body [32]byte
+	binary.BigEndian.PutUint64(body[0:], c.t.mux.boot)
+	binary.BigEndian.PutUint32(body[8:], c.localGen)
+	binary.BigEndian.PutUint64(body[12:], c.peerBoot)
+	binary.BigEndian.PutUint32(body[20:], c.peerGen)
+	binary.BigEndian.PutUint64(body[24:], c.rcvNxt)
 	c.t.stats.AcksSent++
 	_ = c.t.mux.emit(c.t.id, kindRelAck, c.peer, body[:])
 }
@@ -363,11 +459,21 @@ func (c *conn) parseFrames() {
 }
 
 func (r *reliable) handleAck(src overlay.Address, body []byte) {
-	if len(body) < 8 {
+	if len(body) < 32 {
 		return
 	}
-	cum := binary.BigEndian.Uint64(body[0:])
+	boot := binary.BigEndian.Uint64(body[0:])
+	gen := binary.BigEndian.Uint32(body[8:])
+	echoBoot := binary.BigEndian.Uint64(body[12:])
+	echoGen := binary.BigEndian.Uint32(body[20:])
+	cum := binary.BigEndian.Uint64(body[24:])
 	c := r.conn(src)
+	if !c.checkPeer(boot, gen) {
+		return
+	}
+	if echoBoot != r.mux.boot || echoGen != c.localGen {
+		return // acknowledges a dead incarnation of our stream
+	}
 	mss := float64(r.mss())
 	switch {
 	case cum > c.sndUna && cum <= c.sndNxt:

@@ -407,3 +407,162 @@ func TestBidirectionalTraffic(t *testing.T) {
 		t.Fatalf("a=%d b=%d, want 50/50", aGot, bGot)
 	}
 }
+
+// TestReliablePeerRestart is the boot-stamp regression test: a peer that
+// crashes and restarts builds a fresh mux whose stream offsets begin at
+// zero, and both directions of every reliable connection must reset and
+// keep working instead of wedging on stale sequence state. This is exactly
+// what kill/revive churn does to every long-lived node in an experiment.
+func TestReliablePeerRestart(t *testing.T) {
+	for _, kind := range []string{"tcp", "swp"} {
+		t.Run(kind, func(t *testing.T) {
+			r := newRig(t, simnet.Config{}, 10_000_000, 64<<10)
+			add := func(m *Mux) Transport {
+				if kind == "tcp" {
+					return m.AddTCP("t")
+				}
+				return m.AddSWP("t", 8)
+			}
+			ta := add(r.a)
+			add(r.b)
+			var logB recvLog
+			r.b.SetRecv(logB.fn())
+			if err := ta.Send(2, []byte("before")); err != nil {
+				t.Fatal(err)
+			}
+			r.sched.RunFor(time.Second)
+			if len(logB.frames) != 1 || string(logB.frames[0]) != "before" {
+				t.Fatalf("baseline frame lost: %q", logB.frames)
+			}
+
+			// Crash and restart node 1: detach the endpoint, advance the
+			// clock (a restart is never instantaneous), and build the fresh
+			// incarnation's mux. Its stream restarts at offset zero with a
+			// newer boot stamp.
+			r.a.Close()
+			if err := r.net.Detach(1); err != nil {
+				t.Fatal(err)
+			}
+			r.sched.RunFor(50 * time.Millisecond)
+			epa, err := r.net.Endpoint(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			a2 := NewMux(epa, r.net)
+			ta2 := add(a2)
+			if err := ta2.Send(2, []byte("after-restart")); err != nil {
+				t.Fatal(err)
+			}
+			r.sched.RunFor(2 * time.Second)
+			if len(logB.frames) != 2 || string(logB.frames[1]) != "after-restart" {
+				t.Fatalf("restarted sender wedged: got %d frames %q", len(logB.frames), logB.frames)
+			}
+
+			// And the surviving side must also be able to send toward the
+			// restarted peer: node 2's old sender half reset on seeing the
+			// new boot, so its stream restarts at zero too.
+			var logA recvLog
+			a2.SetRecv(logA.fn())
+			tb, err := r.b.ByName("t")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := tb.Send(1, []byte("welcome-back")); err != nil {
+				t.Fatal(err)
+			}
+			r.sched.RunFor(2 * time.Second)
+			if len(logA.frames) != 1 || string(logA.frames[0]) != "welcome-back" {
+				t.Fatalf("survivor-to-restartee wedged: %q", logA.frames)
+			}
+		})
+	}
+}
+
+// TestReliableStaleInflightAfterRestart covers the reverse-direction wedge:
+// the SURVIVOR has a partially-acknowledged stream in flight when the peer
+// dies. Its RTO retransmissions (old stream, mid-stream offsets) reach the
+// revived incarnation and land in the fresh out-of-order buffer; when the
+// survivor finally learns of the restart and restarts its own stream at
+// offset zero, the receiver must discard that stale buffer instead of
+// splicing dead-incarnation bytes into the new stream once it grows past
+// their offsets.
+func TestReliableStaleInflightAfterRestart(t *testing.T) {
+	r := newRig(t, simnet.Config{}, 10_000_000, 64<<10)
+	r.a.AddTCP("t")
+	tb := r.b.AddTCP("t")
+	var logA1 recvLog
+	r.a.SetRecv(logA1.fn())
+
+	// B streams 16 KB toward A and gets part of it acknowledged, so B has
+	// recorded A's boot and sndUna sits mid-stream when A dies.
+	old := bytes.Repeat([]byte{0xAB}, 16<<10)
+	if err := tb.Send(1, old); err != nil {
+		t.Fatal(err)
+	}
+	r.sched.RunFor(25 * time.Millisecond)
+	if len(logA1.frames) != 0 {
+		t.Fatal("old frame fully delivered before the kill; shrink the window")
+	}
+	r.a.Close()
+	if err := r.net.Detach(1); err != nil {
+		t.Fatal(err)
+	}
+	r.sched.RunFor(1 * time.Second)
+
+	// Revive A. B still knows nothing: its RTOs keep retransmitting the
+	// old stream at mid-stream offsets, which the fresh incarnation can
+	// only buffer out of order (its rcvNxt is zero).
+	epa, err := r.net.Endpoint(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2 := NewMux(epa, r.net)
+	ta2 := a2.AddTCP("t")
+	var logA recvLog
+	a2.SetRecv(logA.fn())
+	var logB recvLog
+	r.b.SetRecv(logB.fn())
+	r.sched.RunFor(8 * time.Second) // several RTO rounds of stale segments
+
+	// Now the reborn node announces itself; B detects the new boot, drops
+	// the dead stream, and sends fresh frames that must cross the stale
+	// offsets intact.
+	if err := ta2.Send(2, []byte("hello-from-reborn")); err != nil {
+		t.Fatal(err)
+	}
+	r.sched.RunFor(time.Second)
+	tb2, err := r.b.ByName("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := bytes.Repeat([]byte{0xCD}, 8<<10)
+	if err := tb2.Send(1, []byte("fresh")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb2.Send(1, big); err != nil {
+		t.Fatal(err)
+	}
+	r.sched.RunFor(10 * time.Second)
+
+	if len(logB.frames) == 0 || string(logB.frames[0]) != "hello-from-reborn" {
+		t.Fatalf("survivor never heard the reborn node: %q", logB.frames)
+	}
+	gotFresh, gotBig := false, false
+	for _, f := range logA.frames {
+		switch {
+		case string(f) == "fresh":
+			gotFresh = true
+		case bytes.Equal(f, big):
+			gotBig = true
+		default:
+			n := len(f)
+			if n > 16 {
+				n = 16
+			}
+			t.Fatalf("corrupt frame spliced from a dead stream: %d bytes %x...", len(f), f[:n])
+		}
+	}
+	if !gotFresh || !gotBig {
+		t.Fatalf("post-restart stream wedged: fresh=%v big=%v (%d frames)", gotFresh, gotBig, len(logA.frames))
+	}
+}

@@ -1,0 +1,57 @@
+// Scale acceptance: a 10,000-node RandTree churn scenario must run to
+// completion on the sharded event loop. The run takes minutes of wall
+// clock, so it is gated behind MACEDON_SCALE=1 (CI runs it in a dedicated
+// job; `make` of the default test target skips it).
+package main
+
+import (
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"macedon/internal/harness"
+	"macedon/internal/scenario"
+)
+
+func TestScale10kRandTreeChurn(t *testing.T) {
+	if os.Getenv("MACEDON_SCALE") == "" {
+		t.Skip("set MACEDON_SCALE=1 to run the 10k-node scenario")
+	}
+	s := &scenario.Scenario{
+		Name:     "randtree-10k-churn",
+		Seed:     2004,
+		Nodes:    10_000,
+		Routers:  2_500,
+		Protocol: "randtree",
+		Join:     scenario.JoinSpec{Process: "staggered", Window: scenario.Duration(20 * time.Second)},
+		Settle:   scenario.Duration(30 * time.Second),
+		Drain:    scenario.Duration(10 * time.Second),
+		Phases: []scenario.Phase{
+			{
+				Name:     "churn",
+				Duration: scenario.Duration(60 * time.Second),
+				Churn: &scenario.Churn{
+					Model:    "poisson",
+					Rate:     2, // ~120 kills over the phase
+					Downtime: scenario.Duration(20 * time.Second),
+				},
+			},
+		},
+	}
+	shards := runtime.GOMAXPROCS(0)
+	start := time.Now()
+	rep, err := harness.RunScenarioShards(s, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("10k-node churn: %d events, %d kills+revives traced, wall=%s shards=%d",
+		rep.EventsRun, len(rep.Trace), time.Since(start).Round(time.Second), shards)
+	last := rep.Phases[len(rep.Phases)-1]
+	if last.LiveNodes < 9_800 {
+		t.Fatalf("population collapsed: live=%d", last.LiveNodes)
+	}
+	if rep.Final.Delivered == 0 {
+		t.Fatal("no traffic delivered at 10k nodes")
+	}
+}
