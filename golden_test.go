@@ -21,13 +21,16 @@ import (
 )
 
 // goldenScenarios lists the corpus: the PR 1 churn-partition scenario plus
-// link-failure, multicast-workload, and the NICE/Overcast churn audits.
+// link-failure, multicast-workload, the NICE/Overcast churn audits, and the
+// machine-generated chord/pastry agents under lookup workloads and churn.
 var goldenScenarios = []string{
 	"churn-partition",
 	"link-failure",
 	"multicast-workload",
 	"nice-churn",
 	"overcast-churn",
+	"genchord-churn",
+	"genpastry-churn",
 }
 
 // goldenOutput renders a report exactly as `macedon scenario -trace` prints

@@ -24,63 +24,125 @@ func isSoft(err error) bool {
 	return ok
 }
 
+// stmtSummary renders a statement for the TODO comment that preserves it.
+func stmtSummary(s dsl.Stmt) string {
+	switch s := s.(type) {
+	case *dsl.CallStmt:
+		var parts []string
+		for _, a := range s.Args {
+			parts = append(parts, a.String())
+		}
+		fn := s.Fn
+		if s.Msg != "" {
+			fn = "send " + s.Msg
+			for _, fi := range s.Fields {
+				parts = append(parts, fi.Name+" = "+fi.Value.String())
+			}
+		}
+		return fmt.Sprintf("%s(%s)", fn, strings.Join(parts, ", "))
+	case *dsl.AssignStmt:
+		return fmt.Sprintf("%s = %s", s.Target, s.Value)
+	case *dsl.LocalStmt:
+		if s.Value != nil {
+			return fmt.Sprintf("%s %s = %s", s.Type, s.Name, s.Value)
+		}
+		return fmt.Sprintf("%s %s", s.Type, s.Name)
+	case *dsl.IfStmt:
+		return fmt.Sprintf("if (%s) { ... }", s.Cond)
+	case *dsl.ForeachStmt:
+		return fmt.Sprintf("foreach (%s in %s) { ... }", s.Var, s.List)
+	case *dsl.ReturnStmt:
+		return "return"
+	case *dsl.OpaqueStmt:
+		return s.Text
+	}
+	return fmt.Sprintf("%T", s)
+}
+
 // stmt translates one action-language statement at the given indent depth.
+// Statements whose translation fails softly (constructs outside the subset)
+// degrade to TODO comments; hard errors abort generation.
 func (g *generator) stmt(s dsl.Stmt, depth int) error {
 	ind := strings.Repeat("\t", depth)
+	err := g.stmtInner(s, ind, depth)
+	switch {
+	case err == nil:
+		if _, opaque := s.(*dsl.OpaqueStmt); !opaque {
+			g.translated++
+		}
+		return nil
+	case isSoft(err):
+		g.opaque++
+		g.pf("%s// TODO(macedon): untranslated action: %s\n", ind, stmtSummary(s))
+		return nil
+	default:
+		return err
+	}
+}
+
+func (g *generator) stmtInner(s dsl.Stmt, ind string, depth int) error {
 	switch s := s.(type) {
 	case *dsl.AssignStmt:
-		v, ok := g.varTypes[s.Target]
-		if !ok || v.Kind != dsl.VarPlain {
-			return fmt.Errorf("codegen: %s: assignment to undeclared variable %q", s.Pos, s.Target)
-		}
 		val, err := g.expr(s.Value)
 		if err != nil {
 			return err
 		}
+		if _, local := g.locals[s.Target]; local {
+			g.pf("%s%s = %s\n", ind, s.Target, val)
+			return nil
+		}
+		v, ok := g.varTypes[s.Target]
+		if !ok || v.Kind != dsl.VarPlain {
+			return fmt.Errorf("codegen: %s: assignment to undeclared variable %q", s.Pos, s.Target)
+		}
 		g.pf("%sa.%s = %s\n", ind, camel(s.Target), val)
+	case *dsl.LocalStmt:
+		if !g.localTypes[s.Type] {
+			return softf("local declaration of unsupported type %q at %s", s.Type, s.Pos)
+		}
+		if s.Value != nil {
+			val, err := g.expr(s.Value)
+			if err != nil {
+				return err
+			}
+			g.pf("%svar %s %s = %s\n", ind, s.Name, goType(s.Type), val)
+		} else {
+			g.pf("%svar %s %s\n", ind, s.Name, goType(s.Type))
+		}
+		g.pf("%s_ = %s\n", ind, s.Name)
+		g.locals[s.Name] = s.Type
+	case *dsl.ReturnStmt:
+		g.pf("%sreturn\n", ind)
 	case *dsl.IfStmt:
 		cond, err := g.expr(s.Cond)
 		if err != nil {
 			return err
 		}
 		g.pf("%sif %s {\n", ind, cond)
-		for _, st := range s.Then {
-			if err := g.stmt(st, depth+1); err != nil {
-				return err
-			}
+		if err := g.scopedBody(s.Then, depth+1); err != nil {
+			return err
 		}
 		if len(s.Else) > 0 {
 			g.pf("%s} else {\n", ind)
-			for _, st := range s.Else {
-				if err := g.stmt(st, depth+1); err != nil {
-					return err
-				}
+			if err := g.scopedBody(s.Else, depth+1); err != nil {
+				return err
 			}
 		}
 		g.pf("%s}\n", ind)
 	case *dsl.ForeachStmt:
+		rng, err := g.rangeExpr(s.List)
+		if err != nil {
+			return err
+		}
 		g.loopVars[s.Var] = true
-		g.pf("%sfor _, %s := range ctx.Neighbors(%q).Addrs() {\n", ind, s.Var, s.List)
-		for _, st := range s.Body {
-			if err := g.stmt(st, depth+1); err != nil {
-				return err
-			}
+		g.pf("%sfor _, %s := range %s {\n", ind, s.Var, rng)
+		if err := g.scopedBody(s.Body, depth+1); err != nil {
+			return err
 		}
 		g.pf("%s}\n", ind)
 		delete(g.loopVars, s.Var)
 	case *dsl.CallStmt:
-		if err := g.callStmt(s, ind); err != nil {
-			if isSoft(err) {
-				g.opaque++
-				var parts []string
-				for _, a := range s.Args {
-					parts = append(parts, a.String())
-				}
-				g.pf("%s// TODO(macedon): untranslated action: %s(%s)\n", ind, s.Fn, strings.Join(parts, ", "))
-				return nil
-			}
-			return err
-		}
+		return g.callStmt(s, ind)
 	case *dsl.OpaqueStmt:
 		g.opaque++
 		g.pf("%s// TODO(macedon): untranslated action: %s\n", ind, s.Text)
@@ -90,10 +152,127 @@ func (g *generator) stmt(s dsl.Stmt, depth int) error {
 	return nil
 }
 
+// scopedBody translates a nested block, descoping the locals it declared on
+// the way out — Go block scoping, so the generated code cannot reference a
+// local outside the block that declared it.
+func (g *generator) scopedBody(stmts []dsl.Stmt, depth int) error {
+	saved := make(map[string]string, len(g.locals))
+	for k, v := range g.locals {
+		saved[k] = v
+	}
+	for _, st := range stmts {
+		if err := g.stmt(st, depth); err != nil {
+			return err
+		}
+	}
+	g.locals = saved
+	return nil
+}
+
+// rangeExpr resolves a foreach collection: a neighbor list, a nodeset state
+// variable, a nodetable state variable, or a nodeset message field.
+func (g *generator) rangeExpr(e dsl.Expr) (string, error) {
+	if id, ok := e.(dsl.Ident); ok {
+		if v, declared := g.varTypes[id.Name]; declared {
+			switch {
+			case v.Kind == dsl.VarNeighborList:
+				return fmt.Sprintf("ctx.Neighbors(%q).Addrs()", id.Name), nil
+			case v.Kind == dsl.VarTable:
+				return "a." + camel(id.Name) + "[:]", nil
+			case v.Kind == dsl.VarPlain && v.Type == "nodeset":
+				return "a." + camel(id.Name), nil
+			}
+		}
+	}
+	return g.nodesetExpr(e)
+}
+
+// nodesetExpr resolves an expression that must denote a nodeset value: a
+// nodeset state variable or a nodeset message field.
+func (g *generator) nodesetExpr(e dsl.Expr) (string, error) {
+	switch e := e.(type) {
+	case dsl.Ident:
+		if v, ok := g.varTypes[e.Name]; ok && v.Kind == dsl.VarPlain && v.Type == "nodeset" {
+			return "a." + camel(e.Name), nil
+		}
+	case dsl.CallExpr:
+		if e.Fn == "field" && len(e.Args) == 1 && g.curMsg != nil {
+			if id, ok := e.Args[0].(dsl.Ident); ok {
+				for _, f := range g.curMsg.Fields {
+					if f.Name == id.Name && f.Type == "nodeset" {
+						return "m." + camel(id.Name), nil
+					}
+				}
+			}
+		}
+	}
+	return "", softf("%s is not a nodeset collection", e)
+}
+
+// listVar resolves a statement argument that must name a nodeset state
+// variable, returning the generated lvalue.
+func (g *generator) listVar(s *dsl.CallStmt, i int) (string, error) {
+	if i >= len(s.Args) {
+		return "", softf("%s is missing its nodeset argument at %s", s.Fn, s.Pos)
+	}
+	id, ok := s.Args[i].(dsl.Ident)
+	if !ok {
+		return "", softf("%s needs a nodeset variable name at %s", s.Fn, s.Pos)
+	}
+	if v, declared := g.varTypes[id.Name]; !declared || v.Kind != dsl.VarPlain || v.Type != "nodeset" {
+		return "", softf("%q is not a declared nodeset variable at %s", id.Name, s.Pos)
+	}
+	return "a." + camel(id.Name), nil
+}
+
+// tableVar resolves a statement argument that must name a nodetable.
+func (g *generator) tableVar(s *dsl.CallStmt, i int) (string, error) {
+	if i >= len(s.Args) {
+		return "", softf("%s is missing its nodetable argument at %s", s.Fn, s.Pos)
+	}
+	id, ok := s.Args[i].(dsl.Ident)
+	if !ok {
+		return "", softf("%s needs a nodetable name at %s", s.Fn, s.Pos)
+	}
+	if v, declared := g.varTypes[id.Name]; !declared || v.Kind != dsl.VarTable {
+		return "", softf("%q is not a declared nodetable at %s", id.Name, s.Pos)
+	}
+	return "a." + camel(id.Name) + "[:]", nil
+}
+
+// mapVar resolves a statement argument that must name a keymap.
+func (g *generator) mapVar(fn string, args []dsl.Expr, i int, pos dsl.Pos) (string, error) {
+	if i >= len(args) {
+		return "", softf("%s is missing its keymap argument at %s", fn, pos)
+	}
+	id, ok := args[i].(dsl.Ident)
+	if !ok {
+		return "", softf("%s needs a keymap name at %s", fn, pos)
+	}
+	if v, declared := g.varTypes[id.Name]; !declared || v.Kind != dsl.VarPlain || v.Type != "keymap" {
+		return "", softf("%q is not a declared keymap at %s", id.Name, pos)
+	}
+	return "a." + camel(id.Name), nil
+}
+
+// firstIdent returns the first argument as a bare name, if present.
+func firstIdent(args []dsl.Expr) (dsl.Ident, bool) {
+	if len(args) == 0 {
+		return dsl.Ident{}, false
+	}
+	id, ok := args[0].(dsl.Ident)
+	return id, ok
+}
+
 func (g *generator) callStmt(s *dsl.CallStmt, ind string) error {
 	// Arguments translate lazily: several primitives take bare names
 	// (states, timers, neighbor lists) that are not value expressions.
-	arg := func(i int) (string, error) { return g.expr(s.Args[i]) }
+	arg := func(i int) (string, error) {
+		if i >= len(s.Args) {
+			return "", softf("%s is missing argument %d at %s", s.Fn, i, s.Pos)
+		}
+		return g.expr(s.Args[i])
+	}
 	switch s.Fn {
 	case "send":
 		m, ok := g.msgs[s.Msg]
@@ -125,13 +304,13 @@ func (g *generator) callStmt(s *dsl.CallStmt, ind string) error {
 		g.pf("%s_ = ctx.Send(%s, &%s{%s}, overlay.PriorityDefault)\n",
 			ind, dest, msgTypeName(s.Msg), strings.Join(inits, ", "))
 	case "state_change":
-		st, ok := s.Args[0].(dsl.Ident)
+		st, ok := firstIdent(s.Args)
 		if !ok {
 			return fmt.Errorf("codegen: %s: state_change needs a state name", s.Pos)
 		}
 		g.pf("%sctx.StateChange(%q)\n", ind, st.Name)
 	case "timer_sched", "timer_resched":
-		t, ok := s.Args[0].(dsl.Ident)
+		t, ok := firstIdent(s.Args)
 		if !ok {
 			return fmt.Errorf("codegen: %s: %s needs a timer name", s.Pos, s.Fn)
 		}
@@ -149,7 +328,7 @@ func (g *generator) callStmt(s *dsl.CallStmt, ind string) error {
 		}
 		g.pf("%sctx.%s(%q, %s)\n", ind, fn, t.Name, period)
 	case "timer_cancel":
-		t, ok := s.Args[0].(dsl.Ident)
+		t, ok := firstIdent(s.Args)
 		if !ok {
 			return fmt.Errorf("codegen: %s: timer_cancel needs a timer name", s.Pos)
 		}
@@ -180,6 +359,131 @@ func (g *generator) callStmt(s *dsl.CallStmt, ind string) error {
 			return err
 		}
 		g.pf("%sctx.Neighbors(%q).Clear()\n", ind, l)
+	case "neighbor_sync":
+		l, err := g.listArg(s, 0)
+		if err != nil {
+			return err
+		}
+		set, err := g.listVar(s, 1)
+		if err != nil {
+			return err
+		}
+		g.need("nbrSync")
+		g.pf("%snbrSync(ctx, %q, ctx.Self(), %s)\n", ind, l, set)
+	case "list_append", "list_prepend", "list_remove":
+		l, err := g.listVar(s, 0)
+		if err != nil {
+			return err
+		}
+		a1, err := arg(1)
+		if err != nil {
+			return err
+		}
+		helper := map[string]string{
+			"list_append": "listAppend", "list_prepend": "listPrepend", "list_remove": "listRemove",
+		}[s.Fn]
+		g.need(helper)
+		g.pf("%s%s = %s(%s, %s)\n", ind, l, helper, l, a1)
+	case "list_clear":
+		l, err := g.listVar(s, 0)
+		if err != nil {
+			return err
+		}
+		g.pf("%s%s = nil\n", ind, l)
+	case "list_trunc":
+		l, err := g.listVar(s, 0)
+		if err != nil {
+			return err
+		}
+		n, err := arg(1)
+		if err != nil {
+			return err
+		}
+		g.need("listTrunc")
+		g.pf("%s%s = listTrunc(%s, %s)\n", ind, l, l, n)
+	case "ring_insert":
+		l, err := g.listVar(s, 0)
+		if err != nil {
+			return err
+		}
+		a1, err := arg(1)
+		if err != nil {
+			return err
+		}
+		half, err := arg(2)
+		if err != nil {
+			return err
+		}
+		g.need("ringInsert")
+		g.pf("%s%s = ringInsert(ctx.SelfKey(), ctx.Self(), %s, %s, %s)\n", ind, l, l, a1, half)
+	case "table_put":
+		t, err := g.tableVar(s, 0)
+		if err != nil {
+			return err
+		}
+		idx, err := arg(1)
+		if err != nil {
+			return err
+		}
+		val, err := arg(2)
+		if err != nil {
+			return err
+		}
+		g.need("tablePut")
+		g.pf("%stablePut(%s, %s, %s)\n", ind, t, idx, val)
+	case "table_remove":
+		t, err := g.tableVar(s, 0)
+		if err != nil {
+			return err
+		}
+		val, err := arg(1)
+		if err != nil {
+			return err
+		}
+		g.need("tableRemove")
+		g.pf("%stableRemove(%s, %s)\n", ind, t, val)
+	case "table_clear":
+		t, err := g.tableVar(s, 0)
+		if err != nil {
+			return err
+		}
+		g.need("tableClear")
+		g.pf("%stableClear(%s)\n", ind, t)
+	case "map_put":
+		m, err := g.mapVar(s.Fn, s.Args, 0, s.Pos)
+		if err != nil {
+			return err
+		}
+		k, err := arg(1)
+		if err != nil {
+			return err
+		}
+		v, err := arg(2)
+		if err != nil {
+			return err
+		}
+		g.pf("%s%s[%s] = %s\n", ind, m, k, v)
+	case "map_del":
+		m, err := g.mapVar(s.Fn, s.Args, 0, s.Pos)
+		if err != nil {
+			return err
+		}
+		k, err := arg(1)
+		if err != nil {
+			return err
+		}
+		g.pf("%sdelete(%s, %s)\n", ind, m, k)
+	case "map_remove_value":
+		m, err := g.mapVar(s.Fn, s.Args, 0, s.Pos)
+		if err != nil {
+			return err
+		}
+		v, err := arg(1)
+		if err != nil {
+			return err
+		}
+		g.need("mapRemoveValue")
+		g.pf("%smapRemoveValue(%s, %s)\n", ind, m, v)
 	case "deliver":
 		a0, err := arg(0)
 		if err != nil {
@@ -195,7 +499,7 @@ func (g *generator) callStmt(s *dsl.CallStmt, ind string) error {
 		}
 		g.pf("%sctx.Deliver(%s, %s, %s)\n", ind, a0, a1, a2)
 	case "notify":
-		kind, ok := s.Args[0].(dsl.Ident)
+		kind, ok := firstIdent(s.Args)
 		if !ok {
 			return softf("notify needs a neighbor kind at %s", s.Pos)
 		}
@@ -220,6 +524,9 @@ func (g *generator) callStmt(s *dsl.CallStmt, ind string) error {
 }
 
 func (g *generator) listArg(s *dsl.CallStmt, i int) (string, error) {
+	if i >= len(s.Args) {
+		return "", softf("%s is missing its neighbor list argument at %s", s.Fn, s.Pos)
+	}
 	id, ok := s.Args[i].(dsl.Ident)
 	if !ok {
 		return "", softf("%s needs a neighbor list name at %s", s.Fn, s.Pos)
@@ -263,11 +570,16 @@ func (g *generator) ident(name string) (string, error) {
 	if g.loopVars[name] {
 		return name, nil
 	}
+	if _, ok := g.locals[name]; ok {
+		return name, nil
+	}
 	switch name {
 	case "self":
 		return "ctx.Self()", nil
 	case "self_key":
 		return "ctx.SelfKey()", nil
+	case "nil_node":
+		return "overlay.NilAddress", nil
 	case "from":
 		return "ev.From", nil
 	case "bootstrap":
@@ -296,7 +608,32 @@ func (g *generator) ident(name string) (string, error) {
 	return "", fmt.Errorf("codegen: unknown identifier %q", name)
 }
 
+// exprArg fetches and translates the i-th argument of a value primitive.
+func (g *generator) exprArg(e dsl.CallExpr, i int) (string, error) {
+	if i >= len(e.Args) {
+		return "", softf("%s is missing argument %d", e.Fn, i)
+	}
+	return g.expr(e.Args[i])
+}
+
+// identArg fetches the i-th argument of a value primitive as a bare name.
+func identArg(e dsl.CallExpr, i int) (dsl.Ident, error) {
+	if i >= len(e.Args) {
+		return dsl.Ident{}, softf("%s is missing argument %d", e.Fn, i)
+	}
+	id, ok := e.Args[i].(dsl.Ident)
+	if !ok {
+		return dsl.Ident{}, softf("%s argument %d must be a name", e.Fn, i)
+	}
+	return id, nil
+}
+
 func (g *generator) callExpr(e dsl.CallExpr) (string, error) {
+	if len(e.Args) == 0 {
+		// Every value primitive takes at least one argument; a bare call is
+		// outside the subset and degrades like any unknown construct.
+		return "", softf("%s() without arguments", e.Fn)
+	}
 	switch e.Fn {
 	case "field":
 		id, ok := e.Args[0].(dsl.Ident)
@@ -310,30 +647,175 @@ func (g *generator) callExpr(e dsl.CallExpr) (string, error) {
 		}
 		return "", fmt.Errorf("codegen: message %q has no field %q", g.curMsg.Name, id.Name)
 	case "neighbor_size":
-		id := e.Args[0].(dsl.Ident)
+		id, err := identArg(e, 0)
+		if err != nil {
+			return "", err
+		}
 		return fmt.Sprintf("ctx.Neighbors(%q).Size()", id.Name), nil
 	case "neighbor_query":
-		id := e.Args[0].(dsl.Ident)
-		arg, err := g.expr(e.Args[1])
+		id, err := identArg(e, 0)
+		if err != nil {
+			return "", err
+		}
+		arg, err := g.exprArg(e, 1)
 		if err != nil {
 			return "", err
 		}
 		return fmt.Sprintf("ctx.Neighbors(%q).Contains(%s)", id.Name, arg), nil
 	case "neighbor_full":
-		id := e.Args[0].(dsl.Ident)
+		id, err := identArg(e, 0)
+		if err != nil {
+			return "", err
+		}
 		return fmt.Sprintf("ctx.Neighbors(%q).Full()", id.Name), nil
 	case "neighbor_random":
-		id := e.Args[0].(dsl.Ident)
+		id, err := identArg(e, 0)
+		if err != nil {
+			return "", err
+		}
 		return fmt.Sprintf("nbrRandom(ctx, %q)", id.Name), nil
 	case "neighbor_first":
-		id := e.Args[0].(dsl.Ident)
+		id, err := identArg(e, 0)
+		if err != nil {
+			return "", err
+		}
 		return fmt.Sprintf("nbrFirst(ctx, %q)", id.Name), nil
 	case "hash":
-		arg, err := g.expr(e.Args[0])
+		arg, err := g.exprArg(e, 0)
 		if err != nil {
 			return "", err
 		}
 		return fmt.Sprintf("overlay.HashAddress(%s)", arg), nil
+	case "key_step":
+		k, err := g.exprArg(e, 0)
+		if err != nil {
+			return "", err
+		}
+		i, err := g.exprArg(e, 1)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("overlay.KeyStep(%s, int(%s))", k, i), nil
+	case "between", "between_incl":
+		k, err := g.exprArg(e, 0)
+		if err != nil {
+			return "", err
+		}
+		a, err := g.exprArg(e, 1)
+		if err != nil {
+			return "", err
+		}
+		b, err := g.exprArg(e, 2)
+		if err != nil {
+			return "", err
+		}
+		method := "Between"
+		if e.Fn == "between_incl" {
+			method = "BetweenIncl"
+		}
+		return fmt.Sprintf("(%s).%s(%s, %s)", k, method, a, b), nil
+	case "ring_dist":
+		a, err := g.exprArg(e, 0)
+		if err != nil {
+			return "", err
+		}
+		b, err := g.exprArg(e, 1)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("(%s).Distance(%s)", a, b), nil
+	case "ring_diff":
+		a, err := g.exprArg(e, 0)
+		if err != nil {
+			return "", err
+		}
+		b, err := g.exprArg(e, 1)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("overlay.RingDiff(%s, %s)", a, b), nil
+	case "shared_prefix":
+		a, err := g.exprArg(e, 0)
+		if err != nil {
+			return "", err
+		}
+		b, err := g.exprArg(e, 1)
+		if err != nil {
+			return "", err
+		}
+		bits, err := g.exprArg(e, 2)
+		if err != nil {
+			return "", err
+		}
+		g.need("keyPrefix")
+		return fmt.Sprintf("keyPrefix(%s, %s, %s)", a, b, bits), nil
+	case "digit":
+		k, err := g.exprArg(e, 0)
+		if err != nil {
+			return "", err
+		}
+		i, err := g.exprArg(e, 1)
+		if err != nil {
+			return "", err
+		}
+		bits, err := g.exprArg(e, 2)
+		if err != nil {
+			return "", err
+		}
+		g.need("keyDigit")
+		return fmt.Sprintf("keyDigit(%s, %s, %s)", k, i, bits), nil
+	case "list_size":
+		s, err := g.nodesetExpr(e.Args[0])
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("int32(len(%s))", s), nil
+	case "list_get":
+		s, err := g.nodesetExpr(e.Args[0])
+		if err != nil {
+			return "", err
+		}
+		i, err := g.exprArg(e, 1)
+		if err != nil {
+			return "", err
+		}
+		g.need("listGet")
+		return fmt.Sprintf("listGet(%s, %s)", s, i), nil
+	case "list_contains":
+		s, err := g.nodesetExpr(e.Args[0])
+		if err != nil {
+			return "", err
+		}
+		v, err := g.exprArg(e, 1)
+		if err != nil {
+			return "", err
+		}
+		g.need("listContains")
+		return fmt.Sprintf("listContains(%s, %s)", s, v), nil
+	case "table_get":
+		id, err := identArg(e, 0)
+		if err != nil {
+			return "", err
+		}
+		if v, declared := g.varTypes[id.Name]; !declared || v.Kind != dsl.VarTable {
+			return "", softf("%q is not a declared nodetable", id.Name)
+		}
+		i, err := g.exprArg(e, 1)
+		if err != nil {
+			return "", err
+		}
+		g.need("tableGet")
+		return fmt.Sprintf("tableGet(a.%s[:], %s)", camel(id.Name), i), nil
+	case "map_get":
+		m, err := g.mapVar(e.Fn, e.Args, 0, dsl.Pos{})
+		if err != nil {
+			return "", err
+		}
+		k, err := g.exprArg(e, 1)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("%s[%s]", m, k), nil
 	}
 	return "", softf("unknown primitive %q", e.Fn)
 }

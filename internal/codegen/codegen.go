@@ -1,11 +1,23 @@
 // Package codegen translates parsed MACEDON specifications into Go agents
 // for the engine — the role §3.2 of the paper assigns the MACEDON
 // translator (which emitted C++). Message declarations become typed structs
-// with binary codecs, the STATE AND DATA sections become Def registrations,
-// and transition bodies written in the documented action-language subset
-// (§3.3's primitives) are translated statement by statement. Statements
-// outside the subset are preserved as TODO comments, exactly as a human
-// would port remaining C fragments.
+// with binary codecs against internal/overlay, the STATE AND DATA sections
+// become core.Def registrations plus Agent struct fields (scalars, nodeset
+// slices, fixed-size nodetable arrays, keymap maps), and transition bodies
+// written in the documented action-language subset (§3.3's primitives,
+// ring-interval and prefix key arithmetic, bounded collection insertion)
+// are translated statement by statement against core.Context and a small
+// set of runtime helpers emitted only when referenced.
+//
+// Statements outside the subset degrade softly: they are preserved as
+// "TODO(macedon)" comments, exactly as a human would port remaining C
+// fragments, and counted in Result.Opaque alongside Result.Translated so
+// `macedon gen` and the CI gen-coverage job can report per-spec coverage.
+// The chord, pastry, and randtree specifications translate TODO-free; the
+// committed outputs under internal/overlays/gen* are kept in sync by tests
+// and gated by routing-oracle conformance tests under churn. The pipeline
+// walkthrough is docs/codegen.md; the language reference is
+// docs/maclang.md.
 package codegen
 
 import (
@@ -16,10 +28,13 @@ import (
 	"macedon/internal/dsl"
 )
 
-// Result carries the generated source plus translation statistics.
+// Result carries the generated source plus translation statistics: the
+// per-spec coverage numbers `macedon gen` reports and the CI coverage job
+// publishes.
 type Result struct {
 	Source      string
 	Package     string
+	Translated  int // statements translated into Go
 	Opaque      int // statements preserved as TODO comments
 	Transitions int
 }
@@ -30,8 +45,19 @@ func Generate(spec *dsl.Spec, pkg string) (*Result, error) {
 		spec:     spec,
 		pkg:      pkg,
 		consts:   map[string]string{},
+		helpers:  map[string]bool{},
 		varTypes: map[string]dsl.StateVar{},
 		msgs:     map[string]dsl.Message{},
+		// Locals are value-typed only: the collection primitives resolve
+		// nodeset/nodetable/keymap operands through declared state
+		// variables, so a collection-typed local would be undrivable —
+		// rejecting the declaration makes it degrade to a visible TODO
+		// instead of silently dropping every statement that touches it.
+		localTypes: map[string]bool{
+			"int": true, "double": true, "bool": true, "key": true,
+			"macedon_key": true, "node": true, "buffer": true,
+			"string": true,
+		},
 	}
 	for _, c := range spec.Constants {
 		g.consts[c.Name] = c.Value
@@ -46,15 +72,18 @@ func Generate(spec *dsl.Spec, pkg string) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Source: src, Package: pkg, Opaque: g.opaque, Transitions: len(spec.Transitions)}, nil
+	return &Result{Source: src, Package: pkg, Translated: g.translated,
+		Opaque: g.opaque, Transitions: len(spec.Transitions)}, nil
 }
 
 type generator struct {
-	spec   *dsl.Spec
-	pkg    string
-	b      strings.Builder
-	consts map[string]string
-	opaque int
+	spec       *dsl.Spec
+	pkg        string
+	b          strings.Builder
+	consts     map[string]string
+	opaque     int
+	translated int
+	helpers    map[string]bool // runtime helpers referenced by translated code
 
 	varTypes map[string]dsl.StateVar
 	msgs     map[string]dsl.Message
@@ -63,7 +92,13 @@ type generator struct {
 	curMsg   *dsl.Message
 	curKind  dsl.TransitionKind
 	loopVars map[string]bool
+	locals   map[string]string // handler-scoped locals: name → mac type
+
+	localTypes map[string]bool
 }
+
+// need marks a runtime helper for emission at the end of the file.
+func (g *generator) need(helper string) { g.helpers[helper] = true }
 
 func init() { _ = strconv.Itoa } // strconv used in literal handling below
 
@@ -106,6 +141,8 @@ func goType(t string) string {
 		return "[]overlay.Address"
 	case "keyset":
 		return "[]overlay.Key"
+	case "keymap":
+		return "map[overlay.Key]overlay.Address"
 	}
 	return "int32"
 }
@@ -199,16 +236,31 @@ func (g *generator) file() (string, error) {
 		g.pf("\treturn r.Err()\n}\n\n")
 	}
 
-	// Agent struct with plain state variables.
+	// Agent struct with plain state variables, node tables, and keymaps.
+	var keymaps []string
 	g.pf("// Agent is the generated protocol instance.\ntype Agent struct {\n")
 	for _, v := range s.StateVars {
-		if v.Kind == dsl.VarPlain {
+		switch v.Kind {
+		case dsl.VarPlain:
 			g.pf("\t%s %s\n", camel(v.Name), goType(v.Type))
+			if v.Type == "keymap" {
+				keymaps = append(keymaps, camel(v.Name))
+			}
+		case dsl.VarTable:
+			g.pf("\t%s [%s]overlay.Address\n", camel(v.Name), g.resolve(v.Max))
 		}
 	}
 	g.pf("}\n\n")
 	g.pf("// New returns a factory for generated %s agents.\n", s.Name)
-	g.pf("func New() core.Factory {\n\treturn func() core.Agent { return &Agent{} }\n}\n\n")
+	if len(keymaps) == 0 {
+		g.pf("func New() core.Factory {\n\treturn func() core.Agent { return &Agent{} }\n}\n\n")
+	} else {
+		g.pf("func New() core.Factory {\n\treturn func() core.Agent {\n\t\ta := &Agent{}\n")
+		for _, km := range keymaps {
+			g.pf("\t\ta.%s = make(map[overlay.Key]overlay.Address)\n", km)
+		}
+		g.pf("\t\treturn a\n\t}\n}\n\n")
+	}
 	g.pf("// ProtocolName implements the engine's naming hook.\n")
 	g.pf("func (a *Agent) ProtocolName() string { return %q }\n\n", s.Name)
 
@@ -287,7 +339,10 @@ func (g *generator) file() (string, error) {
 		}
 	}
 
-	// Helpers.
+	// Helpers. nbrRandom and nbrFirst are emitted unconditionally (the
+	// original subset always carried them); the collection and key-space
+	// helpers appear only when the spec's translation referenced them, in a
+	// fixed order so regeneration is reproducible.
 	g.pf(`func nbrRandom(ctx *core.Context, list string) overlay.Address {
 	if n := ctx.Neighbors(list).Random(ctx.Rand()); n != nil {
 		return n.Addr
@@ -302,7 +357,187 @@ func nbrFirst(ctx *core.Context, list string) overlay.Address {
 	return overlay.NilAddress
 }
 `)
+	if g.helpers["ringInsert"] {
+		g.need("listContains")
+	}
+	for _, h := range helperOrder {
+		if g.helpers[h.name] {
+			g.pf("\n%s", h.source)
+		}
+	}
 	return g.b.String(), nil
+}
+
+// helperOrder fixes the emission order of the conditional runtime helpers.
+var helperOrder = []struct {
+	name   string
+	source string
+}{
+	{"nbrSync", `// nbrSync replaces a neighbor list's members with a nodeset's, skipping
+// nil and self (the failure detector monitors peers, not the local node).
+func nbrSync(ctx *core.Context, list string, self overlay.Address, s []overlay.Address) {
+	l := ctx.Neighbors(list)
+	l.Clear()
+	for _, a := range s {
+		if a != overlay.NilAddress && a != self {
+			l.Add(a)
+		}
+	}
+}
+`},
+	{"listAppend", `// listAppend appends a to the list unless already present (or nil).
+func listAppend(s []overlay.Address, a overlay.Address) []overlay.Address {
+	if a == overlay.NilAddress {
+		return s
+	}
+	for _, x := range s {
+		if x == a {
+			return s
+		}
+	}
+	out := make([]overlay.Address, 0, len(s)+1)
+	out = append(out, s...)
+	return append(out, a)
+}
+`},
+	{"listPrepend", `// listPrepend moves or inserts a at the front of the list.
+func listPrepend(s []overlay.Address, a overlay.Address) []overlay.Address {
+	if a == overlay.NilAddress {
+		return s
+	}
+	out := make([]overlay.Address, 0, len(s)+1)
+	out = append(out, a)
+	for _, x := range s {
+		if x != a {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+`},
+	{"listRemove", `// listRemove deletes every occurrence of a.
+func listRemove(s []overlay.Address, a overlay.Address) []overlay.Address {
+	out := make([]overlay.Address, 0, len(s))
+	for _, x := range s {
+		if x != a {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+`},
+	{"listTrunc", `// listTrunc bounds the list to its first n entries.
+func listTrunc(s []overlay.Address, n int32) []overlay.Address {
+	if n < 0 {
+		n = 0
+	}
+	if int32(len(s)) > n {
+		return s[:n]
+	}
+	return s
+}
+`},
+	{"listGet", `// listGet returns the i-th entry, or NilAddress out of range.
+func listGet(s []overlay.Address, i int32) overlay.Address {
+	if i < 0 || int(i) >= len(s) {
+		return overlay.NilAddress
+	}
+	return s[i]
+}
+`},
+	{"listContains", `// listContains reports whether a is in the list.
+func listContains(s []overlay.Address, a overlay.Address) bool {
+	for _, x := range s {
+		if x == a {
+			return true
+		}
+	}
+	return false
+}
+`},
+	{"ringInsert", `// ringInsert is the bounded leaf-set insertion: the result keeps the half
+// closest clockwise and half closest counter-clockwise peers of self,
+// clockwise side first, each side ordered by ring distance.
+func ringInsert(selfKey overlay.Key, self overlay.Address, s []overlay.Address, a overlay.Address, half int32) []overlay.Address {
+	if a == overlay.NilAddress || a == self || listContains(s, a) {
+		return s
+	}
+	var cw, ccw []overlay.Address
+	for _, x := range append(append([]overlay.Address(nil), s...), a) {
+		xk := overlay.HashAddress(x)
+		if selfKey.Distance(xk) <= xk.Distance(selfKey) {
+			cw = ringSide(cw, x, func(k overlay.Key) uint32 { return selfKey.Distance(k) }, half)
+		} else {
+			ccw = ringSide(ccw, x, func(k overlay.Key) uint32 { return k.Distance(selfKey) }, half)
+		}
+	}
+	return append(cw, ccw...)
+}
+
+// ringSide insertion-sorts a into one leaf-set side and bounds its size.
+func ringSide(side []overlay.Address, a overlay.Address, dist func(overlay.Key) uint32, max int32) []overlay.Address {
+	side = append(side, a)
+	for i := len(side) - 1; i > 0; i-- {
+		if dist(overlay.HashAddress(side[i])) < dist(overlay.HashAddress(side[i-1])) {
+			side[i], side[i-1] = side[i-1], side[i]
+		}
+	}
+	if int32(len(side)) > max {
+		side = side[:max]
+	}
+	return side
+}
+`},
+	{"tablePut", `// tablePut stores a at index i, ignoring out-of-range indices.
+func tablePut(t []overlay.Address, i int32, a overlay.Address) {
+	if i >= 0 && int(i) < len(t) {
+		t[i] = a
+	}
+}
+`},
+	{"tableGet", `// tableGet returns the entry at index i, or NilAddress out of range.
+func tableGet(t []overlay.Address, i int32) overlay.Address {
+	if i < 0 || int(i) >= len(t) {
+		return overlay.NilAddress
+	}
+	return t[i]
+}
+`},
+	{"tableRemove", `// tableRemove clears every table slot holding a.
+func tableRemove(t []overlay.Address, a overlay.Address) {
+	for i, x := range t {
+		if x == a {
+			t[i] = overlay.NilAddress
+		}
+	}
+}
+`},
+	{"tableClear", `// tableClear empties every table slot.
+func tableClear(t []overlay.Address) {
+	for i := range t {
+		t[i] = overlay.NilAddress
+	}
+}
+`},
+	{"mapRemoveValue", `// mapRemoveValue deletes every entry whose value is a.
+func mapRemoveValue(m map[overlay.Key]overlay.Address, a overlay.Address) {
+	for k, v := range m {
+		if v == a {
+			delete(m, k)
+		}
+	}
+}
+`},
+	{"keyPrefix", `// keyPrefix counts the leading base-2^bits digits two keys share.
+func keyPrefix(a, b overlay.Key, bits int32) int32 {
+	return int32(a.SharedPrefix(b, int(bits)))
+}
+`},
+	{"keyDigit", `// keyDigit extracts the i-th base-2^bits digit of a key.
+func keyDigit(k overlay.Key, i, bits int32) int32 {
+	return int32(k.Digit(int(i), int(bits)))
+}
+`},
 }
 
 func (g *generator) listMax(v dsl.StateVar) string {
@@ -370,6 +605,7 @@ func (g *generator) handler(i int, tr dsl.Transition) error {
 	g.curKind = tr.Kind
 	g.curMsg = nil
 	g.loopVars = map[string]bool{}
+	g.locals = map[string]string{}
 	g.pf("// transition%d implements: %s %s %s [locking %s;]\n", i, tr.Guard, tr.Kind, tr.Name, tr.Locking)
 	switch tr.Kind {
 	case dsl.TransAPI:

@@ -75,42 +75,61 @@ func TestGeneratedSourcesParse(t *testing.T) {
 	}
 }
 
-// TestRandtreeFullyTranslated proves the action-language subset covers the
-// whole RandTree specification: zero TODO fallbacks.
-func TestRandtreeFullyTranslated(t *testing.T) {
-	spec := loadSpec(t, "randtree.mac")
-	res, err := Generate(spec, "genrandtree")
-	if err != nil {
-		t.Fatal(err)
-	}
-	if res.Opaque != 0 {
-		t.Fatalf("randtree left %d untranslated statements", res.Opaque)
-	}
-	if strings.Contains(res.Source, "TODO(macedon)") {
-		t.Fatal("randtree output contains TODO fallbacks")
+// fullyTranslated is the set of specs that must generate with zero TODO
+// fallbacks — the CI gen-coverage job's regression floor.
+var fullyTranslated = []struct {
+	spec, pkg string
+}{
+	{"randtree.mac", "genrandtree"},
+	{"chord.mac", "genchord"},
+	{"pastry.mac", "genpastry"},
+}
+
+// TestFullyTranslatedSpecs proves the action-language subset covers the
+// whole RandTree, Chord, and Pastry specifications: zero TODO fallbacks,
+// and a positive Translated count surfaced through the Result.
+func TestFullyTranslatedSpecs(t *testing.T) {
+	for _, c := range fullyTranslated {
+		spec := loadSpec(t, c.spec)
+		res, err := Generate(spec, c.pkg)
+		if err != nil {
+			t.Fatalf("%s: %v", c.spec, err)
+		}
+		if res.Opaque != 0 {
+			t.Errorf("%s left %d untranslated statements", c.spec, res.Opaque)
+		}
+		if strings.Contains(res.Source, "TODO(macedon)") {
+			t.Errorf("%s output contains TODO fallbacks", c.spec)
+		}
+		if res.Translated == 0 {
+			t.Errorf("%s reports zero translated statements", c.spec)
+		}
 	}
 }
 
-// TestCommittedGenRandtreeInSync regenerates genrandtree and diffs it
-// against the committed package, so the generator and its output can never
-// drift apart.
-func TestCommittedGenRandtreeInSync(t *testing.T) {
-	spec := loadSpec(t, "randtree.mac")
-	res, err := Generate(spec, "genrandtree")
-	if err != nil {
-		t.Fatal(err)
-	}
-	formatted, err := format.Source([]byte(res.Source))
-	if err != nil {
-		t.Fatalf("generated source does not format: %v", err)
-	}
-	committed, err := os.ReadFile(repo.Path("internal", "overlays", "genrandtree", "genrandtree.go"))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if string(committed) != string(formatted) {
-		t.Fatal("internal/overlays/genrandtree is stale: run " +
-			"`go run ./cmd/macedon gen -pkg genrandtree -o internal/overlays/genrandtree/genrandtree.go specs/randtree.mac`")
+// TestCommittedGeneratedSourcesInSync regenerates every committed generated
+// package and diffs it against the tree, so the generator and its outputs
+// can never drift apart.
+func TestCommittedGeneratedSourcesInSync(t *testing.T) {
+	for _, c := range fullyTranslated {
+		spec := loadSpec(t, c.spec)
+		res, err := Generate(spec, c.pkg)
+		if err != nil {
+			t.Fatalf("%s: %v", c.spec, err)
+		}
+		formatted, err := format.Source([]byte(res.Source))
+		if err != nil {
+			t.Fatalf("%s: generated source does not format: %v", c.spec, err)
+		}
+		committed, err := os.ReadFile(repo.Path("internal", "overlays", c.pkg, c.pkg+".go"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(committed) != string(formatted) {
+			t.Errorf("internal/overlays/%s is stale: run "+
+				"`go run ./cmd/macedon gen -pkg %s -o internal/overlays/%s/%s.go specs/%s`",
+				c.pkg, c.pkg, c.pkg, c.pkg, c.spec)
+		}
 	}
 }
 
@@ -134,6 +153,102 @@ transitions { any recv m { some_c_function(a, b); } }
 	}
 	if !strings.Contains(res.Source, "TODO(macedon)") {
 		t.Fatal("missing TODO marker")
+	}
+}
+
+// TestUnknownLibraryCallsDegrade checks that library calls outside the
+// subset degrade to TODO comments wherever they appear — as a statement, as
+// an assignment source, or as a condition — instead of failing generation.
+func TestUnknownLibraryCallsDegrade(t *testing.T) {
+	spec, err := dsl.Parse(`
+protocol p
+transports { UDP u; }
+messages { u m { int x; } }
+auxiliary_data { int count; }
+transitions {
+  any recv m {
+    frobnicate(from, 3);
+    count = mystery_metric(from);
+    if (exotic_check(count)) { count = 0; }
+    count = list_size();
+    neighbor_size(1 + 2);
+  }
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Generate(spec, "genp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Opaque != 5 {
+		t.Fatalf("opaque = %d, want 5", res.Opaque)
+	}
+	if n := strings.Count(res.Source, "TODO(macedon)"); n != 5 {
+		t.Fatalf("TODO markers = %d, want 5", n)
+	}
+}
+
+// TestCollectionPrimitivesTranslate checks the indexed-collection subset:
+// nodeset lists, nodetables, keymaps, locals, and return.
+func TestCollectionPrimitivesTranslate(t *testing.T) {
+	spec, err := dsl.Parse(`
+protocol p
+constants { N = 16; }
+transports { UDP u; }
+messages { u m { key k; nodeset others; } }
+auxiliary_data {
+  nodeset ring;
+  nodetable table N;
+  keymap cache;
+}
+transitions {
+  any recv m {
+    node best;
+    best = list_get(ring, 0);
+    if (best == nil_node) {
+      return;
+    }
+    foreach (x in field(others)) {
+      ring_insert(ring, x, 4);
+      table_put(table, shared_prefix(self_key, hash(x), 4) * 2, x);
+    }
+    map_put(cache, field(k), best);
+    list_trunc(ring, 8);
+  }
+  any API error {
+    list_remove(ring, failed);
+    table_remove(table, failed);
+    map_remove_value(cache, failed);
+  }
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Generate(spec, "genp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Opaque != 0 {
+		t.Fatalf("opaque = %d: %s", res.Opaque, res.Source)
+	}
+	for _, want := range []string{
+		"Table [16]overlay.Address",
+		"Cache map[overlay.Key]overlay.Address",
+		"a.Cache = make(map[overlay.Key]overlay.Address)",
+		"ringInsert(ctx.SelfKey(), ctx.Self(), a.Ring, x, 4)",
+		"tablePut(a.Table[:]",
+		"mapRemoveValue(a.Cache, call.Failed)",
+		"for _, x := range m.Others {",
+	} {
+		if !strings.Contains(res.Source, want) {
+			t.Errorf("generated source missing %q", want)
+		}
+	}
+	if _, err := format.Source([]byte(res.Source)); err != nil {
+		t.Fatalf("generated source does not format: %v", err)
 	}
 }
 

@@ -412,6 +412,7 @@ func (n *Node) sweep() {
 			return
 		}
 		now := n.clock.Now()
+		var failed []overlay.Address
 		for _, inst := range n.stack {
 			for _, l := range inst.nbrs {
 				if !l.failDetect {
@@ -426,8 +427,17 @@ func (n *Node) sweep() {
 					}
 					silence := now.Sub(heard)
 					switch {
-					case silence > n.failAfter:
+					case silence > n.failAfter && n.hbProbed[nb.Addr]:
+						// Probed and still silent: dead. A failure verdict
+						// requires an unanswered probe, not just a stale
+						// lastHeard entry: protocols re-add live peers whose
+						// timestamp predates their membership (successor
+						// lists rebuilt from a remote node's view do this
+						// every stabilize round), and those must get a probe
+						// cycle — not an instant, perpetually repeating
+						// failure — before the error transition fires.
 						l.Remove(nb.Addr)
+						failed = append(failed, nb.Addr)
 						inst.counters.Failures++
 						inst.trace(TraceLow, "failure of %v detected on %s", nb.Addr, l.Name())
 						inst.dispatchAPI(&APICall{Kind: overlay.APIError, Failed: nb.Addr})
@@ -437,6 +447,14 @@ func (n *Node) sweep() {
 					}
 				}
 			}
+		}
+		// The verdicts consume the probes only after every list is swept,
+		// so a peer monitored by several lists (or stacked instances) fails
+		// on all of them in the same sweep; if it is ever re-added (a
+		// revived node resurfacing in a successor list), it gets a fresh
+		// probe cycle instead of failing on a stale flag forever.
+		for _, a := range failed {
+			delete(n.hbProbed, a)
 		}
 		n.sweepTimer = n.clock.After(n.sweepEvery, n.sweep)
 	})

@@ -1,7 +1,25 @@
 // Package dsl implements the MACEDON domain-specific language of the
 // paper's Figure 4: a lexer, recursive-descent parser, and semantic
-// validator for .mac protocol specifications. The AST it produces drives the
-// code generator (internal/codegen), which emits Go agents for the engine.
+// validator for .mac protocol specifications. The AST it produces drives
+// the code generator (internal/codegen), which emits Go agents for the
+// engine.
+//
+// A specification declares a protocol header (name, optional base layer,
+// addressing mode, trace level), constants, FSM states, neighbor types,
+// transports, messages, auxiliary data (scalars, timers, neighbor lists,
+// and the indexed collections nodeset/nodetable/keymap), and guarded
+// transitions whose bodies are written in a C-like action language:
+// assignments, handler-scoped locals, if/else, foreach over collections,
+// early return, message transmission, and the action-library primitives
+// (state changes, timer scheduling, neighbor/list/table/map management,
+// ring-interval and prefix key arithmetic). The full language reference is
+// docs/maclang.md.
+//
+// Statements outside the recognized grammar are not rejected: the parser
+// preserves them as OpaqueStmt nodes, exactly as the paper's translator
+// passed unknown C fragments through, and the code generator turns them
+// into TODO comments. Parse and Validate errors carry line:column
+// positions (Error) for `macedon check` diagnostics.
 package dsl
 
 import "fmt"
@@ -67,6 +85,7 @@ const (
 	VarPlain StateVarKind = iota // typed scalar
 	VarTimer
 	VarNeighborList
+	VarTable // fixed-size indexed node table ("nodetable name SIZE;")
 )
 
 // StateVar is one auxiliary_data entry.
@@ -76,7 +95,7 @@ type StateVar struct {
 	Name       string
 	Period     string // timers: default period expression ("" = none)
 	Periodic   bool   // timers: auto re-arm
-	Max        string // neighbor lists: capacity ("" = type default)
+	Max        string // neighbor lists: capacity; node tables: size
 	FailDetect bool   // neighbor lists: engine failure monitoring
 	Pos        Pos
 }
@@ -199,16 +218,39 @@ type IfStmt struct {
 func (s *IfStmt) stmt()         {}
 func (s *IfStmt) Position() Pos { return s.Pos }
 
-// ForeachStmt iterates a neighbor list: "foreach (k in kids) { ... }".
+// ForeachStmt iterates a node collection: a neighbor list, a nodeset state
+// variable, a nodetable, or a nodeset-valued expression such as a message
+// field — "foreach (k in kids) { ... }", "foreach (l in field(leaves)) ...".
 type ForeachStmt struct {
 	Var  string
-	List string
+	List Expr
 	Body []Stmt
 	Pos  Pos
 }
 
 func (s *ForeachStmt) stmt()         {}
 func (s *ForeachStmt) Position() Pos { return s.Pos }
+
+// LocalStmt declares a handler-scoped local variable with an optional
+// initializer: "node best;", "int row = 0;". Locals are visible from the
+// declaration to the end of the enclosing block.
+type LocalStmt struct {
+	Type  string // scalar type: int, double, bool, key, node, ...
+	Name  string
+	Value Expr // nil when the declaration has no initializer
+	Pos   Pos
+}
+
+func (s *LocalStmt) stmt()         {}
+func (s *LocalStmt) Position() Pos { return s.Pos }
+
+// ReturnStmt ends the enclosing transition early: "return;".
+type ReturnStmt struct {
+	Pos Pos
+}
+
+func (s *ReturnStmt) stmt()         {}
+func (s *ReturnStmt) Position() Pos { return s.Pos }
 
 // OpaqueStmt preserves statements outside the translatable subset.
 type OpaqueStmt struct {

@@ -159,6 +159,163 @@ transitions {
 	}
 }
 
+// TestParseGrownSubset covers the structured-overlay constructs: local
+// declarations, return, nodetable and keymap state, foreach over arbitrary
+// collection expressions, and multiplicative arithmetic.
+func TestParseGrownSubset(t *testing.T) {
+	src := `
+protocol p
+constants { N = 8; }
+transports { UDP u; }
+messages { u m { key target; nodeset others; } }
+auxiliary_data {
+  nodeset ring;
+  nodetable table N;
+  keymap cache;
+  int cursor;
+}
+transitions {
+  any recv m {
+    node best;
+    int idx = 0;
+    idx = (cursor * 2 + 1) % N;
+    best = table_get(table, idx);
+    if (best == nil_node) {
+      return;
+    }
+    foreach (x in field(others)) {
+      list_append(ring, x);
+    }
+    foreach (x in ring) {
+      table_put(table, idx, x);
+    }
+  }
+}
+`
+	spec, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var table, cache *StateVar
+	for i := range spec.StateVars {
+		switch spec.StateVars[i].Name {
+		case "table":
+			table = &spec.StateVars[i]
+		case "cache":
+			cache = &spec.StateVars[i]
+		}
+	}
+	if table == nil || table.Kind != VarTable || table.Max != "N" {
+		t.Fatalf("nodetable state var = %+v", table)
+	}
+	if cache == nil || cache.Kind != VarPlain || cache.Type != "keymap" {
+		t.Fatalf("keymap state var = %+v", cache)
+	}
+	body := spec.Transitions[0].Body
+	if l, ok := body[0].(*LocalStmt); !ok || l.Type != "node" || l.Name != "best" || l.Value != nil {
+		t.Fatalf("stmt 0 = %#v", body[0])
+	}
+	if l, ok := body[1].(*LocalStmt); !ok || l.Value == nil {
+		t.Fatalf("stmt 1 = %#v", body[1])
+	}
+	if a, ok := body[2].(*AssignStmt); !ok || !strings.Contains(a.Value.String(), "%") {
+		t.Fatalf("stmt 2 = %#v", body[2])
+	}
+	ifst, ok := body[4].(*IfStmt)
+	if !ok || len(ifst.Then) != 1 {
+		t.Fatalf("stmt 4 = %#v", body[4])
+	}
+	if _, ok := ifst.Then[0].(*ReturnStmt); !ok {
+		t.Fatalf("if body = %#v", ifst.Then[0])
+	}
+	fe, ok := body[5].(*ForeachStmt)
+	if !ok {
+		t.Fatalf("stmt 5 = %#v", body[5])
+	}
+	if call, ok := fe.List.(CallExpr); !ok || call.Fn != "field" {
+		t.Fatalf("foreach list = %#v", fe.List)
+	}
+}
+
+// TestParseErrorPositions checks the line:column coordinates of positioned
+// diagnostics, which `macedon check` users navigate by.
+func TestParseErrorPositions(t *testing.T) {
+	cases := []struct {
+		name, src string
+		line, col int
+	}{
+		{"bad char", "protocol p\ntransports { UDP u; }\nmessages { u m { int #; } }\n", 3, 22},
+		{"bad section", "protocol p\nnonsense { }\n", 2, 1},
+		{"bad transport kind", "protocol p\ntransports {\n  QUIC q;\n}\n", 3, 3},
+		{"missing semicolon", "protocol p\nstates { a b }\n", 2, 12},
+		{"bad state var type", "protocol p\nauxiliary_data {\n  widget w;\n}\n", 3, 3},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.src)
+		if err == nil {
+			t.Errorf("%s: expected error", c.name)
+			continue
+		}
+		perr, ok := err.(*Error)
+		if !ok {
+			t.Errorf("%s: error %v is not positioned", c.name, err)
+			continue
+		}
+		if perr.Pos.Line != c.line || perr.Pos.Col != c.col {
+			t.Errorf("%s: error at %v, want %d:%d (%v)", c.name, perr.Pos, c.line, c.col, err)
+		}
+	}
+}
+
+// TestValidateDiagnostics covers the semantic checks on malformed but
+// syntactically valid specifications: bad timer arguments, unsizeable
+// collections, and unknown references.
+func TestValidateDiagnostics(t *testing.T) {
+	cases := []struct{ name, src, want string }{
+		{"timer period not a number",
+			`protocol p transports { UDP u; } messages { u m { } }
+			 auxiliary_data { timer t BOGUS; }`,
+			"timer \"t\" period"},
+		{"timer period negative constant",
+			`protocol p constants { T = x9; } transports { UDP u; } messages { u m { } }
+			 auxiliary_data { timer t T; }`,
+			"timer \"t\" period"},
+		{"nodetable size not positive",
+			`protocol p transports { UDP u; } messages { u m { } }
+			 auxiliary_data { nodetable t 0; }`,
+			"nodetable \"t\" size"},
+		{"nodetable size unknown constant",
+			`protocol p transports { UDP u; } messages { u m { } }
+			 auxiliary_data { nodetable t SIZE; }`,
+			"nodetable \"t\" size"},
+		{"neighbor list capacity bad",
+			`protocol p transports { UDP u; } messages { u m { } }
+			 neighbor_types { k_t 2 { } } auxiliary_data { k_t kids NOPE; }`,
+			"neighbor list \"kids\" capacity"},
+		{"neighbor type capacity bad",
+			`protocol p transports { UDP u; } messages { u m { } }
+			 neighbor_types { k_t WAT { } }`,
+			"neighbor type \"k_t\" capacity"},
+		{"message field unknown type",
+			`protocol p transports { UDP u; } messages { u m { gadget x; } }`,
+			"unknown type"},
+		{"guard references unknown state",
+			`protocol p transports { UDP u; } messages { u m { } }
+			 transitions { flying recv m { } }`,
+			"undeclared state"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.src)
+		if err == nil {
+			t.Errorf("%s: expected error", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}
+
 func TestCountLines(t *testing.T) {
 	src := "protocol x\n\n// comment only\nstates { a; }\n/* block\ncomment */\ntransports { UDP u; }\n"
 	if n := CountLines(src); n != 3 {

@@ -139,7 +139,7 @@ tokenStart:
 			return token{kind: tokPunct, text: two, pos: p}, nil
 		}
 		switch r {
-		case '{', '}', '(', ')', '[', ']', ';', ',', '=', '!', '|', '<', '>', '+', '-', '*', '/', '.', '&':
+		case '{', '}', '(', ')', '[', ']', ';', ',', '=', '!', '|', '<', '>', '+', '-', '*', '/', '%', '.', '&':
 			l.advance()
 			return token{kind: tokPunct, text: string(r), pos: p}, nil
 		}

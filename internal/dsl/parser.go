@@ -85,6 +85,12 @@ var scalarTypes = map[string]bool{
 	"nodeset": true, "keyset": true,
 }
 
+// stateVarTypes are the additional types legal only for auxiliary_data
+// entries (not message fields or locals).
+var stateVarTypes = map[string]bool{
+	"keymap": true, // key → node map (Pastry's location cache)
+}
+
 func (p *parser) spec() (*Spec, error) {
 	spec := &Spec{Addressing: "hash", Trace: "off"}
 	if !p.acceptIdent("protocol") {
@@ -334,6 +340,22 @@ func (p *parser) stateVars(spec *Spec) error {
 				return err
 			}
 			spec.StateVars = append(spec.StateVars, v)
+		case t.text == "nodetable":
+			p.next()
+			name, err := p.expectIdent("node table name")
+			if err != nil {
+				return err
+			}
+			size := p.next()
+			if size.kind != tokNumber && size.kind != tokIdent {
+				return p.errf(size.pos, "nodetable %q needs a size (literal or constant)", name.text)
+			}
+			if _, err := p.expectPunct(";"); err != nil {
+				return err
+			}
+			spec.StateVars = append(spec.StateVars, StateVar{
+				Kind: VarTable, Type: "nodetable", Name: name.text, Max: size.text, Pos: t.pos,
+			})
 		case t.text == "fail_detect" || nbrTypes[t.text]:
 			fail := p.acceptIdent("fail_detect")
 			typ, err := p.expectIdent("neighbor type")
@@ -360,7 +382,7 @@ func (p *parser) stateVars(spec *Spec) error {
 			if err != nil {
 				return err
 			}
-			if !scalarTypes[typ.text] {
+			if !scalarTypes[typ.text] && !stateVarTypes[typ.text] {
 				return p.errf(typ.pos, "unknown type %q", typ.text)
 			}
 			name, err := p.expectIdent("variable name")
@@ -549,6 +571,23 @@ func (p *parser) stmt() (Stmt, error) {
 			return p.sendStmt()
 		case "foreach":
 			return p.foreachStmt()
+		case "return":
+			if p.peek().kind == tokPunct && p.peek().text == ";" {
+				p.next()
+				p.next()
+				return &ReturnStmt{Pos: t.pos}, nil
+			}
+		}
+		// Local declaration: "<type> <name> [= expr] ;". On a parse failure
+		// the statement rewinds and degrades to Opaque like everything else.
+		if scalarTypes[t.text] && p.peek().kind == tokIdent {
+			mark := p.i
+			st, err := p.localStmt()
+			if err == nil {
+				return st, nil
+			}
+			p.i = mark
+			return p.opaqueStmt()
 		}
 		// Call or assignment; on a parse failure inside the statement,
 		// rewind and preserve it opaquely (arbitrary C fragments are legal
@@ -623,7 +662,28 @@ func (p *parser) ifStmt() (Stmt, error) {
 	return st, nil
 }
 
-// foreachStmt: foreach (k in kids) { ... }
+// localStmt: <type> <name> [= expr] ;
+func (p *parser) localStmt() (Stmt, error) {
+	typ := p.next() // type keyword
+	name, err := p.expectIdent("local variable name")
+	if err != nil {
+		return nil, err
+	}
+	st := &LocalStmt{Type: typ.text, Name: name.text, Pos: typ.pos}
+	if p.acceptPunct("=") {
+		val, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		st.Value = val
+	}
+	if _, err := p.expectPunct(";"); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// foreachStmt: foreach (k in <collection expr>) { ... }
 func (p *parser) foreachStmt() (Stmt, error) {
 	pos := p.next().pos // "foreach"
 	if _, err := p.expectPunct("("); err != nil {
@@ -636,7 +696,7 @@ func (p *parser) foreachStmt() (Stmt, error) {
 	if !p.acceptIdent("in") {
 		return nil, p.errf(p.cur().pos, "expected \"in\"")
 	}
-	list, err := p.expectIdent("neighbor list")
+	list, err := p.expr()
 	if err != nil {
 		return nil, err
 	}
@@ -650,7 +710,7 @@ func (p *parser) foreachStmt() (Stmt, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &ForeachStmt{Var: v.text, List: list.text, Body: body, Pos: pos}, nil
+	return &ForeachStmt{Var: v.text, List: list, Body: body, Pos: pos}, nil
 }
 
 // sendStmt: send msg(dest, field=value, ...);
@@ -810,11 +870,27 @@ func (p *parser) cmpExpr() (Expr, error) {
 }
 
 func (p *parser) addExpr() (Expr, error) {
-	l, err := p.unaryExpr()
+	l, err := p.mulExpr()
 	if err != nil {
 		return nil, err
 	}
 	for t := p.cur(); t.kind == tokPunct && (t.text == "+" || t.text == "-"); t = p.cur() {
+		p.next()
+		r, err := p.mulExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = BinExpr{Op: t.text, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) mulExpr() (Expr, error) {
+	l, err := p.unaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for t := p.cur(); t.kind == tokPunct && (t.text == "*" || t.text == "/" || t.text == "%"); t = p.cur() {
 		p.next()
 		r, err := p.unaryExpr()
 		if err != nil {

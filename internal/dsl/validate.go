@@ -1,6 +1,9 @@
 package dsl
 
-import "fmt"
+import (
+	"fmt"
+	"strconv"
+)
 
 // Validate performs the semantic checks the MACEDON translator applies
 // before code generation: every referenced state, message, timer, transport,
@@ -57,6 +60,28 @@ func Validate(s *Spec) error {
 			}
 		}
 	}
+	consts := map[string]string{}
+	for _, c := range s.Constants {
+		consts[c.Name] = c.Value
+	}
+	// intValue resolves a literal or constant reference to an integer; it
+	// backs the sizing diagnostics below (timer periods, list capacities,
+	// table sizes must be compile-time integers).
+	intValue := func(v string) (int, bool) {
+		if rep, ok := consts[v]; ok {
+			v = rep
+		}
+		n, err := strconv.Atoi(v)
+		return n, err == nil
+	}
+	for _, nt := range s.NeighborTypes {
+		if nt.Max != "" {
+			if n, ok := intValue(nt.Max); !ok || n <= 0 {
+				return &Error{Pos: nt.Pos, Msg: fmt.Sprintf(
+					"neighbor type %q capacity %q is not a positive integer literal or constant", nt.Name, nt.Max)}
+			}
+		}
+	}
 	timers := map[string]bool{}
 	vars := map[string]bool{}
 	lists := map[string]bool{}
@@ -68,10 +93,27 @@ func Validate(s *Spec) error {
 		switch v.Kind {
 		case VarTimer:
 			timers[v.Name] = true
+			if v.Period != "" {
+				if n, ok := intValue(v.Period); !ok || n < 0 {
+					return &Error{Pos: v.Pos, Msg: fmt.Sprintf(
+						"timer %q period %q is not a non-negative integer literal or constant", v.Name, v.Period)}
+				}
+			}
 		case VarNeighborList:
 			lists[v.Name] = true
 			if !nbrTypes[v.Type] {
 				return fmt.Errorf("dsl: %s: neighbor list %q has unknown type %q", s.Name, v.Name, v.Type)
+			}
+			if v.Max != "" {
+				if n, ok := intValue(v.Max); !ok || n <= 0 {
+					return &Error{Pos: v.Pos, Msg: fmt.Sprintf(
+						"neighbor list %q capacity %q is not a positive integer literal or constant", v.Name, v.Max)}
+				}
+			}
+		case VarTable:
+			if n, ok := intValue(v.Max); !ok || n <= 0 {
+				return &Error{Pos: v.Pos, Msg: fmt.Sprintf(
+					"nodetable %q size %q is not a positive integer literal or constant", v.Name, v.Max)}
 			}
 		}
 	}

@@ -7,6 +7,9 @@ import (
 	"macedon/internal/core"
 	"macedon/internal/overlay"
 	"macedon/internal/overlays/chord"
+	"macedon/internal/overlays/genchord"
+	"macedon/internal/overlays/genpastry"
+	"macedon/internal/overlays/genrandtree"
 	"macedon/internal/overlays/nice"
 	"macedon/internal/overlays/overcast"
 	"macedon/internal/overlays/pastry"
@@ -17,7 +20,9 @@ import (
 )
 
 // ScenarioStack resolves a scenario protocol name onto a node stack:
-// chord, pastry, randtree, scribe (pastry+scribe), nice, or overcast.
+// chord, pastry, randtree, scribe (pastry+scribe), nice, overcast, or the
+// machine-generated genchord, genpastry, and genrandtree agents that
+// `macedon gen` emits from specs/*.mac.
 func ScenarioStack(proto string) ([]core.Factory, error) {
 	switch proto {
 	case "", "chord":
@@ -32,8 +37,14 @@ func ScenarioStack(proto string) ([]core.Factory, error) {
 		return []core.Factory{nice.New(nice.Params{})}, nil
 	case "overcast":
 		return []core.Factory{overcast.New(overcast.Params{})}, nil
+	case "genchord":
+		return []core.Factory{genchord.New()}, nil
+	case "genpastry":
+		return []core.Factory{genpastry.New()}, nil
+	case "genrandtree":
+		return []core.Factory{genrandtree.New()}, nil
 	}
-	return nil, fmt.Errorf("harness: unknown scenario protocol %q (have chord, pastry, randtree, scribe, nice, overcast)", proto)
+	return nil, fmt.Errorf("harness: unknown scenario protocol %q (have chord, pastry, randtree, scribe, nice, overcast, genchord, genpastry, genrandtree)", proto)
 }
 
 // RunScenario compiles a declarative scenario and executes it against an

@@ -89,6 +89,13 @@ func (k Key) SharedPrefix(other Key, b int) int {
 	return n
 }
 
+// KeyStep returns k + 2^i on the ring: the target of Chord's i-th finger.
+// The shift wraps modulo the keyspace width so any non-negative index is
+// safe (generated code passes spec-controlled indices through here).
+func KeyStep(k Key, i int) Key {
+	return Key(uint32(k) + 1<<(uint(i)%KeyBits))
+}
+
 // RingDiff returns the minimum of the clockwise and counter-clockwise
 // distances between a and b: the metric Pastry leaf sets minimize.
 func RingDiff(a, b Key) uint32 {

@@ -1,0 +1,47 @@
+// Behavioral validation of the generated Chord agent: the DSL → codegen →
+// engine path produces a working DHT. Churn and routing-oracle gates live
+// in the repository-root conformance tests; this is the steady-state smoke
+// test at package level.
+package genchord_test
+
+import (
+	"testing"
+	"time"
+
+	"macedon/internal/core"
+	"macedon/internal/harness"
+	"macedon/internal/metrics"
+	"macedon/internal/overlay"
+	"macedon/internal/overlays/genchord"
+)
+
+func TestGeneratedRingForms(t *testing.T) {
+	const n = 12
+	c, err := harness.NewCluster(harness.ClusterConfig{Nodes: n, Routers: 100, Seed: 424})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.StopAll()
+	stack := []core.Factory{genchord.New()}
+	for i := 0; i < n; i++ {
+		c.SpawnAt(i, stack, time.Duration(i)*300*time.Millisecond)
+	}
+	c.RunFor(45 * time.Second)
+
+	oracle := metrics.NewChordOracle(c.Addrs)
+	for i, addr := range c.Addrs {
+		node := c.Nodes[addr]
+		if st := node.Instance("chord").State(); st != "joined" {
+			t.Fatalf("node %d state %q", i, st)
+		}
+		var succs []overlay.Address
+		node.Exec(func() {
+			ag := node.Instance("chord").Agent().(*genchord.Agent)
+			succs = append([]overlay.Address(nil), ag.Succs...)
+		})
+		want := oracle.Successor(overlay.HashAddress(addr) + 1)
+		if len(succs) == 0 || succs[0] != want {
+			t.Errorf("node %d (%v): successor %v, oracle %v", i, addr, succs, want)
+		}
+	}
+}
