@@ -442,3 +442,73 @@ func BenchmarkAblationFailureDetector(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkSweepSharedPrefix is the checkpoint/fork acceptance benchmark: a
+// K=4 churn-rate sweep whose variants share one settled prefix, against the
+// same four variants executed cold. Both produce byte-identical per-variant
+// reports (TestSweepMatchesColdRuns gates that); the ns/op gap is the
+// prefix re-simulation the fork saves. The sweep run also reports the
+// measured speedup as a custom metric.
+func BenchmarkSweepSharedPrefix(b *testing.B) {
+	mkSweep := func() *scenario.Sweep {
+		return &scenario.Sweep{
+			Name: "bench-sweep",
+			Base: scenario.Scenario{
+				Name:     "bench-sweep",
+				Seed:     2004,
+				Nodes:    40,
+				Routers:  160,
+				Protocol: "chord",
+				Join:     scenario.JoinSpec{Process: "staggered", Window: scenario.Duration(15 * time.Second)},
+				Settle:   scenario.Duration(90 * time.Second),
+				Drain:    scenario.Duration(5 * time.Second),
+				Phases: []scenario.Phase{
+					{
+						Name:     "churn",
+						Duration: scenario.Duration(20 * time.Second),
+						Churn:    &scenario.Churn{Model: "poisson", Rate: 0.1, Downtime: scenario.Duration(10 * time.Second)},
+						Workload: &scenario.Workload{Kind: scenario.WlLookups, Rate: 2},
+					},
+				},
+			},
+			Variants: []scenario.SweepVariant{
+				{Name: "r05", ChurnRate: 0.05},
+				{Name: "r10", ChurnRate: 0.10},
+				{Name: "r20", ChurnRate: 0.20},
+				{Name: "r40", ChurnRate: 0.40},
+			},
+		}
+	}
+	b.Run("fork4", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rep, err := harness.RunSweep(mkSweep(), 2)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var branches time.Duration
+			for _, vr := range rep.Results {
+				if !vr.SharedPrefix {
+					b.Fatal("bench sweep variant ran cold")
+				}
+				branches += vr.BranchWall
+			}
+			cold := 4*rep.PrefixWall + branches
+			if rep.TotalWall > 0 {
+				b.ReportMetric(float64(cold)/float64(rep.TotalWall), "speedup_vs_cold")
+			}
+		}
+	})
+	b.Run("cold4", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			vs, err := mkSweep().Resolve()
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, v := range vs {
+				if _, err := harness.RunScenarioShards(v.Scenario, 2); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}

@@ -4,14 +4,24 @@
 // (BENCH_<sha>.json) accumulate the repository's performance trajectory.
 //
 //	go test -run '^$' -bench . -benchtime=1x | benchjson > BENCH_$(git rev-parse HEAD).json
+//
+// With -compare, benchjson is the CI bench-trend gate instead: it diffs two
+// artifacts and fails (exit 1) when any benchmark present in both regressed
+// its ns/op beyond the threshold. Benchmarks appearing in only one artifact
+// are reported but never fail the gate, so adding or retiring benchmarks
+// seeds the trajectory without breaking it.
+//
+//	benchjson -compare -threshold 0.20 BENCH_<parent>.json BENCH_<sha>.json
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -35,6 +45,12 @@ type Document struct {
 }
 
 func main() {
+	compare := flag.Bool("compare", false, "compare two artifacts: benchjson -compare old.json new.json")
+	threshold := flag.Float64("threshold", 0.20, "ns/op regression fraction that fails the comparison")
+	flag.Parse()
+	if *compare {
+		os.Exit(runCompare(flag.Args(), *threshold))
+	}
 	doc := Document{
 		Commit:    os.Getenv("GITHUB_SHA"),
 		Timestamp: time.Now().UTC(),
@@ -78,4 +94,102 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// loadDoc reads one artifact.
+func loadDoc(path string) (*Document, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc Document
+	if err := json.Unmarshal(b, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return &doc, nil
+}
+
+// runCompare is the bench-trend gate: fail when ns/op of any benchmark
+// present in both artifacts regressed beyond the threshold.
+func runCompare(args []string, threshold float64) int {
+	if len(args) != 2 {
+		fmt.Fprintln(os.Stderr, "benchjson -compare: exactly two artifacts required (old new)")
+		return 2
+	}
+	oldDoc, err := loadDoc(args[0])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		return 2
+	}
+	newDoc, err := loadDoc(args[1])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		return 2
+	}
+	oldNs := make(map[string]float64)
+	for _, r := range oldDoc.Results {
+		if v, ok := r.Metrics["ns/op"]; ok && v > 0 {
+			oldNs[r.Name] = v
+		}
+	}
+	fmt.Printf("bench trend: %s (%s) -> %s (%s), threshold %+.0f%%\n",
+		shortSha(oldDoc.Commit), args[0], shortSha(newDoc.Commit), args[1], threshold*100)
+	fmt.Printf("%-52s %14s %14s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	failed := 0
+	seen := make(map[string]bool)
+	var names []string
+	for _, r := range newDoc.Results {
+		names = append(names, r.Name)
+	}
+	sort.Strings(names)
+	byName := make(map[string]Result)
+	for _, r := range newDoc.Results {
+		byName[r.Name] = r
+	}
+	for _, name := range names {
+		r := byName[name]
+		seen[name] = true
+		nv, ok := r.Metrics["ns/op"]
+		if !ok || nv <= 0 {
+			continue
+		}
+		ov, ok := oldNs[name]
+		if !ok {
+			fmt.Printf("%-52s %14s %14.0f %9s\n", name, "-", nv, "new")
+			continue
+		}
+		delta := nv/ov - 1
+		mark := ""
+		if delta > threshold {
+			mark = "  REGRESSION"
+			failed++
+		}
+		fmt.Printf("%-52s %14.0f %14.0f %+8.1f%%%s\n", name, ov, nv, delta*100, mark)
+	}
+	var gone []string
+	for name := range oldNs {
+		if !seen[name] {
+			gone = append(gone, name)
+		}
+	}
+	sort.Strings(gone)
+	for _, name := range gone {
+		fmt.Printf("%-52s %14.0f %14s %9s\n", name, oldNs[name], "-", "gone")
+	}
+	if failed > 0 {
+		fmt.Printf("FAIL: %d benchmark(s) regressed ns/op by more than %.0f%%\n", failed, threshold*100)
+		return 1
+	}
+	fmt.Println("ok: no ns/op regression beyond threshold")
+	return 0
+}
+
+func shortSha(sha string) string {
+	if len(sha) > 12 {
+		return sha[:12]
+	}
+	if sha == "" {
+		return "?"
+	}
+	return sha
 }

@@ -9,6 +9,7 @@
 //	macedon gen -pkg name spec.mac       generate a Go agent to stdout
 //	macedon loc spec.mac...              count specification lines (Figure 7)
 //	macedon scenario [-trace] [-shards N] file.json  run a churn/failure/workload scenario
+//	macedon sweep [-shards N] sweep.json     run a shared-prefix parameter sweep
 package main
 
 import (
@@ -37,6 +38,8 @@ func main() {
 		os.Exit(runLoc(os.Args[2:]))
 	case "scenario":
 		os.Exit(runScenario(os.Args[2:]))
+	case "sweep":
+		os.Exit(runSweep(os.Args[2:]))
 	default:
 		usage()
 		os.Exit(2)
@@ -44,7 +47,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: macedon check|gen|loc|scenario [args]")
+	fmt.Fprintln(os.Stderr, "usage: macedon check|gen|loc|scenario|sweep [args]")
 }
 
 func runCheck(args []string) int {

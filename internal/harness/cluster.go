@@ -8,11 +8,13 @@ package harness
 import (
 	"fmt"
 	"io"
+	"sync"
 	"time"
 
 	"macedon/internal/core"
 	"macedon/internal/overlay"
 	"macedon/internal/simnet"
+	"macedon/internal/statecopy"
 	"macedon/internal/topology"
 )
 
@@ -125,6 +127,19 @@ func (c *Cluster) NodeSub(i int) *simnet.NodeSubstrate {
 // Spawn creates and starts the i-th node with the given stack, immediately,
 // at the current virtual time. The node runs on its endpoint's event shard.
 func (c *Cluster) Spawn(i int, stack []core.Factory) (*core.Node, error) {
+	n, err := c.buildNode(i, stack)
+	if err != nil {
+		return nil, err
+	}
+	c.Nodes[c.Addrs[i]] = n
+	return n, nil
+}
+
+// buildNode constructs and starts the i-th node without registering it in
+// the cluster map. Construction only touches state owned by the node's own
+// event shard (its endpoint, its access pipe, its PRNG), which is what makes
+// SpawnBatch's per-shard parallel construction race-free and deterministic.
+func (c *Cluster) buildNode(i int, stack []core.Factory) (*core.Node, error) {
 	addr := c.Addrs[i]
 	sub, err := c.Net.NodeNet(addr)
 	if err != nil {
@@ -145,8 +160,77 @@ func (c *Cluster) Spawn(i int, stack []core.Factory) (*core.Node, error) {
 	if err != nil {
 		return nil, err
 	}
-	c.Nodes[addr] = n
 	return n, nil
+}
+
+// spawnBatchThreshold is the population below which SpawnBatch constructs
+// sequentially: goroutine fan-out only pays for itself on real herds.
+const spawnBatchThreshold = 8
+
+// SpawnBatch spawns the given node indices at the current virtual time,
+// constructing them in parallel with one worker per event shard. The result
+// is byte-identical to spawning the same indices sequentially in order:
+// construction only mutates per-endpoint and per-shard state (actor
+// sequence counters, link serialization state, shard heaps under their
+// locks), each worker processes its shard's nodes in index order, and
+// cross-shard heap pushes are commutative because event execution order is
+// defined by deterministic keys, not insertion order. This is what breaks
+// up the t=0 spawn herd: a 10k-node immediate join used to construct all
+// nodes serially inside one epoch barrier.
+func (c *Cluster) SpawnBatch(idx []int, stack []core.Factory) error {
+	if len(idx) < spawnBatchThreshold || c.Sched.Shards() < 2 {
+		for _, i := range idx {
+			if _, err := c.Spawn(i, stack); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	// Group by shard, preserving index order within each shard. NodeSub is
+	// called on the coordinator so lazy substrate creation stays unshared.
+	byShard := make(map[int][]int)
+	var shards []int
+	for _, i := range idx {
+		sh := c.NodeSub(i).Shard()
+		if _, ok := byShard[sh]; !ok {
+			shards = append(shards, sh)
+		}
+		byShard[sh] = append(byShard[sh], i)
+	}
+	built := make(map[int]*core.Node, len(idx))
+	errs := make([]error, len(shards))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for si, sh := range shards {
+		wg.Add(1)
+		go func(si int, mine []int) {
+			defer wg.Done()
+			local := make(map[int]*core.Node, len(mine))
+			for _, i := range mine {
+				n, err := c.buildNode(i, stack)
+				if err != nil {
+					errs[si] = fmt.Errorf("harness: batch spawn %d: %w", i, err)
+					return
+				}
+				local[i] = n
+			}
+			mu.Lock()
+			for i, n := range local {
+				built[i] = n
+			}
+			mu.Unlock()
+		}(si, byShard[sh])
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	for _, i := range idx {
+		c.Nodes[c.Addrs[i]] = built[i]
+	}
+	return nil
 }
 
 // SpawnAll spawns every node now, bootstrap first.
@@ -211,4 +295,38 @@ func (c *Cluster) StopAll() {
 		n.Stop()
 	}
 	c.Sched.Close()
+}
+
+// Checkpoint is a restorable capture of a whole running deployment: the
+// event scheduler, the emulated network, and every node's engine, transport,
+// and protocol state. See docs/sweeps.md.
+type Checkpoint struct {
+	sched *simnet.SchedulerSnapshot
+	net   *simnet.NetworkSnapshot
+	nodes *statecopy.Image
+}
+
+// Checkpoint captures the deployment at the current virtual instant. It must
+// be called from the coordinating goroutine between RunFor windows — the
+// same quiescent points every other coordinator-side operation uses. The
+// checkpoint stays valid for the cluster's lifetime and can be restored any
+// number of times.
+func (c *Cluster) Checkpoint() *Checkpoint {
+	return &Checkpoint{
+		sched: c.Sched.Snapshot(),
+		net:   c.Net.Snapshot(),
+		nodes: statecopy.Capture(&c.Nodes),
+	}
+}
+
+// Restore rewinds the deployment to a checkpoint taken on this cluster:
+// virtual time, event heaps, packets in flight, link queues, node membership
+// and all node state return to the captured instant, byte-identically — a
+// branch executed after the restore produces the same event trace as one
+// executed right after the capture (fork determinism, gated by the golden
+// corpus).
+func (c *Cluster) Restore(cp *Checkpoint) {
+	c.Sched.Restore(cp.sched)
+	c.Net.Restore(cp.net)
+	cp.nodes.Restore()
 }

@@ -6,6 +6,7 @@ import (
 
 	"macedon/internal/core"
 	"macedon/internal/overlay"
+	"macedon/internal/overlays/ammo"
 	"macedon/internal/overlays/chord"
 	"macedon/internal/overlays/genchord"
 	"macedon/internal/overlays/genpastry"
@@ -20,8 +21,8 @@ import (
 )
 
 // ScenarioStack resolves a scenario protocol name onto a node stack:
-// chord, pastry, randtree, scribe (pastry+scribe), nice, overcast, or the
-// machine-generated genchord, genpastry, and genrandtree agents that
+// chord, pastry, randtree, scribe (pastry+scribe), nice, overcast, ammo, or
+// the machine-generated genchord, genpastry, and genrandtree agents that
 // `macedon gen` emits from specs/*.mac.
 func ScenarioStack(proto string) ([]core.Factory, error) {
 	switch proto {
@@ -37,6 +38,8 @@ func ScenarioStack(proto string) ([]core.Factory, error) {
 		return []core.Factory{nice.New(nice.Params{})}, nil
 	case "overcast":
 		return []core.Factory{overcast.New(overcast.Params{})}, nil
+	case "ammo":
+		return []core.Factory{ammo.New(ammo.Params{})}, nil
 	case "genchord":
 		return []core.Factory{genchord.New()}, nil
 	case "genpastry":
@@ -44,7 +47,7 @@ func ScenarioStack(proto string) ([]core.Factory, error) {
 	case "genrandtree":
 		return []core.Factory{genrandtree.New()}, nil
 	}
-	return nil, fmt.Errorf("harness: unknown scenario protocol %q (have chord, pastry, randtree, scribe, nice, overcast, genchord, genpastry, genrandtree)", proto)
+	return nil, fmt.Errorf("harness: unknown scenario protocol %q (have chord, pastry, randtree, scribe, nice, overcast, ammo, genchord, genpastry, genrandtree)", proto)
 }
 
 // RunScenario compiles a declarative scenario and executes it against an
@@ -64,6 +67,59 @@ func RunScenarioShards(s *scenario.Scenario, shards int) (*scenario.Report, erro
 	if err != nil {
 		return nil, err
 	}
+	eng, err := newScenarioEngine(s, sched, shards)
+	if err != nil {
+		return nil, err
+	}
+	defer eng.c.StopAll()
+	eng.scheduleSetup()
+	eng.schedulePhases(0, len(sched.Phases)-1)
+	eng.c.RunFor(sched.Total)
+	return eng.report(), nil
+}
+
+// scenarioEngine executes one compiled schedule — or, under checkpoint/fork
+// (docs/sweeps.md), one shared prefix followed by several variant branches
+// of it: branch() rewinds the accounting the way Cluster.Restore rewinds the
+// world.
+type scenarioEngine struct {
+	s     *scenario.Scenario
+	sched *scenario.Schedule
+	c     *Cluster
+	stack []core.Factory
+
+	needsGroup bool
+	group      overlay.Key
+
+	alive     []bool
+	sendTime  map[int]time.Duration // workload op id → virtual send offset
+	sendPhase map[int]int           // workload op id → phase index
+	opsSent   []int
+	opsSkip   []int
+	// Delivery accounting is indexed [shard][phase]: callbacks run on the
+	// receiving node's shard, concurrently with other shards, and the
+	// per-shard sums merge deterministically (addition commutes).
+	delivered [][]int
+	latSum    [][]time.Duration
+	phaseNet  []simnet.Stats // stats snapshot at each phase end
+	phaseLive []int
+	baseNet   simnet.Stats // stats snapshot when phase 0 starts
+
+	eventsRun int
+	trace     []string
+}
+
+func makeGrid[T any](shards, phases int) [][]T {
+	out := make([][]T, shards)
+	for i := range out {
+		out[i] = make([]T, phases)
+	}
+	return out
+}
+
+// newScenarioEngine builds the cluster and a fresh engine for a compiled
+// schedule. The caller owns eng.c.StopAll.
+func newScenarioEngine(s *scenario.Scenario, sched *scenario.Schedule, shards int) (*scenarioEngine, error) {
 	stack, err := ScenarioStack(s.Protocol)
 	if err != nil {
 		return nil, err
@@ -101,65 +157,161 @@ func RunScenarioShards(s *scenario.Scenario, shards int) (*scenario.Report, erro
 		eng.group = overlay.HashString(s.GroupName())
 		eng.needsGroup = true
 	}
-	return eng.run()
+	return eng, nil
 }
 
-// scenarioEngine executes one compiled schedule.
-type scenarioEngine struct {
-	s     *scenario.Scenario
-	sched *scenario.Schedule
-	c     *Cluster
-	stack []core.Factory
+// scheduleSetup schedules the setup operations (joins) plus the settle-end
+// baseline snapshot. Runs of spawns at the same instant are batched into one
+// event so node construction can parallelize across shards instead of
+// serializing inside a single epoch barrier — the t=0 spawn herd. The batch
+// executes its spawns in op order, so the trace is byte-identical to
+// unbatched scheduling.
+func (e *scenarioEngine) scheduleSetup() {
+	base := e.c.Sched.Elapsed()
+	ops := e.sched.Ops
+	i := 0
+	for i < len(ops) && ops[i].Phase < 0 {
+		if ops[i].Kind == scenario.OpSpawn {
+			j := i + 1
+			for j < len(ops) && ops[j].Phase < 0 && ops[j].Kind == scenario.OpSpawn && ops[j].At == ops[i].At {
+				j++
+			}
+			if j-i > 1 {
+				batch := ops[i:j]
+				e.c.Sched.After(batch[0].At-base, func() { e.applySpawnBatch(batch) })
+				i = j
+				continue
+			}
+		}
+		e.scheduleFrom(ops[i], base)
+		i++
+	}
+	e.c.Sched.After(e.sched.Settle-base, func() { e.baseNet = e.c.Net.Stats() })
+}
 
-	needsGroup bool
-	group      overlay.Key
+// schedulePhases schedules the ops and end-of-phase snapshots of phases
+// [from, to]. Ops fire at their absolute schedule offsets regardless of when
+// scheduling happens — which is what lets a fork branch schedule its tail
+// phases after the shared prefix already ran.
+func (e *scenarioEngine) schedulePhases(from, to int) {
+	base := e.c.Sched.Elapsed()
+	ops := e.sched.Ops
+	i := 0
+	for i < len(ops) && ops[i].Phase < from {
+		i++
+	}
+	for pi := from; pi <= to; pi++ {
+		for ; i < len(ops) && ops[i].Phase == pi; i++ {
+			e.scheduleFrom(ops[i], base)
+		}
+		end := e.sched.Phases[pi].End
+		p := pi
+		e.c.Sched.After(end-base, func() { e.snapshot(p) })
+	}
+}
 
+// scheduleFrom schedules one op against the virtual instant scheduling
+// happens at.
+func (e *scenarioEngine) scheduleFrom(op scenario.Op, base time.Duration) {
+	e.c.Sched.After(op.At-base, func() { e.apply(op) })
+}
+
+// engineState is the engine's accounting at a fork point, restored at the
+// start of every branch.
+type engineState struct {
 	alive     []bool
-	sendTime  map[int]time.Duration // workload op id → virtual send offset
-	sendPhase map[int]int           // workload op id → phase index
+	sendTime  map[int]time.Duration
+	sendPhase map[int]int
 	opsSent   []int
 	opsSkip   []int
-	// Delivery accounting is indexed [shard][phase]: callbacks run on the
-	// receiving node's shard, concurrently with other shards, and the
-	// per-shard sums merge deterministically (addition commutes).
 	delivered [][]int
 	latSum    [][]time.Duration
-	phaseNet  []simnet.Stats // stats snapshot at each phase end
+	phaseNet  []simnet.Stats
 	phaseLive []int
-	baseNet   simnet.Stats // stats snapshot when phase 0 starts
-
+	baseNet   simnet.Stats
 	eventsRun int
 	trace     []string
 }
 
-func makeGrid[T any](shards, phases int) [][]T {
-	out := make([][]T, shards)
-	for i := range out {
-		out[i] = make([]T, phases)
+// saveState captures the engine accounting for later branches.
+func (e *scenarioEngine) saveState() *engineState {
+	st := &engineState{
+		alive:     append([]bool(nil), e.alive...),
+		sendTime:  make(map[int]time.Duration, len(e.sendTime)),
+		sendPhase: make(map[int]int, len(e.sendPhase)),
+		opsSent:   append([]int(nil), e.opsSent...),
+		opsSkip:   append([]int(nil), e.opsSkip...),
+		delivered: copyGrid(e.delivered),
+		latSum:    copyGrid(e.latSum),
+		phaseNet:  append([]simnet.Stats(nil), e.phaseNet...),
+		phaseLive: append([]int(nil), e.phaseLive...),
+		baseNet:   e.baseNet,
+		eventsRun: e.eventsRun,
+		trace:     append([]string(nil), e.trace...),
+	}
+	for k, v := range e.sendTime {
+		st.sendTime[k] = v
+	}
+	for k, v := range e.sendPhase {
+		st.sendPhase[k] = v
+	}
+	return st
+}
+
+// branch points the engine at a variant's scenario and schedule and rewinds
+// the accounting to the fork state. Phase-indexed arrays are resized to the
+// variant's phase count; the shared-prefix columns carry over. The engine
+// object itself must survive branches unchanged — delivery handlers
+// installed on prefix-spawned nodes captured it.
+func (e *scenarioEngine) branch(s *scenario.Scenario, sched *scenario.Schedule, st *engineState) {
+	e.s, e.sched = s, sched
+	np := len(sched.Phases)
+	e.alive = append(e.alive[:0:0], st.alive...)
+	e.sendTime = make(map[int]time.Duration, len(st.sendTime))
+	for k, v := range st.sendTime {
+		e.sendTime[k] = v
+	}
+	e.sendPhase = make(map[int]int, len(st.sendPhase))
+	for k, v := range st.sendPhase {
+		e.sendPhase[k] = v
+	}
+	e.opsSent = resizeInts(st.opsSent, np)
+	e.opsSkip = resizeInts(st.opsSkip, np)
+	e.delivered = resizeGrid(st.delivered, np)
+	e.latSum = resizeGrid(st.latSum, np)
+	e.phaseNet = resizeSlice(st.phaseNet, np)
+	e.phaseLive = resizeInts(st.phaseLive, np)
+	e.baseNet = st.baseNet
+	e.eventsRun = st.eventsRun
+	e.trace = append(e.trace[:0:0], st.trace...)
+}
+
+func copyGrid[T any](g [][]T) [][]T {
+	out := make([][]T, len(g))
+	for i := range g {
+		out[i] = append([]T(nil), g[i]...)
 	}
 	return out
 }
 
-func (e *scenarioEngine) run() (*scenario.Report, error) {
-	// Schedule ops in compiled order: the scheduler breaks virtual-time
-	// ties by scheduling order, so setup ops, each phase's ops, its
-	// boundary snapshot, and the next phase's ops fire in that sequence.
-	ops := e.sched.Ops
-	i := 0
-	for ; i < len(ops) && ops[i].Phase < 0; i++ {
-		e.schedule(ops[i])
-	}
-	e.c.Sched.After(e.sched.Settle, func() { e.baseNet = e.c.Net.Stats() })
-	for pi := range e.sched.Phases {
-		for ; i < len(ops) && ops[i].Phase == pi; i++ {
-			e.schedule(ops[i])
-		}
-		end := e.sched.Phases[pi].End
-		p := pi
-		e.c.Sched.After(end, func() { e.snapshot(p) })
-	}
-	e.c.RunFor(e.sched.Total)
+func resizeSlice[T any](src []T, n int) []T {
+	out := make([]T, n)
+	copy(out, src)
+	return out
+}
 
+func resizeInts(src []int, n int) []int { return resizeSlice(src, n) }
+
+func resizeGrid[T any](g [][]T, n int) [][]T {
+	out := make([][]T, len(g))
+	for i := range g {
+		out[i] = resizeSlice(g[i], n)
+	}
+	return out
+}
+
+// report assembles the structured result after the run (or branch) ends.
+func (e *scenarioEngine) report() *scenario.Report {
 	rep := &scenario.Report{
 		Scenario:  e.s.Name,
 		Protocol:  e.protoName(),
@@ -170,7 +322,7 @@ func (e *scenarioEngine) run() (*scenario.Report, error) {
 		Total:     e.sched.Total,
 		EventsRun: e.eventsRun,
 		Final:     e.c.Net.Stats(),
-		Trace:     e.trace,
+		Trace:     append([]string(nil), e.trace...),
 	}
 	prev := e.baseNet
 	for pi, cp := range e.sched.Phases {
@@ -196,8 +348,7 @@ func (e *scenarioEngine) run() (*scenario.Report, error) {
 		prev = e.phaseNet[pi]
 		rep.Phases = append(rep.Phases, pr)
 	}
-	e.c.StopAll()
-	return rep, nil
+	return rep
 }
 
 func (e *scenarioEngine) protoName() string {
@@ -205,10 +356,6 @@ func (e *scenarioEngine) protoName() string {
 		return "chord"
 	}
 	return e.s.Protocol
-}
-
-func (e *scenarioEngine) schedule(op scenario.Op) {
-	e.c.Sched.After(op.At, func() { e.apply(op) })
 }
 
 func (e *scenarioEngine) snapshot(pi int) {
@@ -225,6 +372,32 @@ func (e *scenarioEngine) snapshot(pi int) {
 func (e *scenarioEngine) tracef(format string, args ...any) {
 	at := e.c.Sched.Elapsed()
 	e.trace = append(e.trace, fmt.Sprintf("t=%10.3fs  %s", at.Seconds(), fmt.Sprintf(format, args...)))
+}
+
+// applySpawnBatch executes one same-instant run of setup spawns, fanning
+// node construction out across the event shards. Trace lines and accounting
+// are emitted in op order, exactly as per-op execution would.
+func (e *scenarioEngine) applySpawnBatch(ops []scenario.Op) {
+	var idx []int
+	for _, op := range ops {
+		e.eventsRun++
+		if e.alive[op.Node] {
+			e.tracef("spawn node %d skipped (already up)", op.Node)
+			continue
+		}
+		idx = append(idx, op.Node)
+	}
+	if len(idx) == 0 {
+		return
+	}
+	if err := e.c.SpawnBatch(idx, e.stack); err != nil {
+		panic(fmt.Sprintf("harness: scenario spawn batch: %v", err))
+	}
+	for _, n := range idx {
+		e.alive[n] = true
+		e.attach(n)
+		e.tracef("spawn node %d (%v)", n, e.c.Addrs[n])
+	}
 }
 
 // apply executes one op at its scheduled instant.

@@ -306,3 +306,9 @@ func TestScenarioReviveKeepsRunning(t *testing.T) {
 		t.Errorf("population did not recover: live=%d", last.LiveNodes)
 	}
 }
+
+// TestScenarioAMMOChurnAudit audits AMMO under kill/revive churn plus a
+// source restart — the stale-incarnation class that bit NICE and Overcast
+// (PR 2): a revived source's fresh stream restarts its sequence numbers, and
+// any dedup state keyed without an incarnation stamp silently eats it.
+func TestScenarioAMMOChurnAudit(t *testing.T) { auditDissemination(t, "ammo") }

@@ -9,9 +9,12 @@ package metrics
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"time"
 
 	"macedon/internal/overlay"
+	"macedon/internal/scenario"
+	"macedon/internal/simnet"
 	"macedon/internal/topology"
 )
 
@@ -184,4 +187,92 @@ func (o *ChordOracle) CorrectFingers(self overlay.Address, fingers []overlay.Add
 		}
 	}
 	return correct
+}
+
+// SweepTable renders a sweep's per-variant comparative report: one summary
+// row per variant, then a per-phase delivery matrix aligning the variants
+// column by column. Everything in the table is deterministic (wall-clock
+// timing lives in SweepReport.TimingSummary instead), so sweep outputs can
+// be diffed across runs and machines like any other trace.
+func SweepTable(rep *scenario.SweepReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "sweep %q: %d variants, %d shared-prefix group(s)", rep.Name, len(rep.Results), rep.Groups)
+	if rep.ForkAt > 0 {
+		fmt.Fprintf(&b, ", fork at %s", rep.ForkAt)
+	}
+	b.WriteString("\n")
+	fmt.Fprintf(&b, "%-18s %-11s %-10s %-7s %8s %10s %8s %12s %12s %10s\n",
+		"variant", "protocol", "seed", "prefix", "ops", "delivered", "deliv%", "mean_lat", "net_sent", "drops")
+	for _, vr := range rep.Results {
+		r := vr.Report
+		sent, del := 0, 0
+		var lat time.Duration
+		for _, p := range r.Phases {
+			sent += p.OpsSent
+			del += p.OpsDelivered
+			lat += p.MeanLatency * time.Duration(p.OpsDelivered)
+		}
+		pct := 0.0
+		var mean time.Duration
+		if sent > 0 {
+			pct = 100 * float64(del) / float64(sent)
+		}
+		if del > 0 {
+			mean = lat / time.Duration(del)
+		}
+		mode := "cold"
+		if vr.SharedPrefix {
+			mode = "shared"
+		}
+		fmt.Fprintf(&b, "%-18s %-11s %-10d %-7s %8d %10d %7.1f%% %12s %12d %10d\n",
+			vr.Name, vr.Protocol, r.Seed, mode, sent, del, pct,
+			mean.Round(time.Microsecond), r.Final.Sent, sweepDrops(r.Final))
+	}
+	// Per-phase delivery matrix: phases aligned by index (variants may
+	// diverge in phase structure after the fork; blank cells mark absent
+	// phases).
+	maxPhases := 0
+	for _, vr := range rep.Results {
+		if n := len(vr.Report.Phases); n > maxPhases {
+			maxPhases = n
+		}
+	}
+	if maxPhases > 0 {
+		b.WriteString("\nper-phase delivered/sent (mean latency):\n")
+		fmt.Fprintf(&b, "%-24s", "phase")
+		for _, vr := range rep.Results {
+			fmt.Fprintf(&b, " %-26s", vr.Name)
+		}
+		b.WriteString("\n")
+		for pi := 0; pi < maxPhases; pi++ {
+			label := fmt.Sprintf("%d", pi)
+			for _, vr := range rep.Results {
+				if pi < len(vr.Report.Phases) && vr.Report.Phases[pi].Name != "" {
+					label = fmt.Sprintf("%d %s", pi, vr.Report.Phases[pi].Name)
+					break
+				}
+			}
+			fmt.Fprintf(&b, "%-24s", label)
+			for _, vr := range rep.Results {
+				if pi >= len(vr.Report.Phases) {
+					fmt.Fprintf(&b, " %-26s", "-")
+					continue
+				}
+				p := vr.Report.Phases[pi]
+				cell := fmt.Sprintf("%d/%d", p.OpsDelivered, p.OpsSent)
+				if p.MeanLatency > 0 {
+					cell += fmt.Sprintf(" (%s)", p.MeanLatency.Round(time.Microsecond))
+				}
+				fmt.Fprintf(&b, " %-26s", cell)
+			}
+			b.WriteString("\n")
+		}
+	}
+	return b.String()
+}
+
+// sweepDrops sums every drop class of a network counter snapshot.
+func sweepDrops(s simnet.Stats) uint64 {
+	return s.QueueDrops + s.RandomLoss + s.DownDrops + s.LinkDownDrops +
+		s.DegradeLoss + s.PartitionDrops + s.NoRouteDrops
 }

@@ -138,6 +138,7 @@ func (m *probeResp) Decode(r *overlay.Reader) error {
 
 type mdata struct {
 	Src     overlay.Address
+	Inc     uint64 // source incarnation stamp: restarts reset Seq, not Inc order
 	Seq     uint32
 	Typ     int32
 	Payload []byte
@@ -146,16 +147,29 @@ type mdata struct {
 func (m *mdata) MsgName() string { return "mdata" }
 func (m *mdata) Encode(w *overlay.Writer) {
 	w.Addr(m.Src)
+	w.U64(m.Inc)
 	w.U32(m.Seq)
 	w.U32(uint32(m.Typ))
 	w.Bytes32(m.Payload)
 }
 func (m *mdata) Decode(r *overlay.Reader) error {
 	m.Src = r.Addr()
+	m.Inc = r.U64()
 	m.Seq = r.U32()
 	m.Typ = int32(r.U32())
 	m.Payload = append([]byte(nil), r.Bytes32()...)
 	return r.Err()
+}
+
+// pktKey identifies one multicast packet across source restarts: a revived
+// source's Seq counter restarts at zero, and without the incarnation stamp
+// its fresh stream would be deduplicated against its dead predecessor's —
+// the class the kill/revive churn audit flushes out (same fix as NICE and
+// Overcast in PR 2).
+type pktKey struct {
+	src overlay.Address
+	inc uint64
+	seq uint32
 }
 
 // --- protocol ------------------------------------------------------------------
@@ -190,8 +204,9 @@ type Protocol struct {
 	parentCost float64
 	moves      uint64
 
+	inc     uint64 // incarnation stamp carried on our own mdata
 	nextSeq uint32
-	seen    map[uint64]bool
+	seen    map[pktKey]bool
 }
 
 // ProtocolName implements the engine's naming hook.
@@ -223,6 +238,7 @@ func (a *Protocol) Define(d *core.Def) {
 
 	d.PeriodicTimer("eval", a.p.EvalPeriod)
 	d.Timer("probe_deadline", 3*time.Second)
+	d.Timer("join_retry", 5*time.Second)
 	d.NeighborList("parent", 1, true)
 	d.NeighborList("kids", a.p.MaxDegree, true)
 
@@ -240,14 +256,27 @@ func (a *Protocol) Define(d *core.Def) {
 
 	d.OnTimer("eval", core.In("joined"), core.Write, a.onEval)
 	d.OnTimer("probe_deadline", core.In("joined"), core.Write, a.onProbeDeadline)
+	d.OnTimer("join_retry", core.In("joining"), core.Write, a.onJoinRetry)
+}
+
+// onJoinRetry fires while still joining: a join (or its reply) was lost —
+// the root may have been down when we asked. Fall back to the root, the one
+// address every member knows, and keep trying; without this an orphan whose
+// join raced the root's outage stays detached forever.
+func (a *Protocol) onJoinRetry(ctx *core.Context) {
+	_ = ctx.Send(a.root, &joinMsg{}, overlay.PriorityDefault)
+	ctx.TimerResched("join_retry", 5*time.Second)
 }
 
 func (a *Protocol) apiInit(ctx *core.Context, call *core.APICall) {
 	a.self = ctx.Self()
 	a.root = call.Bootstrap
+	// Incarnation stamp: the full virtual-nanosecond clock reading, strictly
+	// later at any later event, so a restarted source never repeats one.
+	a.inc = uint64(ctx.Now().UnixNano())
 	a.probes = make(map[uint32]probeState)
 	a.pending = make(map[overlay.Address]*candidateInfo)
-	a.seen = make(map[uint64]bool)
+	a.seen = make(map[pktKey]bool)
 	if a.root == a.self || a.root == overlay.NilAddress {
 		a.rootPath = []overlay.Address{a.self}
 		ctx.StateChange("joined")
@@ -256,6 +285,7 @@ func (a *Protocol) apiInit(ctx *core.Context, call *core.APICall) {
 	}
 	ctx.StateChange("joining")
 	_ = ctx.Send(a.root, &joinMsg{}, overlay.PriorityDefault)
+	ctx.TimerResched("join_retry", 5*time.Second)
 }
 
 func (a *Protocol) jitter(ctx *core.Context, d time.Duration) time.Duration {
@@ -314,6 +344,7 @@ func (a *Protocol) recvJoinReply(ctx *core.Context, ev *core.MsgEvent) {
 	a.rootPath = append([]overlay.Address{a.self}, m.RootPath...)
 	a.family = m.Family
 	a.parentCost = 0 // re-measured on the next eval
+	ctx.TimerCancel("join_retry")
 	ctx.StateChange("joined")
 	ctx.TimerSched("eval", a.jitter(ctx, a.p.EvalPeriod))
 	ctx.NotifyNeighbors(overlay.NbrTypeParent, []overlay.Address{ev.From})
@@ -355,6 +386,7 @@ func (a *Protocol) apiError(ctx *core.Context, call *core.APICall) {
 	if parent.Size() == 0 && ctx.State() == "joined" && a.self != a.root {
 		ctx.StateChange("joining")
 		_ = ctx.Send(a.root, &joinMsg{}, overlay.PriorityDefault)
+		ctx.TimerResched("join_retry", 5*time.Second)
 	}
 	ctx.NotifyNeighbors(overlay.NbrTypeChild, ctx.Neighbors("kids").Addrs())
 }
@@ -464,6 +496,7 @@ func (a *Protocol) decide(ctx *core.Context) {
 		a.moves++
 		ctx.StateChange("joining")
 		_ = ctx.Send(best, &joinMsg{}, overlay.PriorityDefault)
+		ctx.TimerResched("join_retry", 5*time.Second)
 	}
 }
 
@@ -471,7 +504,7 @@ func (a *Protocol) decide(ctx *core.Context) {
 
 func (a *Protocol) apiMulticast(ctx *core.Context, call *core.APICall) {
 	a.nextSeq++
-	m := &mdata{Src: a.self, Seq: a.nextSeq, Typ: call.PayloadType, Payload: call.Payload}
+	m := &mdata{Src: a.self, Inc: a.inc, Seq: a.nextSeq, Typ: call.PayloadType, Payload: call.Payload}
 	a.disseminate(ctx, m, overlay.NilAddress, call.Priority)
 }
 
@@ -484,7 +517,7 @@ func (a *Protocol) disseminate(ctx *core.Context, m *mdata, except overlay.Addre
 		if !ok {
 			continue
 		}
-		_ = ctx.Send(next, &mdata{Src: m.Src, Seq: m.Seq, Typ: m.Typ, Payload: payload}, pri)
+		_ = ctx.Send(next, &mdata{Src: m.Src, Inc: m.Inc, Seq: m.Seq, Typ: m.Typ, Payload: payload}, pri)
 	}
 	if m.Src != a.self {
 		ctx.Deliver(m.Payload, m.Typ, m.Src)
@@ -493,13 +526,13 @@ func (a *Protocol) disseminate(ctx *core.Context, m *mdata, except overlay.Addre
 
 func (a *Protocol) recvMdata(ctx *core.Context, ev *core.MsgEvent) {
 	m := ev.Msg.(*mdata)
-	key := uint64(m.Src)<<32 | uint64(m.Seq)
+	key := pktKey{src: m.Src, inc: m.Inc, seq: m.Seq}
 	if a.seen[key] {
 		return
 	}
 	a.seen[key] = true
 	if len(a.seen) > 8192 {
-		a.seen = map[uint64]bool{key: true}
+		a.seen = map[pktKey]bool{key: true} // coarse window reset
 	}
 	a.disseminate(ctx, m, ev.From, overlay.PriorityDefault)
 }

@@ -97,6 +97,12 @@ type Phase struct {
 	Churn    *Churn    `json:"churn,omitempty"`
 	Events   []Event   `json:"events,omitempty"`
 	Workload *Workload `json:"workload,omitempty"`
+	// ForkPoint marks the end of this phase as the checkpoint/fork instant
+	// for sweeps (docs/sweeps.md): variants share the simulation up to here
+	// and diverge afterwards. Without a marker, sweeps fork at the settle
+	// boundary. At most one phase may carry it. Plain `macedon scenario`
+	// runs ignore it.
+	ForkPoint bool `json:"fork_point,omitempty"`
 }
 
 // Churn is a node kill/revive process running for a phase.
@@ -206,6 +212,15 @@ func (s *Scenario) Validate() error {
 	if len(s.Phases) == 0 {
 		return fmt.Errorf("scenario %q: no phases", s.Name)
 	}
+	forks := 0
+	for _, p := range s.Phases {
+		if p.ForkPoint {
+			forks++
+		}
+	}
+	if forks > 1 {
+		return fmt.Errorf("scenario %q: at most one phase may set fork_point, have %d", s.Name, forks)
+	}
 	for i, p := range s.Phases {
 		if p.Duration <= 0 {
 			return fmt.Errorf("scenario %q: phase %d (%s) has no duration", s.Name, i, p.Name)
@@ -262,6 +277,17 @@ func (s *Scenario) Validate() error {
 		}
 	}
 	return nil
+}
+
+// ForkPhase returns the index of the phase whose end is the checkpoint/fork
+// instant, or -1 when sweeps fork at the settle boundary (no marker).
+func (s *Scenario) ForkPhase() int {
+	for i, p := range s.Phases {
+		if p.ForkPoint {
+			return i
+		}
+	}
+	return -1
 }
 
 // NeedsGroup reports whether any phase runs a multicast workload (the

@@ -115,7 +115,15 @@ func Compile(s *Scenario) (*Schedule, error) {
 
 	// 1. Joins. Node 0 is the bootstrap and always spawns at t=0.
 	sched.Ops = append(sched.Ops, Op{At: 0, Kind: OpSpawn, Node: 0, Phase: -1})
-	switch s.Join.Process {
+	process := s.Join.Process
+	if (process == "" || process == "immediate") && s.Join.Window > 0 {
+		// A warm-up window turns the t=0 spawn herd into a uniform spread:
+		// "immediate" with a window is the staggered process by another
+		// name, so herd-heavy scenarios can opt out of the single-instant
+		// join without restating their join spec.
+		process = "staggered"
+	}
+	switch process {
 	case "", "immediate":
 		for i := 1; i < s.Nodes; i++ {
 			sched.Ops = append(sched.Ops, Op{At: 0, Kind: OpSpawn, Node: i, Phase: -1})

@@ -1,0 +1,117 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func sweepJSON() []byte {
+	return []byte(`{
+  "name": "test-sweep",
+  "base": {
+    "name": "base", "seed": 7, "nodes": 8, "protocol": "chord",
+    "join": {"process": "immediate"},
+    "settle": "20s",
+    "phases": [
+      {"name": "churn", "duration": "10s",
+       "churn": {"model": "poisson", "rate": 0.1},
+       "workload": {"kind": "lookups", "rate": 2}}
+    ]
+  },
+  "variants": [
+    {"name": "calm", "churn_rate": 0.05},
+    {"protocol": "pastry"},
+    {"name": "fast", "workload_rate": 9, "seed": 11}
+  ]
+}`)
+}
+
+func TestParseSweep(t *testing.T) {
+	sw, err := ParseSweep(sweepJSON())
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs, err := sw.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 3 {
+		t.Fatalf("want 3 variants, got %d", len(vs))
+	}
+	if vs[0].Name != "calm" || vs[0].Scenario.Phases[0].Churn.Rate != 0.05 {
+		t.Fatalf("churn override lost: %+v", vs[0])
+	}
+	if vs[1].Name != "v2" || vs[1].Scenario.Protocol != "pastry" {
+		t.Fatalf("default name / protocol override wrong: %+v", vs[1])
+	}
+	if vs[2].Scenario.Seed != 11 || vs[2].Scenario.Phases[0].Workload.Rate != 9 {
+		t.Fatalf("seed/workload override lost: %+v", vs[2].Scenario)
+	}
+	// Overrides must not leak into the base or across variants.
+	if sw.Base.Phases[0].Churn.Rate != 0.1 || vs[1].Scenario.Phases[0].Churn.Rate != 0.1 {
+		t.Fatal("variant override mutated shared state")
+	}
+}
+
+func TestSweepValidation(t *testing.T) {
+	if _, err := ParseSweep([]byte(`{"name":"x","base":{"nodes":8,"protocol":"chord","phases":[{"name":"p","duration":"5s"}]},"variants":[]}`)); err == nil {
+		t.Fatal("empty variant list must fail validation")
+	}
+	bad := strings.Replace(string(sweepJSON()), `"rate": 0.1`, `"rate": -1`, 1)
+	if _, err := ParseSweep([]byte(bad)); err == nil {
+		t.Fatal("invalid base must fail validation")
+	}
+}
+
+func TestForkPointValidation(t *testing.T) {
+	s := &Scenario{
+		Nodes: 4, Protocol: "chord",
+		Phases: []Phase{
+			{Name: "a", Duration: Duration(time.Second), ForkPoint: true},
+			{Name: "b", Duration: Duration(time.Second), ForkPoint: true},
+		},
+	}
+	if err := s.Validate(); err == nil {
+		t.Fatal("two fork points must fail validation")
+	}
+	s.Phases[1].ForkPoint = false
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.ForkPhase() != 0 {
+		t.Fatalf("ForkPhase = %d, want 0", s.ForkPhase())
+	}
+	s.Phases[0].ForkPoint = false
+	if s.ForkPhase() != -1 {
+		t.Fatalf("ForkPhase without marker = %d, want -1", s.ForkPhase())
+	}
+}
+
+// TestVariantPhaseReplacement checks phases after the fork marker are
+// replaced while the shared prefix phases stay.
+func TestVariantPhaseReplacement(t *testing.T) {
+	sw, err := ParseSweep(sweepJSON())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw.Base.Phases[0].ForkPoint = true
+	sw.Base.Phases = append(sw.Base.Phases, Phase{
+		Name: "tail", Duration: Duration(5 * time.Second),
+	})
+	sw.Variants = []SweepVariant{{
+		Name: "swap",
+		Phases: []Phase{
+			{Name: "x", Duration: Duration(2 * time.Second)},
+			{Name: "y", Duration: Duration(2 * time.Second)},
+		},
+	}}
+	vs, err := sw.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := vs[0].Scenario.Phases
+	if len(got) != 3 || got[0].Name != "churn" || got[1].Name != "x" || got[2].Name != "y" {
+		t.Fatalf("phase replacement wrong: %+v", got)
+	}
+}

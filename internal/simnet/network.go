@@ -316,12 +316,14 @@ func (n *Network) path(shard int, src, dst topology.RouterID) []topology.LinkID 
 	return p
 }
 
-// packet is one datagram in flight.
+// packet is one datagram in flight. It is immutable once created: the hop
+// index travels as an event-closure argument instead of a mutable field, so
+// a checkpoint's copied event heap can replay the packet's remaining hops
+// after a restore without the branch's progress having corrupted it.
 type packet struct {
 	src, dst overlay.Address
 	payload  []byte
 	path     []topology.LinkID
-	hop      int
 }
 
 func (n *Network) send(src *endpoint, dst overlay.Address, payload []byte) error {
@@ -361,14 +363,14 @@ func (n *Network) send(src *endpoint, dst overlay.Address, payload []byte) error
 		return fmt.Errorf("simnet: no route from %v to %v", src.addr, dst)
 	}
 	pkt := &packet{src: src.addr, dst: dst, payload: payload, path: path}
-	n.enqueue(shard, pkt)
+	n.enqueue(shard, pkt, 0)
 	return nil
 }
 
-// enqueue places pkt at the entrance of its current hop's pipe. It executes
-// on the shard owning the pipe's tail vertex, which also owns the pipe.
-func (n *Network) enqueue(shard int, pkt *packet) {
-	l := pkt.path[pkt.hop]
+// enqueue places pkt at the entrance of hop's pipe. It executes on the shard
+// owning the pipe's tail vertex, which also owns the pipe.
+func (n *Network) enqueue(shard int, pkt *packet, hop int) {
+	l := pkt.path[hop]
 	st := &n.statsBy[shard].Stats
 	if n.blocked[l] {
 		// The pipe failed (possibly after this packet's path was chosen):
@@ -420,7 +422,7 @@ func (n *Network) enqueue(shard int, pkt *packet) {
 	// latency away, which is what the lookahead window guarantees.
 	next := n.shardOf(link.To)
 	ls.seq++
-	n.sched.schedule(next, arrive, actor, ls.seq, func() { n.arriveHop(next, pkt) }, nil)
+	n.sched.schedule(next, arrive, actor, ls.seq, func() { n.arriveHop(next, pkt, hop+1) }, nil)
 }
 
 // lossDraw produces the next uniform [0,1) variate of a pipe's private loss
@@ -453,10 +455,9 @@ func txTime(sizeBytes int, bwBitsPerSec int64) time.Duration {
 	return time.Duration(int64(sizeBytes) * 8 * int64(time.Second) / bwBitsPerSec)
 }
 
-func (n *Network) arriveHop(shard int, pkt *packet) {
-	pkt.hop++
-	if pkt.hop < len(pkt.path) {
-		n.enqueue(shard, pkt)
+func (n *Network) arriveHop(shard int, pkt *packet, hop int) {
+	if hop < len(pkt.path) {
+		n.enqueue(shard, pkt, hop)
 		return
 	}
 	st := &n.statsBy[shard].Stats

@@ -1,0 +1,195 @@
+package simnet
+
+import (
+	"time"
+
+	"macedon/internal/overlay"
+	"macedon/internal/statecopy"
+	"macedon/internal/topology"
+)
+
+// Checkpoint/fork support (docs/sweeps.md): a scheduler and network snapshot
+// captures everything the emulator mutates as virtual time advances, so a
+// scenario sweep can run the expensive settled prefix once, fork, and rewind
+// between variant branches. Snapshots are restore-in-place: the pending
+// events' closures keep pointing at the same scheduler, link, and endpoint
+// objects, whose state is rewritten underneath them.
+//
+// Both Snapshot and Restore must be called from the coordinating goroutine
+// between RunFor windows, when every shard worker is parked — exactly the
+// points where all cross-goroutine state is already synchronized.
+
+// The emulator's own types opt out of the statecopy walk: their state is
+// captured by the snapshots below (scheduler, network, endpoints, timers) or
+// is immutable for the lifetime of an experiment (substrate handles).
+func (s *Scheduler) StateCopyOpaque()      {}
+func (n *Network) StateCopyOpaque()        {}
+func (ns *NodeSubstrate) StateCopyOpaque() {}
+func (e *endpoint) StateCopyOpaque()       {}
+func (t *simTimer) StateCopyOpaque()       {}
+
+// timerFlags is one timer's lazy-cancellation state at snapshot time.
+type timerFlags struct{ fired, stopped bool }
+
+// shardSnapshot captures one event shard.
+type shardSnapshot struct {
+	evts     []event
+	now      time.Duration
+	executed uint64
+}
+
+// SchedulerSnapshot is a restorable capture of the event loop: the global
+// and per-shard event heaps, every queued timer's cancellation flags, the
+// virtual clocks, the deterministic (time, actor, seq) counters, and the
+// seeded PRNG. Event closures are shared with the live heaps — restore-in-
+// place is what keeps them valid.
+type SchedulerSnapshot struct {
+	now       time.Duration
+	globalSeq uint64
+	executed  uint64
+	global    []event
+	shards    []shardSnapshot
+	timers    map[*simTimer]timerFlags
+	rng       *statecopy.Image
+}
+
+// Snapshot captures the scheduler. Call between RunFor windows only.
+func (s *Scheduler) Snapshot() *SchedulerSnapshot {
+	cp := &SchedulerSnapshot{
+		now:       s.now,
+		globalSeq: s.globalSeq,
+		executed:  s.executed,
+		global:    append([]event(nil), s.global...),
+		timers:    make(map[*simTimer]timerFlags),
+		rng:       statecopy.Capture(s.rng),
+	}
+	collect := func(evts []event) {
+		for _, e := range evts {
+			if e.tm != nil {
+				cp.timers[e.tm] = timerFlags{fired: e.tm.fired, stopped: e.tm.stopped}
+			}
+		}
+	}
+	collect(cp.global)
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		ss := shardSnapshot{
+			evts:     append([]event(nil), sh.evts...),
+			now:      sh.now,
+			executed: sh.executed,
+		}
+		sh.mu.Unlock()
+		collect(ss.evts)
+		cp.shards = append(cp.shards, ss)
+	}
+	return cp
+}
+
+// Restore rewinds the scheduler to the snapshot. The snapshot is not
+// consumed: restoring again later rewinds to the same point. The shard
+// count must match the one the snapshot was taken at.
+func (s *Scheduler) Restore(cp *SchedulerSnapshot) {
+	if len(cp.shards) != len(s.shards) {
+		panic("simnet: scheduler snapshot restored at a different shard count")
+	}
+	s.now = cp.now
+	s.globalSeq = cp.globalSeq
+	s.executed = cp.executed
+	s.global = append(s.global[:0:0], cp.global...)
+	for i, sh := range s.shards {
+		sh.mu.Lock()
+		sh.evts = append(sh.evts[:0:0], cp.shards[i].evts...)
+		sh.now = cp.shards[i].now
+		sh.executed = cp.shards[i].executed
+		sh.mu.Unlock()
+	}
+	// Timers queued at the snapshot come back to their exact cancellation
+	// state: one the branch fired or stopped becomes pending again.
+	for tm, f := range cp.timers {
+		tm.fired, tm.stopped = f.fired, f.stopped
+	}
+	cp.rng.Restore()
+}
+
+// endpointState captures one endpoint's mutable fields. The receive handler
+// is saved too: kill/revive churn in a branch detaches and reattaches it.
+type endpointState struct {
+	actorSeq uint64
+	down     bool
+	recv     func(src overlay.Address, payload []byte)
+}
+
+// NetworkSnapshot is a restorable capture of the emulated network: per-pipe
+// queues, serialization horizons and deterministic loss/event counters,
+// endpoint state, injected dynamics (failed links, degradations,
+// partitions), and the per-shard packet accounting.
+type NetworkSnapshot struct {
+	links           []linkState
+	eps             map[overlay.Address]endpointState
+	blocked         map[topology.LinkID]bool
+	degraded        map[topology.LinkID]Degradation
+	sides           map[overlay.Address]int
+	stats           []shardStats
+	oracleEvictions uint64
+}
+
+// Snapshot captures the network. Call between RunFor windows only.
+func (n *Network) Snapshot() *NetworkSnapshot {
+	cp := &NetworkSnapshot{
+		links:           append([]linkState(nil), n.links...),
+		eps:             make(map[overlay.Address]endpointState, len(n.eps)),
+		blocked:         make(map[topology.LinkID]bool, len(n.blocked)),
+		degraded:        make(map[topology.LinkID]Degradation, len(n.degraded)),
+		stats:           append([]shardStats(nil), n.statsBy...),
+		oracleEvictions: n.oracleEvictions,
+	}
+	for a, ep := range n.eps {
+		cp.eps[a] = endpointState{actorSeq: ep.actorSeq, down: ep.down, recv: ep.recv}
+	}
+	for l, b := range n.blocked {
+		cp.blocked[l] = b
+	}
+	for l, d := range n.degraded {
+		cp.degraded[l] = d
+	}
+	if n.sides != nil {
+		cp.sides = make(map[overlay.Address]int, len(n.sides))
+		for a, s := range n.sides {
+			cp.sides[a] = s
+		}
+	}
+	return cp
+}
+
+// Restore rewinds the network to the snapshot. Link and stats state is
+// written back into the existing backing arrays (queued events hold interior
+// pointers into them), path caches are discarded, and the forwarding oracle
+// is rebuilt for the restored failure set.
+func (n *Network) Restore(cp *NetworkSnapshot) {
+	copy(n.links, cp.links)
+	copy(n.statsBy, cp.stats)
+	for a, st := range cp.eps {
+		ep := n.eps[a]
+		ep.actorSeq = st.actorSeq
+		ep.down = st.down
+		ep.recv = st.recv
+	}
+	n.blocked = make(map[topology.LinkID]bool, len(cp.blocked))
+	for l, b := range cp.blocked {
+		n.blocked[l] = b
+	}
+	n.degraded = make(map[topology.LinkID]Degradation, len(cp.degraded))
+	for l, d := range cp.degraded {
+		n.degraded[l] = d
+	}
+	if cp.sides == nil {
+		n.sides = nil
+	} else {
+		n.sides = make(map[overlay.Address]int, len(cp.sides))
+		for a, s := range cp.sides {
+			n.sides[a] = s
+		}
+	}
+	n.oracleEvictions = cp.oracleEvictions
+	n.invalidatePaths()
+}

@@ -1,0 +1,211 @@
+package statecopy
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+type opaqueThing struct{ n int }
+
+func (*opaqueThing) StateCopyOpaque() {}
+
+type inner struct {
+	id    int
+	tags  []string
+	links map[string]*inner
+}
+
+type world struct {
+	mu      sync.Mutex
+	name    string
+	count   int
+	when    time.Time
+	buf     []byte
+	nested  [3]inner
+	byName  map[string]*inner
+	self    *world
+	iface   any
+	op      *opaqueThing
+	fn      func() int
+	ch      chan int
+	nilPtr  *inner
+	nilMap  map[int]int
+	nilSl   []int
+	ptrPair [2]*inner // aliased pointers
+}
+
+func buildWorld() *world {
+	a := &inner{id: 1, tags: []string{"a"}, links: map[string]*inner{}}
+	b := &inner{id: 2, tags: []string{"b", "bb"}, links: map[string]*inner{"a": a}}
+	a.links["b"] = b // cycle
+	w := &world{
+		name:   "w",
+		count:  7,
+		when:   time.Unix(100, 0),
+		buf:    []byte{1, 2, 3},
+		byName: map[string]*inner{"a": a, "b": b},
+		iface:  inner{id: 42, tags: []string{"iface"}},
+		op:     &opaqueThing{n: 5},
+		fn:     func() int { return 11 },
+		ch:     make(chan int, 1),
+	}
+	w.self = w
+	w.nested[0] = inner{id: 10, tags: []string{"n0"}}
+	w.ptrPair = [2]*inner{a, a}
+	return w
+}
+
+func TestCaptureRestoreRoundTrip(t *testing.T) {
+	w := buildWorld()
+	a := w.byName["a"]
+	origMap := w.byName
+	im := Capture(w)
+
+	// Mutate everything a branch plausibly would.
+	w.name = "mutated"
+	w.count = 999
+	w.when = time.Unix(999, 0)
+	w.buf[0] = 77
+	w.buf = append(w.buf, 9)
+	a.id = 1000
+	a.tags = append(a.tags, "extra")
+	delete(w.byName, "b")
+	w.byName["c"] = &inner{id: 3}
+	w.byName = map[string]*inner{"replaced": nil} // wholesale replacement
+	w.nested[0].id = -1
+	w.iface = "something else"
+	w.op.n = 500 // opaque: must NOT be restored
+	w.nilPtr = &inner{id: 4}
+	w.ptrPair[1] = &inner{id: 5}
+
+	im.Restore()
+
+	if w.name != "w" || w.count != 7 || !w.when.Equal(time.Unix(100, 0)) {
+		t.Fatalf("plain fields not restored: %q %d %v", w.name, w.count, w.when)
+	}
+	if len(w.buf) != 3 || w.buf[0] != 1 {
+		t.Fatalf("byte slice not restored: %v", w.buf)
+	}
+	if w.byName == nil || len(w.byName) != 2 {
+		t.Fatalf("map not restored: %v", w.byName)
+	}
+	if &w.byName != &w.byName || w.byName["a"] != a {
+		t.Fatal("map pointer identity lost")
+	}
+	if got := w.byName; mapsDiffer(got, origMap) {
+		t.Fatal("restored map is not the original map object")
+	}
+	if a.id != 1 || len(a.tags) != 1 || a.tags[0] != "a" {
+		t.Fatalf("pointee not restored in place: %+v", a)
+	}
+	if a.links["b"].links["a"] != a {
+		t.Fatal("cycle broken")
+	}
+	if w.nested[0].id != 10 {
+		t.Fatalf("array element not restored: %+v", w.nested[0])
+	}
+	if v, ok := w.iface.(inner); !ok || v.id != 42 {
+		t.Fatalf("interface not restored: %#v", w.iface)
+	}
+	if w.op.n != 500 {
+		t.Fatal("opaque pointee was walked; must be shared untouched")
+	}
+	if w.self != w {
+		t.Fatal("self pointer identity lost")
+	}
+	if w.nilPtr != nil || w.nilMap != nil || w.nilSl != nil {
+		t.Fatal("nil references not restored to nil")
+	}
+	if w.ptrPair[0] != a || w.ptrPair[1] != a {
+		t.Fatal("aliased pointers diverged")
+	}
+	if w.fn == nil || w.fn() != 11 || w.ch == nil {
+		t.Fatal("func/chan references lost")
+	}
+}
+
+func mapsDiffer(a, b map[string]*inner) bool {
+	if len(a) != len(b) {
+		return true
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return true
+		}
+	}
+	return false
+}
+
+// TestRestoreTwice checks an image survives multiple restores: the second
+// rewind must be as faithful as the first even after the first branch
+// corrupted state again.
+func TestRestoreTwice(t *testing.T) {
+	w := buildWorld()
+	a := w.byName["a"]
+	im := Capture(w)
+	for round := 0; round < 2; round++ {
+		a.id = 100 + round
+		a.tags = nil
+		w.byName = nil
+		im.Restore()
+		if a.id != 1 || len(a.tags) != 1 {
+			t.Fatalf("round %d: pointee not restored: %+v", round, a)
+		}
+		if w.byName["a"] != a {
+			t.Fatalf("round %d: map not restored", round)
+		}
+	}
+}
+
+// TestClosureOnlyPointer checks state reachable solely through a captured
+// root pointer is restored even when a branch drops every field reference to
+// it (the scheduler-closure situation: the closure keeps the pointer, the
+// walker must keep its state).
+func TestClosureOnlyPointer(t *testing.T) {
+	a := &inner{id: 1}
+	holder := struct{ p *inner }{p: a}
+	im := Capture(&holder)
+	holder.p = nil
+	a.id = 99
+	im.Restore()
+	if holder.p != a || a.id != 1 {
+		t.Fatalf("closure-held pointee not restored: %v %d", holder.p, a.id)
+	}
+}
+
+// TestUnexportedAcrossPackages exercises walking a foreign type with
+// unexported fields (time.Timer-like shapes appear all over the engine).
+func TestUnexportedAcrossPackages(t *testing.T) {
+	type carrier struct{ d time.Duration }
+	c := &carrier{d: 5 * time.Second}
+	im := Capture(c)
+	c.d = time.Hour
+	im.Restore()
+	if c.d != 5*time.Second {
+		t.Fatalf("duration not restored: %v", c.d)
+	}
+}
+
+// TestMathRandRewind proves a stdlib PRNG rewinds exactly: the engine relies
+// on this for per-node protocol randomness across fork branches.
+func TestMathRandRewind(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 100; i++ {
+		rng.Int63()
+	}
+	im := Capture(rng)
+	want := make([]int64, 50)
+	for i := range want {
+		want[i] = rng.Int63()
+	}
+	rng.Float64()
+	rng.Intn(7)
+	im.Restore()
+	for i := range want {
+		if got := rng.Int63(); got != want[i] {
+			t.Fatalf("draw %d: got %d want %d", i, got, want[i])
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package transport
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"macedon/internal/simnet"
+	"macedon/internal/statecopy"
+)
+
+// TestReliableStateRewind proves a reliable transport's connection state —
+// byte-stream offsets, congestion window, RTT estimators, retransmit timer,
+// receive buffers — rewinds through a statecopy capture plus a scheduler
+// snapshot: the checkpoint/fork contract every transport participates in
+// (docs/sweeps.md). A TCP stream cut mid-flight at the capture must finish
+// byte-identically in two branches.
+func TestReliableStateRewind(t *testing.T) {
+	r := newRig(t, simnet.Config{}, 1_000_000, 20*1500)
+	defer r.sched.Close()
+	r.a.AddTCP("t")
+	r.b.AddTCP("t")
+	var log recvLog
+	r.b.SetRecv(log.fn())
+	tr, err := r.a.ByName("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, 120_000)
+	for i := range payload {
+		payload[i] = byte(i * 31)
+	}
+	if err := tr.Send(2, payload); err != nil {
+		t.Fatal(err)
+	}
+	// Run until the stream is mid-flight, then checkpoint everything.
+	r.sched.RunFor(200 * time.Millisecond)
+	if len(log.frames) != 0 {
+		t.Fatal("stream finished before the checkpoint; slow the link")
+	}
+	cpSched := r.sched.Snapshot()
+	cpNet := r.net.Snapshot()
+	cpMux := statecopy.Capture(r.a, r.b)
+
+	finish := func() (string, []byte) {
+		log.frames = nil
+		r.sched.RunFor(30 * time.Second)
+		stats := tr.Stats()
+		if len(log.frames) != 1 {
+			t.Fatalf("stream did not complete: %d frames", len(log.frames))
+		}
+		return fmt.Sprintf("segs=%d rtx=%d acks=%d", stats.Segments, stats.Retransmits, stats.AcksSent), log.frames[0]
+	}
+	sumA, frameA := finish()
+	r.sched.Restore(cpSched)
+	r.net.Restore(cpNet)
+	cpMux.Restore()
+	sumB, frameB := finish()
+
+	if !bytes.Equal(frameA, payload) || !bytes.Equal(frameB, payload) {
+		t.Fatal("reassembled stream corrupt")
+	}
+	if sumA != sumB {
+		t.Fatalf("transport counters diverge across branches: %s vs %s", sumA, sumB)
+	}
+}
