@@ -1,0 +1,36 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"macedon/internal/deploy"
+)
+
+// runAgent implements "macedon agent": one overlay node in one OS process,
+// remote-controlled by a `macedon deploy` controller. Users normally never
+// run it by hand — the controller launches the fleet — but nothing stops a
+// manual launch against a listening controller (a future host-list
+// deployment does exactly that on each machine).
+func runAgent(args []string) int {
+	fs := flag.NewFlagSet("agent", flag.ExitOnError)
+	controller := fs.String("controller", "", "controller control address (host:port)")
+	node := fs.Int("node", -1, "fleet node index")
+	verbose := fs.Bool("v", false, "log agent lifecycle to stderr")
+	_ = fs.Parse(args)
+	if *controller == "" || *node < 0 {
+		fmt.Fprintln(os.Stderr, "macedon agent: -controller and -node are required")
+		return 2
+	}
+	var logw io.Writer = io.Discard
+	if *verbose {
+		logw = os.Stderr
+	}
+	if err := deploy.RunAgent(*controller, *node, logw); err != nil {
+		fmt.Fprintf(os.Stderr, "macedon agent %d: %v\n", *node, err)
+		return 1
+	}
+	return 0
+}

@@ -9,7 +9,9 @@
 //	macedon gen -pkg name spec.mac       generate a Go agent to stdout
 //	macedon loc spec.mac...              count specification lines (Figure 7)
 //	macedon scenario [-trace] [-shards N] file.json  run a churn/failure/workload scenario
-//	macedon sweep [-shards N] sweep.json     run a shared-prefix parameter sweep
+//	macedon sweep [-shards N] [-json] sweep.json     run a shared-prefix parameter sweep
+//	macedon deploy [-nodes N] [-vs-sim] file.json    run a scenario as a live multi-process deployment
+//	macedon agent -controller H:P -node I    one live overlay node (launched by deploy)
 package main
 
 import (
@@ -40,6 +42,10 @@ func main() {
 		os.Exit(runScenario(os.Args[2:]))
 	case "sweep":
 		os.Exit(runSweep(os.Args[2:]))
+	case "deploy":
+		os.Exit(runDeploy(os.Args[2:]))
+	case "agent":
+		os.Exit(runAgent(os.Args[2:]))
 	default:
 		usage()
 		os.Exit(2)
@@ -47,7 +53,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: macedon check|gen|loc|scenario|sweep [args]")
+	fmt.Fprintln(os.Stderr, "usage: macedon check|gen|loc|scenario|sweep|deploy|agent [args]")
 }
 
 func runCheck(args []string) int {

@@ -21,6 +21,7 @@ func runSweep(args []string) int {
 	seed := fs.Int64("seed", 0, "override the base scenario's seed")
 	shards := fs.Int("shards", 0, "event-loop shards (0 = GOMAXPROCS, 1 = sequential); any value prints an identical table")
 	timing := fs.Bool("timing", true, "print the wall-clock timing footer")
+	jsonOut := fs.Bool("json", false, "emit the machine-readable sweep result instead of the table (deterministic; no timing)")
 	check := fs.Bool("check", false, "validate and resolve only; print the variant summary")
 	_ = fs.Parse(args)
 	if fs.NArg() != 1 {
@@ -57,6 +58,15 @@ func runSweep(args []string) int {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "%s: %v\n", fs.Arg(0), err)
 		return 1
+	}
+	if *jsonOut {
+		b, err := metrics.SweepToJSON(rep)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "macedon sweep: %v\n", err)
+			return 1
+		}
+		fmt.Printf("%s\n", b)
+		return 0
 	}
 	fmt.Print(metrics.SweepTable(rep))
 	if *timing {

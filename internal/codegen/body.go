@@ -498,6 +498,27 @@ func (g *generator) callStmt(s *dsl.CallStmt, ind string) error {
 			return err
 		}
 		g.pf("%sctx.Deliver(%s, %s, %s)\n", ind, a0, a1, a2)
+	case "forward_upcall":
+		// forward_upcall(payload, typ, next): run the engine's forward()
+		// upcall for a payload about to travel on toward next (§2.2 — the
+		// application or layer above observes every intermediate hop and may
+		// quash it, ending the transition). Rewrites of the next hop or
+		// payload by the upper handler are not honored by generated code.
+		a0, err := arg(0)
+		if err != nil {
+			return err
+		}
+		a1, err := arg(1)
+		if err != nil {
+			return err
+		}
+		a2, err := arg(2)
+		if err != nil {
+			return err
+		}
+		g.pf("%sif fwOk, _, _ := ctx.Forward(%s, %s, %s, overlay.HashAddress(%s)); !fwOk {\n", ind, a0, a1, a2, a2)
+		g.pf("%s\treturn\n", ind)
+		g.pf("%s}\n", ind)
 	case "notify":
 		kind, ok := firstIdent(s.Args)
 		if !ok {

@@ -65,6 +65,16 @@ type Handlers struct {
 	Notify func(nt overlay.NeighborType, neighbors []overlay.Address)
 	// Upcall is the extensible upcall (upcall_ext) from the top protocol.
 	Upcall func(op int, arg any) int
+
+	// StateChange is a lifecycle hook for external drivers: it fires
+	// whenever any instance in the stack moves to a new FSM state (joining,
+	// joined, ...). Live deployment agents stream these to the controller
+	// as per-node event traces. Deferred onto the node's event queue.
+	StateChange func(proto string, from, to State)
+	// Failure fires when the engine failure detector declares a peer dead
+	// on some instance (after the error transition dispatched). It runs on
+	// the node's event queue and must not call Node.Exec.
+	Failure func(proto string, peer overlay.Address)
 }
 
 // Context is what a transition body sees: the action primitives of §3.3 —
@@ -101,7 +111,11 @@ func (c *Context) StateChange(s State) {
 		return
 	}
 	i.trace(TraceLow, "state %s -> %s", i.state, s)
+	from := i.state
 	i.state = s
+	if h := i.node.handlers.StateChange; h != nil {
+		i.node.post(func() { h(i.def.name, from, s) })
+	}
 }
 
 // Neighbors returns a declared neighbor list.

@@ -441,6 +441,9 @@ func (n *Node) sweep() {
 						inst.counters.Failures++
 						inst.trace(TraceLow, "failure of %v detected on %s", nb.Addr, l.Name())
 						inst.dispatchAPI(&APICall{Kind: overlay.APIError, Failed: nb.Addr})
+						if h := n.handlers.Failure; h != nil {
+							h(inst.def.name, nb.Addr)
+						}
 					case silence > n.hbAfter && !n.hbProbed[nb.Addr]:
 						n.hbProbed[nb.Addr] = true
 						_ = n.transports[hbTransport].Send(nb.Addr, []byte{hbRequest})

@@ -1,0 +1,210 @@
+package deploy
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"strconv"
+	"time"
+
+	"macedon/internal/core"
+	"macedon/internal/harness"
+	"macedon/internal/livenet"
+	"macedon/internal/overlay"
+)
+
+// RunAgent is the body of `macedon agent`: one overlay node in one OS
+// process, remote-controlled by a deploy controller. It dials the
+// controller, introduces itself, receives its AgentConfig, binds its
+// livenet socket, runs the protocol stack, and serves control commands
+// until told to quit or the control connection drops (the controller
+// died — a headless agent exits rather than lingering).
+func RunAgent(controller string, node int, logw io.Writer) error {
+	if logw == nil {
+		logw = io.Discard
+	}
+	tc, err := net.Dial("tcp", controller)
+	if err != nil {
+		return fmt.Errorf("deploy agent: dial controller: %w", err)
+	}
+	conn := NewConn(tc)
+	defer conn.Close()
+	if err := conn.Send(&Msg{Kind: KindHello, Hello: &Hello{Node: node, Pid: os.Getpid()}}); err != nil {
+		return err
+	}
+	m, err := conn.Recv()
+	if err != nil {
+		return fmt.Errorf("deploy agent: awaiting config: %w", err)
+	}
+	if m.Kind != KindConfig || m.Config == nil {
+		return fmt.Errorf("deploy agent: expected config, got %q", m.Kind)
+	}
+	cfg := m.Config
+	fmt.Fprintf(logw, "agent %d: pid %d addr %v proto %s\n", node, os.Getpid(), cfg.Addr, cfg.Protocol)
+
+	a := &agent{conn: conn, cfg: cfg, logw: logw}
+	if err := a.start(); err != nil {
+		return err
+	}
+	defer a.stop()
+	return a.serve()
+}
+
+type agent struct {
+	conn *Conn
+	cfg  *AgentConfig
+	logw io.Writer
+	net  *livenet.Network
+	node *core.Node
+}
+
+// start builds the livenet substrate and the overlay node.
+func (a *agent) start() error {
+	table := make(map[overlay.Address]string, len(a.cfg.Table))
+	for k, hp := range a.cfg.Table {
+		ai, err := strconv.ParseUint(k, 10, 32)
+		if err != nil {
+			return fmt.Errorf("deploy agent: bad table address %q", k)
+		}
+		table[overlay.Address(ai)] = hp
+	}
+	a.net = livenet.New("127.0.0.1", 0, livenet.WithTable(table))
+	if a.cfg.Shape != nil {
+		a.applyShape(a.cfg.Shape)
+	}
+	stack, err := harness.ScenarioStack(a.cfg.Protocol)
+	if err != nil {
+		return err
+	}
+	node, err := core.NewNode(core.Config{
+		Addr:           overlay.Address(a.cfg.Addr),
+		Net:            a.net,
+		Stack:          stack,
+		Bootstrap:      overlay.Address(a.cfg.Bootstrap),
+		HeartbeatAfter: time.Duration(a.cfg.HeartbeatAfterNs),
+		FailAfter:      time.Duration(a.cfg.FailAfterNs),
+	})
+	if err != nil {
+		a.net.Close()
+		return err
+	}
+	a.node = node
+	// Stream the node's life back to the controller: deliveries and
+	// forwards keyed by workload op id, plus state transitions and failure
+	// verdicts for the per-node event trace.
+	node.RegisterHandlers(core.Handlers{
+		Deliver: func(payload []byte, typ int32, src overlay.Address) {
+			a.event(&Event{Kind: EvDeliver, Op: int(typ), AtUnixNano: time.Now().UnixNano()})
+		},
+		Forward: func(payload []byte, typ int32, next overlay.Address, nextKey overlay.Key) bool {
+			a.event(&Event{Kind: EvForward, Op: int(typ), AtUnixNano: time.Now().UnixNano()})
+			return true
+		},
+		StateChange: func(proto string, from, to core.State) {
+			a.event(&Event{Kind: EvState, AtUnixNano: time.Now().UnixNano(),
+				Proto: proto, From: string(from), State: string(to)})
+		},
+		Failure: func(proto string, peer overlay.Address) {
+			a.event(&Event{Kind: EvFail, AtUnixNano: time.Now().UnixNano(),
+				Proto: proto, Peer: uint32(peer)})
+		},
+	})
+	if a.cfg.HasGroup {
+		if a.cfg.CreateGroup {
+			_ = node.CreateGroup(overlay.Key(a.cfg.Group))
+		} else {
+			_ = node.Join(overlay.Key(a.cfg.Group))
+		}
+	}
+	return nil
+}
+
+func (a *agent) stop() {
+	if a.node != nil {
+		a.node.Stop()
+	}
+	if a.net != nil {
+		a.net.Close()
+	}
+}
+
+// serve is the command loop. It returns nil on quit and the read error
+// when the control connection drops.
+func (a *agent) serve() error {
+	for {
+		m, err := a.conn.Recv()
+		if err != nil {
+			return fmt.Errorf("deploy agent: control connection lost: %w", err)
+		}
+		switch m.Kind {
+		case KindOp:
+			a.runOp(m.Op)
+		case KindShape:
+			a.applyShape(m.Shape)
+		case KindPoll:
+			_ = a.conn.Send(&Msg{Kind: KindMetrics, Metrics: a.metrics()})
+		case KindQuit:
+			fmt.Fprintf(a.logw, "agent %d: quit\n", a.cfg.Node)
+			return nil
+		default:
+			fmt.Fprintf(a.logw, "agent %d: unknown control message %q\n", a.cfg.Node, m.Kind)
+		}
+	}
+}
+
+func (a *agent) runOp(op *OpCmd) {
+	if op == nil {
+		return
+	}
+	size := op.Size
+	if size < 8 {
+		size = 8
+	}
+	switch op.Kind {
+	case "lookup":
+		_ = a.node.Route(overlay.Key(op.Key), make([]byte, size), int32(op.ID), overlay.PriorityDefault)
+	case "multicast":
+		_ = a.node.Multicast(overlay.Key(a.cfg.Group), make([]byte, size), int32(op.ID), overlay.PriorityDefault)
+	default:
+		fmt.Fprintf(a.logw, "agent %d: unknown op kind %q\n", a.cfg.Node, op.Kind)
+	}
+}
+
+// applyShape replaces the network's whole shaping state with the command's.
+func (a *agent) applyShape(s *ShapeCmd) {
+	a.net.ClearShaping()
+	if s == nil {
+		return
+	}
+	for _, r := range s.Rules {
+		a.net.SetPeerShaping(overlay.Address(r.Peer), livenet.Shaping{
+			Drop: r.Drop, Loss: r.Loss, Delay: time.Duration(r.DelayNs),
+		})
+	}
+	if d := s.Default; d != nil {
+		a.net.SetDefaultShaping(&livenet.Shaping{Drop: d.Drop, Loss: d.Loss, Delay: time.Duration(d.DelayNs)})
+	}
+}
+
+// metrics snapshots the node's engine counters and the socket counters.
+// Instance counters take their own read locks, so sampling from the
+// control goroutine is safe while the node dispatches.
+func (a *agent) metrics() *Metrics {
+	c := a.node.Counters()
+	s := a.net.Stats()
+	return &Metrics{
+		MsgsSent: c.MsgsSent, MsgsRecv: c.MsgsRecv,
+		BytesSent: c.BytesSent, BytesRecv: c.BytesRecv,
+		Failures: c.Failures,
+		NetSent:  s.Sent, NetRecv: s.Recv,
+		NetBytesSent: s.BytesSent, NetBytesRecv: s.BytesRecv,
+		ShapeDrops: s.ShapeDrops, LossDrops: s.LossDrops,
+	}
+}
+
+// event streams one event; send failures are ignored (the controller may
+// be tearing the run down while deliveries still fire).
+func (a *agent) event(ev *Event) {
+	_ = a.conn.Send(&Msg{Kind: KindEvent, Event: ev})
+}

@@ -1,0 +1,151 @@
+package deploy
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"macedon/internal/scenario"
+)
+
+// Tolerances bound how far a live run may drift from the emulated run of
+// the same scenario before the conformance verdict fails. The defaults are
+// the acceptance bounds: delivery within 2 percentage points, mean hop
+// count within 15%.
+type Tolerances struct {
+	// DeliveryPoints is the allowed |live − sim| delivery-rate gap, in
+	// percentage points.
+	DeliveryPoints float64
+	// HopsFrac is the allowed |live − sim| / sim mean-hop gap.
+	HopsFrac float64
+}
+
+// DefaultTolerances are the acceptance bounds.
+var DefaultTolerances = Tolerances{DeliveryPoints: 2, HopsFrac: 0.15}
+
+// Comparison is the live-vs-sim verdict for one scenario.
+type Comparison struct {
+	Scenario string
+	Protocol string
+
+	SimSent, LiveSent           int
+	SimDelivered, LiveDelivered int
+	// Delivery rates in percent, aggregated over every workload phase.
+	SimDelivery, LiveDelivery float64
+	// DeliveryDelta is |live − sim| in points for once-per-op workloads,
+	// or in relative percent for fan-out (multicast) workloads;
+	// DeliveryUnit names which.
+	DeliveryDelta float64
+	DeliveryUnit  string
+
+	// Mean hops per delivered operation ((forwards+deliveries)/deliveries,
+	// the shared definition both backends compute). Zero when a side
+	// delivered nothing.
+	SimHops, LiveHops float64
+	HopsDelta         float64 // |live − sim| / sim; 0 when hops are not comparable
+
+	// Control overhead, informational: cumulative protocol messages per
+	// live node over the phased window.
+	SimCtlMsgs, LiveCtlMsgs uint64
+
+	Tol  Tolerances
+	Pass bool
+	// Failures lists each bound that was exceeded.
+	Failures []string
+}
+
+// aggregate reduces a report's phases to totals.
+func aggregate(r *scenario.Report) (sent, delivered, forwards int) {
+	for _, p := range r.Phases {
+		sent += p.OpsSent
+		delivered += p.OpsDelivered
+		forwards += p.OpsForwarded
+	}
+	return
+}
+
+func lastCtl(r *scenario.Report) uint64 {
+	if len(r.Phases) == 0 {
+		return 0
+	}
+	return r.Phases[len(r.Phases)-1].CtlMsgs
+}
+
+// Compare grades a live report against the emulated report of the same
+// scenario. Zero tolerances select the defaults.
+func Compare(sim, live *scenario.Report, tol Tolerances) *Comparison {
+	if tol.DeliveryPoints == 0 {
+		tol.DeliveryPoints = DefaultTolerances.DeliveryPoints
+	}
+	if tol.HopsFrac == 0 {
+		tol.HopsFrac = DefaultTolerances.HopsFrac
+	}
+	cmp := &Comparison{Scenario: sim.Scenario, Protocol: sim.Protocol, Tol: tol, Pass: true}
+	var simFwd, liveFwd int
+	cmp.SimSent, cmp.SimDelivered, simFwd = aggregate(sim)
+	cmp.LiveSent, cmp.LiveDelivered, liveFwd = aggregate(live)
+	cmp.SimCtlMsgs, cmp.LiveCtlMsgs = lastCtl(sim), lastCtl(live)
+
+	if cmp.SimSent > 0 {
+		cmp.SimDelivery = 100 * float64(cmp.SimDelivered) / float64(cmp.SimSent)
+	}
+	if cmp.LiveSent > 0 {
+		cmp.LiveDelivery = 100 * float64(cmp.LiveDelivered) / float64(cmp.LiveSent)
+	}
+	// Lookup workloads deliver at most once per op, so the rates live on a
+	// 0–100% scale and the bound is absolute points. Dissemination
+	// workloads deliver once per receiving member — the "rate" is a
+	// fan-out factor in the hundreds of percent — so the same bound is
+	// applied to the relative gap instead (2 points ≈ 2% near 100%).
+	cmp.DeliveryDelta = math.Abs(cmp.LiveDelivery - cmp.SimDelivery)
+	cmp.DeliveryUnit = "points"
+	if math.Max(cmp.SimDelivery, cmp.LiveDelivery) > 100 && cmp.SimDelivery > 0 {
+		cmp.DeliveryDelta = 100 * cmp.DeliveryDelta / cmp.SimDelivery
+		cmp.DeliveryUnit = "% relative"
+	}
+	if cmp.DeliveryDelta > tol.DeliveryPoints {
+		cmp.Pass = false
+		cmp.Failures = append(cmp.Failures, fmt.Sprintf(
+			"delivery: live %.2f%% vs sim %.2f%% (Δ %.2f %s > %.2f)",
+			cmp.LiveDelivery, cmp.SimDelivery, cmp.DeliveryDelta, cmp.DeliveryUnit, tol.DeliveryPoints))
+	}
+
+	if cmp.SimDelivered > 0 {
+		cmp.SimHops = float64(simFwd+cmp.SimDelivered) / float64(cmp.SimDelivered)
+	}
+	if cmp.LiveDelivered > 0 {
+		cmp.LiveHops = float64(liveFwd+cmp.LiveDelivered) / float64(cmp.LiveDelivered)
+	}
+	if cmp.SimHops > 0 && cmp.LiveHops > 0 {
+		cmp.HopsDelta = math.Abs(cmp.LiveHops-cmp.SimHops) / cmp.SimHops
+		if cmp.HopsDelta > tol.HopsFrac {
+			cmp.Pass = false
+			cmp.Failures = append(cmp.Failures, fmt.Sprintf(
+				"hops: live %.3f vs sim %.3f (Δ %.1f%% > %.0f%%)",
+				cmp.LiveHops, cmp.SimHops, 100*cmp.HopsDelta, 100*tol.HopsFrac))
+		}
+	}
+	return cmp
+}
+
+// String renders the verdict.
+func (c *Comparison) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "live-vs-sim %q (%s):\n", c.Scenario, c.Protocol)
+	fmt.Fprintf(&b, "  %-12s %14s %14s\n", "", "sim", "live")
+	fmt.Fprintf(&b, "  %-12s %8d/%-5d %8d/%-5d\n", "delivered", c.SimDelivered, c.SimSent, c.LiveDelivered, c.LiveSent)
+	fmt.Fprintf(&b, "  %-12s %13.2f%% %13.2f%%  (Δ %.2f %s, tol %.1f)\n",
+		"delivery", c.SimDelivery, c.LiveDelivery, c.DeliveryDelta, c.DeliveryUnit, c.Tol.DeliveryPoints)
+	fmt.Fprintf(&b, "  %-12s %14.3f %14.3f  (Δ %.1f%%, tol %.0f%%)\n",
+		"mean hops", c.SimHops, c.LiveHops, 100*c.HopsDelta, 100*c.Tol.HopsFrac)
+	fmt.Fprintf(&b, "  %-12s %14d %14d\n", "ctl msgs", c.SimCtlMsgs, c.LiveCtlMsgs)
+	if c.Pass {
+		b.WriteString("  verdict: PASS\n")
+	} else {
+		b.WriteString("  verdict: FAIL\n")
+		for _, f := range c.Failures {
+			fmt.Fprintf(&b, "    %s\n", f)
+		}
+	}
+	return b.String()
+}

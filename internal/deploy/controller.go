@@ -1,0 +1,732 @@
+package deploy
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"time"
+
+	"macedon/internal/harness"
+	"macedon/internal/overlay"
+	"macedon/internal/scenario"
+	"macedon/internal/simnet"
+)
+
+// Config describes one live deployment run.
+type Config struct {
+	// Scenario is the experiment to execute — the same declarative files
+	// `macedon scenario` runs on the emulator.
+	Scenario *scenario.Scenario
+	// Speed divides the scenario timeline (1 = real time). Protocol
+	// timers are NOT compressed; keep it modest (docs/deploy.md).
+	Speed float64
+	// Host and BasePort place the fleet's UDP sockets: node i binds
+	// Host:BasePort+i. Defaults: 127.0.0.1, 40000.
+	Host     string
+	BasePort int
+	// AgentCmd is the argv prefix that starts one agent process; the
+	// controller appends "-controller <addr> -node <i>". `macedon deploy`
+	// uses its own binary: {os.Executable(), "agent"}.
+	AgentCmd []string
+	// AgentLogDir, when set, collects one log file per agent process.
+	AgentLogDir string
+	// Out receives progress lines (nil = silent).
+	Out io.Writer
+	// DegradeBase is the latency unit a degrade event's LatencyFactor is
+	// scaled by on the live path (default 5ms): added one-way delay is
+	// DegradeBase×(factor−1).
+	DegradeBase time.Duration
+	// Timeout aborts a wedged run (default: scaled total + 2 minutes).
+	Timeout time.Duration
+}
+
+// agentSlot is the controller's view of one fleet member.
+type agentSlot struct {
+	proc *exec.Cmd
+	conn *Conn
+	// gen counts process launches of this slot; a stale connection (from a
+	// SIGKILLed generation) is ignored when it finally reaps.
+	gen     int
+	logFile *os.File
+	// metrics is the last snapshot this slot answered a poll with (the
+	// current process generation's counters, which restart at zero on
+	// every SIGKILL/relaunch).
+	metrics  Metrics
+	hasStats bool
+	// retired accumulates the socket counters of dead generations (their
+	// last polled snapshots), so the slot's cumulative network totals
+	// never move backwards across restarts. Engine counters are NOT
+	// retired: the emulator's per-phase counter sums likewise see only
+	// the live node objects, whose counters also restart on revive.
+	retired Metrics
+	pollCh  chan *Metrics
+}
+
+// controller executes a compiled schedule against a fleet of agent
+// processes; it implements scenario.WallExecutor.
+type controller struct {
+	cfg   Config
+	s     *scenario.Scenario
+	sched *scenario.Schedule
+	addrs []overlay.Address
+	table map[string]string
+	ln    net.Listener
+	start time.Time
+
+	group       overlay.Key
+	hasGroup    bool
+	degradeBase time.Duration
+
+	mu     sync.Mutex
+	agents []*agentSlot
+	alive  []bool
+
+	// Shaping source of truth, recompiled into per-agent rule sets on
+	// every change (and on agent restart).
+	partitionA int // side-A size; 0 = no partition
+	partition  bool
+	down       []bool // node_down / link_down: host unreachable
+	degLoss    []float64
+	degDelay   []time.Duration
+
+	// Workload accounting (the live twin of the scenario engine's grids;
+	// single controller process, so plain ints under mu).
+	sendAt    map[int]time.Time
+	sendPhase map[int]int
+	rows      []scenario.PhaseTotals
+	base      scenario.PhaseTotals
+	opsSent   []int
+	opsSkip   []int
+	delivered []int
+	latSum    []time.Duration
+	forwards  []int
+
+	eventsRun int
+	trace     []string
+	err       error
+}
+
+// Run executes the scenario as a live localhost deployment and returns
+// the same structured report the emulated path produces. Delivery,
+// latency, hop and counter bookkeeping follow the scenario engine's
+// definitions exactly, which is what makes the two reports comparable
+// (Compare, live_test.go).
+func Run(cfg Config) (*scenario.Report, error) {
+	if cfg.Scenario == nil {
+		return nil, fmt.Errorf("deploy: no scenario")
+	}
+	if len(cfg.AgentCmd) == 0 {
+		return nil, fmt.Errorf("deploy: no agent command")
+	}
+	if cfg.Host == "" {
+		cfg.Host = "127.0.0.1"
+	}
+	if cfg.BasePort == 0 {
+		cfg.BasePort = 40000
+	}
+	if cfg.Speed <= 0 {
+		cfg.Speed = 1
+	}
+	if cfg.Out == nil {
+		cfg.Out = io.Discard
+	}
+	if cfg.DegradeBase <= 0 {
+		cfg.DegradeBase = 5 * time.Millisecond
+	}
+	s := cfg.Scenario
+	sched, err := scenario.Compile(s)
+	if err != nil {
+		return nil, err
+	}
+	addrs, err := harness.TopologyAddrs(s.Nodes, s.Routers, s.Seed)
+	if err != nil {
+		return nil, err
+	}
+	table := make(map[string]string, len(addrs))
+	for i, a := range addrs {
+		table[strconv.FormatUint(uint64(uint32(a)), 10)] = fmt.Sprintf("%s:%d", cfg.Host, cfg.BasePort+i)
+	}
+	ln, err := net.Listen("tcp", cfg.Host+":0")
+	if err != nil {
+		return nil, fmt.Errorf("deploy: control listener: %w", err)
+	}
+	c := &controller{
+		cfg:         cfg,
+		s:           s,
+		sched:       sched,
+		addrs:       addrs,
+		table:       table,
+		ln:          ln,
+		degradeBase: cfg.DegradeBase,
+		agents:      make([]*agentSlot, s.Nodes),
+		alive:       make([]bool, s.Nodes),
+		down:        make([]bool, s.Nodes),
+		degLoss:     make([]float64, s.Nodes),
+		degDelay:    make([]time.Duration, s.Nodes),
+		sendAt:      make(map[int]time.Time),
+		sendPhase:   make(map[int]int),
+		rows:        make([]scenario.PhaseTotals, len(sched.Phases)),
+		opsSent:     make([]int, len(sched.Phases)),
+		opsSkip:     make([]int, len(sched.Phases)),
+		delivered:   make([]int, len(sched.Phases)),
+		latSum:      make([]time.Duration, len(sched.Phases)),
+		forwards:    make([]int, len(sched.Phases)),
+	}
+	for i := range c.agents {
+		c.agents[i] = &agentSlot{pollCh: make(chan *Metrics, 1)}
+	}
+	if s.NeedsGroup() {
+		c.hasGroup = true
+		c.group = overlay.HashString(s.GroupName())
+	}
+	defer c.shutdown()
+	go c.acceptLoop()
+
+	timeout := cfg.Timeout
+	if timeout <= 0 {
+		timeout = time.Duration(float64(sched.Total)/cfg.Speed) + 2*time.Minute
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+
+	c.start = time.Now()
+	fmt.Fprintf(cfg.Out, "deploy %q: %d nodes on %s:%d.., control %s, speed %.3gx, wall ≈%s\n",
+		s.Name, s.Nodes, cfg.Host, cfg.BasePort, ln.Addr(), cfg.Speed,
+		time.Duration(float64(sched.Total)/cfg.Speed).Round(time.Second))
+	if err := scenario.NewWallRunner(sched, cfg.Speed, c).Run(ctx); err != nil {
+		return nil, err
+	}
+	if c.err != nil {
+		return nil, c.err
+	}
+	return c.report(), nil
+}
+
+// --- fleet plumbing ----------------------------------------------------------
+
+// acceptLoop admits agent control connections: each one introduces itself
+// with a hello, gets its config, and is served by a reader goroutine.
+func (c *controller) acceptLoop() {
+	for {
+		tc, err := c.ln.Accept()
+		if err != nil {
+			return // listener closed: run over
+		}
+		go c.admit(tc)
+	}
+}
+
+func (c *controller) admit(tc net.Conn) {
+	conn := NewConn(tc)
+	_ = conn.SetDeadline(time.Now().Add(10 * time.Second))
+	m, err := conn.Recv()
+	if err != nil || m.Kind != KindHello || m.Hello == nil {
+		_ = conn.Close()
+		return
+	}
+	_ = conn.SetDeadline(time.Time{})
+	i := m.Hello.Node
+	if i < 0 || i >= len(c.agents) {
+		_ = conn.Close()
+		return
+	}
+	c.mu.Lock()
+	slot := c.agents[i]
+	slot.conn = conn
+	gen := slot.gen
+	cfgMsg := &Msg{Kind: KindConfig, Config: c.agentConfigLocked(i)}
+	c.mu.Unlock()
+	if err := conn.Send(cfgMsg); err != nil {
+		_ = conn.Close()
+		return
+	}
+	c.reader(i, gen, conn)
+}
+
+// agentConfigLocked assembles node i's config, including the shaping rules
+// currently in force (c.mu held).
+func (c *controller) agentConfigLocked(i int) *AgentConfig {
+	ac := &AgentConfig{
+		Node:             i,
+		Addr:             uint32(c.addrs[i]),
+		Bootstrap:        uint32(c.addrs[0]),
+		Protocol:         c.protoName(),
+		Table:            c.table,
+		HeartbeatAfterNs: int64(c.s.HeartbeatAfter.D()),
+		FailAfterNs:      int64(c.s.FailAfter.D()),
+		Shape:            c.rulesForLocked(i),
+	}
+	if c.hasGroup {
+		ac.HasGroup = true
+		ac.Group = uint32(c.group)
+		ac.CreateGroup = i == 0
+	}
+	return ac
+}
+
+func (c *controller) protoName() string {
+	if c.s.Protocol == "" {
+		return "chord"
+	}
+	return c.s.Protocol
+}
+
+// reader consumes one agent connection's stream until it drops.
+func (c *controller) reader(i, gen int, conn *Conn) {
+	for {
+		m, err := conn.Recv()
+		if err != nil {
+			c.mu.Lock()
+			if c.agents[i].gen == gen && c.agents[i].conn == conn {
+				c.agents[i].conn = nil
+			}
+			c.mu.Unlock()
+			return
+		}
+		switch m.Kind {
+		case KindEvent:
+			c.onEvent(i, m.Event)
+		case KindMetrics:
+			if m.Metrics != nil {
+				select {
+				case c.agents[i].pollCh <- m.Metrics:
+				default:
+				}
+			}
+		}
+	}
+}
+
+// onEvent is the live twin of the scenario engine's delivery accounting.
+func (c *controller) onEvent(i int, ev *Event) {
+	if ev == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch ev.Kind {
+	case EvDeliver:
+		at, ok := c.sendAt[ev.Op]
+		if !ok {
+			return
+		}
+		ph := c.sendPhase[ev.Op]
+		c.delivered[ph]++
+		if lat := time.Unix(0, ev.AtUnixNano).Sub(at); lat > 0 {
+			c.latSum[ph] += lat
+		}
+	case EvForward:
+		if _, ok := c.sendAt[ev.Op]; !ok {
+			return
+		}
+		c.forwards[c.sendPhase[ev.Op]]++
+	case EvState:
+		c.tracefLocked("node %d %s: state %s -> %s", i, ev.Proto, ev.From, ev.State)
+	case EvFail:
+		c.tracefLocked("node %d %s: failure of %v detected", i, ev.Proto, overlay.Address(ev.Peer))
+	}
+}
+
+// spawn launches (or relaunches) agent process i.
+func (c *controller) spawn(i int) error {
+	argv := append(append([]string(nil), c.cfg.AgentCmd...),
+		"-controller", c.ln.Addr().String(), "-node", strconv.Itoa(i))
+	cmd := exec.Command(argv[0], argv[1:]...)
+	var logf *os.File
+	if c.cfg.AgentLogDir != "" {
+		f, err := os.OpenFile(filepath.Join(c.cfg.AgentLogDir, fmt.Sprintf("agent-%d.log", i)),
+			os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err == nil {
+			logf = f
+			cmd.Stdout, cmd.Stderr = f, f
+		}
+	}
+	if err := cmd.Start(); err != nil {
+		if logf != nil {
+			logf.Close()
+		}
+		return fmt.Errorf("deploy: spawn agent %d: %w", i, err)
+	}
+	c.mu.Lock()
+	slot := c.agents[i]
+	slot.gen++
+	slot.proc = cmd
+	slot.logFile = logf
+	c.alive[i] = true
+	c.mu.Unlock()
+	go func() { _ = cmd.Wait() }() // reap
+	return nil
+}
+
+// kill SIGKILLs agent process i: live churn is real process death.
+func (c *controller) kill(i int) {
+	c.mu.Lock()
+	slot := c.agents[i]
+	proc := slot.proc
+	conn := slot.conn
+	slot.proc = nil
+	slot.conn = nil
+	slot.gen++ // stale readers and reaps identify themselves
+	logf := slot.logFile
+	slot.logFile = nil
+	if slot.hasStats {
+		// Retire the dying generation's socket counters (as of its last
+		// poll — traffic since then is lost, like any crash loses its
+		// tail) so the slot's cumulative totals stay monotone.
+		slot.retired.NetSent += slot.metrics.NetSent
+		slot.retired.NetRecv += slot.metrics.NetRecv
+		slot.retired.NetBytesSent += slot.metrics.NetBytesSent
+		slot.retired.ShapeDrops += slot.metrics.ShapeDrops
+		slot.retired.LossDrops += slot.metrics.LossDrops
+		slot.metrics = Metrics{}
+		slot.hasStats = false
+	}
+	c.alive[i] = false
+	c.mu.Unlock()
+	if proc != nil && proc.Process != nil {
+		_ = proc.Process.Kill()
+	}
+	if conn != nil {
+		_ = conn.Close()
+	}
+	if logf != nil {
+		_ = logf.Close()
+	}
+}
+
+// send delivers one control message to agent i if it is connected.
+func (c *controller) send(i int, m *Msg) {
+	c.mu.Lock()
+	conn := c.agents[i].conn
+	c.mu.Unlock()
+	if conn != nil {
+		_ = conn.Send(m)
+	}
+}
+
+// broadcastShape pushes every agent's recomputed rule set.
+func (c *controller) broadcastShape() {
+	for i := range c.agents {
+		c.mu.Lock()
+		conn := c.agents[i].conn
+		rules := c.rulesForLocked(i)
+		c.mu.Unlock()
+		if conn != nil {
+			_ = conn.Send(&Msg{Kind: KindShape, Shape: rules})
+		}
+	}
+}
+
+// rulesForLocked compiles the scenario-level network state (partition,
+// downed hosts, degradations) into node i's outbound rule set. Every
+// datagram crosses exactly one side's rules per direction, so loss and
+// delay apply once per traversal like the emulator's access pipes
+// (docs/deploy.md: scenario-to-wall-clock mapping).
+func (c *controller) rulesForLocked(i int) *ShapeCmd {
+	sc := &ShapeCmd{}
+	if c.down[i] {
+		sc.Default = &PeerRule{Drop: true}
+		return sc
+	}
+	if c.degLoss[i] > 0 || c.degDelay[i] > 0 {
+		// This node's own degraded access pipe shapes all of its outbound.
+		sc.Default = &PeerRule{Loss: c.degLoss[i], DelayNs: int64(c.degDelay[i])}
+	}
+	for j, a := range c.addrs {
+		if j == i {
+			continue
+		}
+		switch {
+		case c.down[j]:
+			sc.Rules = append(sc.Rules, PeerRule{Peer: uint32(a), Drop: true})
+		case c.partition && c.sideOf(i) != c.sideOf(j):
+			sc.Rules = append(sc.Rules, PeerRule{Peer: uint32(a), Drop: true})
+		case c.degLoss[j] > 0 || c.degDelay[j] > 0:
+			// The peer's degraded pipe shapes traffic toward it. A
+			// per-peer rule REPLACES the default on the agent, so when
+			// this node is degraded too, compose both pipes the way the
+			// emulated path (sender's access + receiver's access) would:
+			// independent losses multiply through, delays add.
+			loss := 1 - (1-c.degLoss[i])*(1-c.degLoss[j])
+			sc.Rules = append(sc.Rules, PeerRule{Peer: uint32(a), Loss: loss,
+				DelayNs: int64(c.degDelay[i] + c.degDelay[j])})
+		}
+	}
+	return sc
+}
+
+func (c *controller) sideOf(i int) int {
+	if i < c.partitionA {
+		return 1
+	}
+	return 2
+}
+
+// poll gathers metrics from every live agent (last-known snapshots stand
+// in for agents that do not answer in time).
+func (c *controller) poll() {
+	type pending struct {
+		i  int
+		ch chan *Metrics
+	}
+	var waits []pending
+	for i := range c.agents {
+		c.mu.Lock()
+		conn := c.agents[i].conn
+		ch := c.agents[i].pollCh
+		c.mu.Unlock()
+		if conn == nil {
+			continue
+		}
+		// Drain a stale answer from an earlier poll round.
+		select {
+		case <-ch:
+		default:
+		}
+		if err := conn.Send(&Msg{Kind: KindPoll}); err == nil {
+			waits = append(waits, pending{i, ch})
+		}
+	}
+	deadline := time.After(5 * time.Second)
+	for _, w := range waits {
+		select {
+		case m := <-w.ch:
+			c.mu.Lock()
+			c.agents[w.i].metrics = *m
+			c.agents[w.i].hasStats = true
+			c.mu.Unlock()
+		case <-deadline:
+			return
+		}
+	}
+}
+
+// totalsLocked reduces the latest per-agent snapshots to cumulative
+// counters: engine counters over live agents (the emulated engine also
+// drops dead nodes' counters) and socket counters over every agent.
+func (c *controller) totalsLocked() (ctlMsgs, ctlBytes uint64, net simnet.Stats) {
+	for i, slot := range c.agents {
+		m := slot.retired
+		if slot.hasStats {
+			m.NetSent += slot.metrics.NetSent
+			m.NetRecv += slot.metrics.NetRecv
+			m.NetBytesSent += slot.metrics.NetBytesSent
+			m.ShapeDrops += slot.metrics.ShapeDrops
+			m.LossDrops += slot.metrics.LossDrops
+			if c.alive[i] {
+				ctlMsgs += slot.metrics.MsgsSent
+				ctlBytes += slot.metrics.BytesSent
+			}
+		}
+		net.Sent += m.NetSent
+		net.Delivered += m.NetRecv
+		// simnet.Stats.Bytes counts payload bytes entering the network, so
+		// the live twin is bytes sent, not received.
+		net.Bytes += m.NetBytesSent
+		net.RandomLoss += m.LossDrops
+		net.PartitionDrops += m.ShapeDrops
+	}
+	return
+}
+
+// --- scenario.WallExecutor ---------------------------------------------------
+
+// SettleEnd polls the fleet for the baseline snapshot phase deltas are
+// measured against.
+func (c *controller) SettleEnd() {
+	c.poll()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.base = scenario.PhaseTotals{}
+	c.base.CtlMsgs, c.base.CtlBytes, c.base.Net = c.totalsLocked()
+	c.tracefLocked("settle complete (%d live)", c.countLiveLocked())
+}
+
+// PhaseEnd snapshots phase pi.
+func (c *controller) PhaseEnd(pi int) {
+	c.poll()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	row := &c.rows[pi]
+	row.Live = c.countLiveLocked()
+	row.CtlMsgs, row.CtlBytes, row.Net = c.totalsLocked()
+	c.tracefLocked("phase %d (%s) complete", pi, c.sched.Phases[pi].Name)
+}
+
+func (c *controller) countLiveLocked() int {
+	live := 0
+	for _, up := range c.alive {
+		if up {
+			live++
+		}
+	}
+	return live
+}
+
+// Apply executes one schedule op at its wall instant: the directive
+// compiler of the live backend.
+func (c *controller) Apply(op scenario.Op) {
+	c.eventsRun++
+	switch op.Kind {
+	case scenario.OpSpawn, scenario.OpRevive:
+		verb := "spawn"
+		if op.Kind == scenario.OpRevive {
+			verb = "revive"
+		}
+		c.mu.Lock()
+		up := c.alive[op.Node]
+		c.mu.Unlock()
+		if up {
+			c.tracef("%s node %d skipped (already up)", verb, op.Node)
+			return
+		}
+		if err := c.spawn(op.Node); err != nil {
+			c.err = err
+			return
+		}
+		c.tracef("%s node %d (%v, pid %d)", verb, op.Node, c.addrs[op.Node], c.agents[op.Node].proc.Process.Pid)
+	case scenario.OpKill:
+		c.mu.Lock()
+		up := c.alive[op.Node]
+		c.mu.Unlock()
+		if !up {
+			c.tracef("kill node %d skipped (already down)", op.Node)
+			return
+		}
+		c.kill(op.Node)
+		c.tracef("kill node %d (%v) [SIGKILL]", op.Node, c.addrs[op.Node])
+	case scenario.OpNodeDown, scenario.OpLinkDown:
+		c.mu.Lock()
+		c.down[op.Node] = true
+		c.mu.Unlock()
+		c.broadcastShape()
+		c.tracef("%s node %d", op.Kind, op.Node)
+	case scenario.OpNodeUp, scenario.OpLinkUp:
+		c.mu.Lock()
+		c.down[op.Node] = false
+		c.mu.Unlock()
+		c.broadcastShape()
+		c.tracef("%s node %d", op.Kind, op.Node)
+	case scenario.OpPartition:
+		c.mu.Lock()
+		c.partition = true
+		c.partitionA = op.SideA
+		c.mu.Unlock()
+		c.broadcastShape()
+		c.tracef("partition [0..%d) | [%d..%d)", op.SideA, op.SideA, len(c.addrs))
+	case scenario.OpHeal:
+		c.mu.Lock()
+		c.partition = false
+		c.mu.Unlock()
+		c.broadcastShape()
+		c.tracef("heal partition")
+	case scenario.OpDegrade:
+		c.mu.Lock()
+		// A degrade op replaces the node's degradation outright, exactly
+		// like the emulator's DegradeNodeAccess: factor <= 1 clears any
+		// earlier added delay.
+		c.degLoss[op.Node] = op.Loss
+		c.degDelay[op.Node] = 0
+		if op.LatencyFactor > 1 {
+			c.degDelay[op.Node] = time.Duration(float64(c.degradeBase) * (op.LatencyFactor - 1))
+		}
+		c.mu.Unlock()
+		c.broadcastShape()
+		c.tracef("degrade node %d (delay %v, loss %.2f)", op.Node, c.degDelay[op.Node], op.Loss)
+	case scenario.OpRestore:
+		c.mu.Lock()
+		c.degLoss[op.Node] = 0
+		c.degDelay[op.Node] = 0
+		c.mu.Unlock()
+		c.broadcastShape()
+		c.tracef("restore node %d", op.Node)
+	case scenario.OpLookup, scenario.OpMulticast:
+		c.applyWorkload(op)
+	}
+}
+
+func (c *controller) applyWorkload(op scenario.Op) {
+	kind := "lookup"
+	if op.Kind == scenario.OpMulticast {
+		kind = "multicast"
+	}
+	c.mu.Lock()
+	up := c.alive[op.Node]
+	if !up {
+		c.opsSkip[op.Phase]++
+		c.mu.Unlock()
+		c.tracef("%s #%d skipped (node %d down)", kind, op.ID, op.Node)
+		return
+	}
+	c.sendAt[op.ID] = time.Now()
+	c.sendPhase[op.ID] = op.Phase
+	c.opsSent[op.Phase]++
+	c.mu.Unlock()
+	c.send(op.Node, &Msg{Kind: KindOp, Op: &OpCmd{ID: op.ID, Kind: kind, Key: op.Key, Size: op.Size}})
+}
+
+// --- teardown and report -----------------------------------------------------
+
+// shutdown quits the fleet and releases everything.
+func (c *controller) shutdown() {
+	for i := range c.agents {
+		c.send(i, &Msg{Kind: KindQuit})
+	}
+	_ = c.ln.Close()
+	// Give agents a moment to exit on their own, then make sure.
+	time.Sleep(200 * time.Millisecond)
+	for i := range c.agents {
+		c.kill(i)
+	}
+}
+
+func (c *controller) tracef(format string, args ...any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tracefLocked(format, args...)
+}
+
+func (c *controller) tracefLocked(format string, args ...any) {
+	line := fmt.Sprintf("t=%10.3fs  %s", time.Since(c.start).Seconds()*c.cfg.Speed, fmt.Sprintf(format, args...))
+	c.trace = append(c.trace, line)
+	fmt.Fprintln(c.cfg.Out, line)
+}
+
+// report assembles the live run's structured report with the same shape
+// and accounting the emulated engine emits.
+func (c *controller) report() *scenario.Report {
+	c.poll()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, _, finalNet := c.totalsLocked()
+	rep := &scenario.Report{
+		Scenario:  c.s.Name,
+		Protocol:  c.protoName(),
+		Seed:      c.s.Seed,
+		Nodes:     c.s.Nodes,
+		Settle:    c.sched.Settle,
+		End:       c.sched.End,
+		Total:     c.sched.Total,
+		EventsRun: c.eventsRun,
+		Final:     finalNet,
+		Trace:     append([]string(nil), c.trace...),
+	}
+	rows := make([]scenario.PhaseTotals, len(c.rows))
+	for pi := range c.rows {
+		row := c.rows[pi]
+		row.Sent = c.opsSent[pi]
+		row.Skipped = c.opsSkip[pi]
+		row.Delivered = c.delivered[pi]
+		row.LatSum = c.latSum[pi]
+		row.Forwards = c.forwards[pi]
+		rows[pi] = row
+	}
+	rep.Phases = scenario.AssemblePhases(c.sched.Phases, rows, c.base)
+	return rep
+}

@@ -1,0 +1,139 @@
+package deploy
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"macedon/internal/scenario"
+)
+
+// TestConnRoundTrip frames messages over a real TCP pair.
+func TestConnRoundTrip(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	done := make(chan *Msg, 2)
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		conn := NewConn(c)
+		for {
+			m, err := conn.Recv()
+			if err != nil {
+				return
+			}
+			done <- m
+		}
+	}()
+	tc, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn := NewConn(tc)
+	defer conn.Close()
+	if err := conn.Send(&Msg{Kind: KindHello, Hello: &Hello{Node: 7, Pid: 1234}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.Send(&Msg{Kind: KindOp, Op: &OpCmd{ID: 42, Kind: "lookup", Key: 0xdeadbeef, Size: 64}}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		select {
+		case m := <-done:
+			switch m.Kind {
+			case KindHello:
+				if m.Hello == nil || m.Hello.Node != 7 {
+					t.Fatalf("hello mangled: %+v", m)
+				}
+			case KindOp:
+				if m.Op == nil || m.Op.ID != 42 || m.Op.Key != 0xdeadbeef {
+					t.Fatalf("op mangled: %+v", m.Op)
+				}
+			default:
+				t.Fatalf("unexpected kind %q", m.Kind)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("frame never arrived")
+		}
+	}
+}
+
+func reportWith(sent, delivered, forwards int) *scenario.Report {
+	return &scenario.Report{
+		Scenario: "cmp", Protocol: "genchord",
+		Phases: []scenario.PhaseReport{
+			{OpsSent: sent, OpsDelivered: delivered, OpsForwarded: forwards, CtlMsgs: 1000},
+		},
+	}
+}
+
+// TestCompareWithinTolerance: identical metrics pass.
+func TestCompareWithinTolerance(t *testing.T) {
+	sim := reportWith(100, 100, 150) // 2.5 hops
+	live := reportWith(100, 99, 152) // 2.535 hops, Δ delivery 1 point
+	cmp := Compare(sim, live, Tolerances{})
+	if !cmp.Pass {
+		t.Fatalf("expected pass: %s", cmp)
+	}
+	if cmp.SimHops != 2.5 {
+		t.Fatalf("sim hops = %v", cmp.SimHops)
+	}
+}
+
+// TestCompareDeliveryBound: a 3-point delivery gap fails the default
+// 2-point bound and is named in the failure list.
+func TestCompareDeliveryBound(t *testing.T) {
+	cmp := Compare(reportWith(100, 100, 150), reportWith(100, 97, 150), Tolerances{})
+	if cmp.Pass {
+		t.Fatalf("expected delivery failure: %s", cmp)
+	}
+	if len(cmp.Failures) != 1 {
+		t.Fatalf("failures = %v", cmp.Failures)
+	}
+}
+
+// TestCompareHopsBound: a 20% hop gap fails the default 15% bound.
+func TestCompareHopsBound(t *testing.T) {
+	sim := reportWith(100, 100, 100)  // 2.0 hops
+	live := reportWith(100, 100, 140) // 2.4 hops: +20%
+	cmp := Compare(sim, live, Tolerances{})
+	if cmp.Pass {
+		t.Fatalf("expected hops failure: %s", cmp)
+	}
+}
+
+// TestCompareCustomTolerance: widened bounds accept the same gap.
+func TestCompareCustomTolerance(t *testing.T) {
+	sim := reportWith(100, 100, 100)
+	live := reportWith(100, 100, 140)
+	cmp := Compare(sim, live, Tolerances{HopsFrac: 0.25})
+	if !cmp.Pass {
+		t.Fatalf("expected pass at 25%%: %s", cmp)
+	}
+}
+
+// TestCompareFanOutRelative: multicast delivery rates are fan-out factors
+// (hundreds of percent), so the delivery bound applies relatively there —
+// a 5-point gap at ~995% is half a percent and passes; the same relative
+// gap at 3% would fail.
+func TestCompareFanOutRelative(t *testing.T) {
+	sim := reportWith(115, 1144, 1144)  // 994.8% fan-out
+	live := reportWith(115, 1138, 1138) // 989.6%
+	cmp := Compare(sim, live, Tolerances{})
+	if !cmp.Pass {
+		t.Fatalf("relative fan-out gap of 0.5%% should pass: %s", cmp)
+	}
+	if cmp.DeliveryUnit != "% relative" {
+		t.Fatalf("unit = %q", cmp.DeliveryUnit)
+	}
+	// A genuinely large relative gap still fails.
+	bad := Compare(reportWith(100, 900, 900), reportWith(100, 800, 800), Tolerances{})
+	if bad.Pass {
+		t.Fatalf("11%% relative fan-out gap should fail: %s", bad)
+	}
+}

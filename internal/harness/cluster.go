@@ -78,23 +78,11 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	g := cfg.Graph
 	addrs := cfg.Addrs
 	if g == nil {
-		routers := cfg.Routers
-		if routers <= 0 {
-			routers = 4 * cfg.Nodes
-			if routers < 100 {
-				routers = 100
-			}
-		}
 		var err error
-		g, err = topology.INET(topology.DefaultINET(routers, cfg.Seed))
+		g, addrs, err = buildGraph(cfg.Nodes, cfg.Routers, cfg.Seed, cfg.Access)
 		if err != nil {
 			return nil, err
 		}
-		access := cfg.Access
-		if access.Bandwidth == 0 {
-			access = topology.DefaultAccess
-		}
-		addrs = topology.AttachClients(g, cfg.Nodes, 1, access, cfg.Seed+1)
 	} else if len(addrs) == 0 {
 		addrs = g.Clients()
 	}
@@ -108,6 +96,37 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		Nodes:  make(map[overlay.Address]*core.Node),
 		Routes: net.Routes(),
 	}, nil
+}
+
+// buildGraph generates the INET topology and attaches clients exactly the
+// way NewCluster always has: the address assignment is a pure function of
+// (nodes, routers, seed).
+func buildGraph(nodes, routers int, seed int64, access topology.AccessLink) (*topology.Graph, []overlay.Address, error) {
+	if routers <= 0 {
+		routers = 4 * nodes
+		if routers < 100 {
+			routers = 100
+		}
+	}
+	g, err := topology.INET(topology.DefaultINET(routers, seed))
+	if err != nil {
+		return nil, nil, err
+	}
+	if access.Bandwidth == 0 {
+		access = topology.DefaultAccess
+	}
+	addrs := topology.AttachClients(g, nodes, 1, access, seed+1)
+	return g, addrs, nil
+}
+
+// TopologyAddrs returns the client addresses the emulated cluster for the
+// same (nodes, routers, seed) assigns. `macedon deploy` gives live node i
+// the same overlay address — and therefore the same hash key — as emulated
+// node i, so a live run and a sim run of one scenario route the identical
+// key space (the live-vs-sim conformance harness depends on it).
+func TopologyAddrs(nodes, routers int, seed int64) ([]overlay.Address, error) {
+	_, addrs, err := buildGraph(nodes, routers, seed, topology.AccessLink{})
+	return addrs, err
 }
 
 // Bootstrap returns the conventional bootstrap node: the first client.

@@ -7,6 +7,7 @@ import (
 	"macedon/internal/core"
 	"macedon/internal/overlay"
 	"macedon/internal/overlays/ammo"
+	"macedon/internal/overlays/bullet"
 	"macedon/internal/overlays/chord"
 	"macedon/internal/overlays/genchord"
 	"macedon/internal/overlays/genpastry"
@@ -21,9 +22,9 @@ import (
 )
 
 // ScenarioStack resolves a scenario protocol name onto a node stack:
-// chord, pastry, randtree, scribe (pastry+scribe), nice, overcast, ammo, or
-// the machine-generated genchord, genpastry, and genrandtree agents that
-// `macedon gen` emits from specs/*.mac.
+// chord, pastry, randtree, scribe (pastry+scribe), nice, overcast, ammo,
+// bullet (randtree+bullet), or the machine-generated genchord, genpastry,
+// and genrandtree agents that `macedon gen` emits from specs/*.mac.
 func ScenarioStack(proto string) ([]core.Factory, error) {
 	switch proto {
 	case "", "chord":
@@ -40,6 +41,18 @@ func ScenarioStack(proto string) ([]core.Factory, error) {
 		return []core.Factory{overcast.New(overcast.Params{})}, nil
 	case "ammo":
 		return []core.Factory{ammo.New(ammo.Params{})}, nil
+	case "bullet":
+		// Bullet layers over RandTree (the paper's Figure 2 stack): the tree
+		// stripes blocks, the RanSub mesh recovers the rest. Snappier epoch
+		// and exchange cadences than the library defaults keep mesh recovery
+		// inside a scenario phase's horizon.
+		return []core.Factory{
+			randtree.New(randtree.Params{}),
+			bullet.New(bullet.Params{
+				EpochPeriod: 3 * time.Second,
+				HavePeriod:  time.Second,
+			}),
+		}, nil
 	case "genchord":
 		return []core.Factory{genchord.New()}, nil
 	case "genpastry":
@@ -47,7 +60,7 @@ func ScenarioStack(proto string) ([]core.Factory, error) {
 	case "genrandtree":
 		return []core.Factory{genrandtree.New()}, nil
 	}
-	return nil, fmt.Errorf("harness: unknown scenario protocol %q (have chord, pastry, randtree, scribe, nice, overcast, ammo, genchord, genpastry, genrandtree)", proto)
+	return nil, fmt.Errorf("harness: unknown scenario protocol %q (have chord, pastry, randtree, scribe, nice, overcast, ammo, bullet, genchord, genpastry, genrandtree)", proto)
 }
 
 // RunScenario compiles a declarative scenario and executes it against an
@@ -101,9 +114,12 @@ type scenarioEngine struct {
 	// per-shard sums merge deterministically (addition commutes).
 	delivered [][]int
 	latSum    [][]time.Duration
+	forwards  [][]int        // forward() upcalls per shard and op phase
 	phaseNet  []simnet.Stats // stats snapshot at each phase end
 	phaseLive []int
-	baseNet   simnet.Stats // stats snapshot when phase 0 starts
+	phaseCtl  []core.Counters // per-node counters summed at each phase end
+	baseNet   simnet.Stats    // stats snapshot when phase 0 starts
+	baseCtl   core.Counters   // counter sum when phase 0 starts
 
 	eventsRun int
 	trace     []string
@@ -150,8 +166,10 @@ func newScenarioEngine(s *scenario.Scenario, sched *scenario.Schedule, shards in
 		opsSkip:   make([]int, len(sched.Phases)),
 		delivered: makeGrid[int](shards, len(sched.Phases)),
 		latSum:    makeGrid[time.Duration](shards, len(sched.Phases)),
+		forwards:  makeGrid[int](shards, len(sched.Phases)),
 		phaseNet:  make([]simnet.Stats, len(sched.Phases)),
 		phaseLive: make([]int, len(sched.Phases)),
+		phaseCtl:  make([]core.Counters, len(sched.Phases)),
 	}
 	if s.NeedsGroup() {
 		eng.group = overlay.HashString(s.GroupName())
@@ -186,7 +204,10 @@ func (e *scenarioEngine) scheduleSetup() {
 		e.scheduleFrom(ops[i], base)
 		i++
 	}
-	e.c.Sched.After(e.sched.Settle-base, func() { e.baseNet = e.c.Net.Stats() })
+	e.c.Sched.After(e.sched.Settle-base, func() {
+		e.baseNet = e.c.Net.Stats()
+		e.baseCtl = e.sumCounters()
+	})
 }
 
 // schedulePhases schedules the ops and end-of-phase snapshots of phases
@@ -226,9 +247,12 @@ type engineState struct {
 	opsSkip   []int
 	delivered [][]int
 	latSum    [][]time.Duration
+	forwards  [][]int
 	phaseNet  []simnet.Stats
 	phaseLive []int
+	phaseCtl  []core.Counters
 	baseNet   simnet.Stats
+	baseCtl   core.Counters
 	eventsRun int
 	trace     []string
 }
@@ -243,9 +267,12 @@ func (e *scenarioEngine) saveState() *engineState {
 		opsSkip:   append([]int(nil), e.opsSkip...),
 		delivered: copyGrid(e.delivered),
 		latSum:    copyGrid(e.latSum),
+		forwards:  copyGrid(e.forwards),
 		phaseNet:  append([]simnet.Stats(nil), e.phaseNet...),
 		phaseLive: append([]int(nil), e.phaseLive...),
+		phaseCtl:  append([]core.Counters(nil), e.phaseCtl...),
 		baseNet:   e.baseNet,
+		baseCtl:   e.baseCtl,
 		eventsRun: e.eventsRun,
 		trace:     append([]string(nil), e.trace...),
 	}
@@ -279,9 +306,12 @@ func (e *scenarioEngine) branch(s *scenario.Scenario, sched *scenario.Schedule, 
 	e.opsSkip = resizeInts(st.opsSkip, np)
 	e.delivered = resizeGrid(st.delivered, np)
 	e.latSum = resizeGrid(st.latSum, np)
+	e.forwards = resizeGrid(st.forwards, np)
 	e.phaseNet = resizeSlice(st.phaseNet, np)
 	e.phaseLive = resizeInts(st.phaseLive, np)
+	e.phaseCtl = resizeSlice(st.phaseCtl, np)
 	e.baseNet = st.baseNet
+	e.baseCtl = st.baseCtl
 	e.eventsRun = st.eventsRun
 	e.trace = append(e.trace[:0:0], st.trace...)
 }
@@ -324,31 +354,45 @@ func (e *scenarioEngine) report() *scenario.Report {
 		Final:     e.c.Net.Stats(),
 		Trace:     append([]string(nil), e.trace...),
 	}
-	prev := e.baseNet
-	for pi, cp := range e.sched.Phases {
-		del := 0
-		var lat time.Duration
+	rows := make([]scenario.PhaseTotals, len(e.sched.Phases))
+	for pi := range e.sched.Phases {
+		row := scenario.PhaseTotals{
+			Live:     e.phaseLive[pi],
+			Sent:     e.opsSent[pi],
+			Skipped:  e.opsSkip[pi],
+			Net:      e.phaseNet[pi],
+			CtlMsgs:  e.phaseCtl[pi].MsgsSent,
+			CtlBytes: e.phaseCtl[pi].BytesSent,
+		}
 		for sh := range e.delivered {
-			del += e.delivered[sh][pi]
-			lat += e.latSum[sh][pi]
+			row.Delivered += e.delivered[sh][pi]
+			row.LatSum += e.latSum[sh][pi]
+			row.Forwards += e.forwards[sh][pi]
 		}
-		pr := scenario.PhaseReport{
-			Name:         cp.Name,
-			Start:        cp.Start,
-			End:          cp.End,
-			LiveNodes:    e.phaseLive[pi],
-			OpsSent:      e.opsSent[pi],
-			OpsSkipped:   e.opsSkip[pi],
-			OpsDelivered: del,
-			Net:          scenario.SubStats(e.phaseNet[pi], prev),
-		}
-		if pr.OpsDelivered > 0 {
-			pr.MeanLatency = lat / time.Duration(pr.OpsDelivered)
-		}
-		prev = e.phaseNet[pi]
-		rep.Phases = append(rep.Phases, pr)
+		rows[pi] = row
 	}
+	rep.Phases = scenario.AssemblePhases(e.sched.Phases, rows, scenario.PhaseTotals{
+		Net:      e.baseNet,
+		CtlMsgs:  e.baseCtl.MsgsSent,
+		CtlBytes: e.baseCtl.BytesSent,
+	})
 	return rep
+}
+
+// sumCounters totals the engine counters over the currently live nodes:
+// the protocol-level control-traffic overhead snapshot taken at phase
+// boundaries (all shards are parked there, so the instance reads race
+// nothing).
+func (e *scenarioEngine) sumCounters() core.Counters {
+	var sum core.Counters
+	for _, n := range e.c.Nodes {
+		c := n.Counters()
+		sum.MsgsSent += c.MsgsSent
+		sum.BytesSent += c.BytesSent
+		sum.MsgsRecv += c.MsgsRecv
+		sum.BytesRecv += c.BytesRecv
+	}
+	return sum
 }
 
 func (e *scenarioEngine) protoName() string {
@@ -360,6 +404,7 @@ func (e *scenarioEngine) protoName() string {
 
 func (e *scenarioEngine) snapshot(pi int) {
 	e.phaseNet[pi] = e.c.Net.Stats()
+	e.phaseCtl[pi] = e.sumCounters()
 	live := 0
 	for _, up := range e.alive {
 		if up {
@@ -501,6 +546,10 @@ func (e *scenarioEngine) attach(i int) {
 		Deliver: func(payload []byte, typ int32, src overlay.Address) {
 			e.onDeliver(int(typ), shard, sub)
 		},
+		Forward: func(payload []byte, typ int32, next overlay.Address, nextKey overlay.Key) bool {
+			e.onForward(int(typ), shard)
+			return true
+		},
 	})
 	if e.needsGroup {
 		if i == 0 {
@@ -522,4 +571,13 @@ func (e *scenarioEngine) onDeliver(opID, shard int, sub *simnet.NodeSubstrate) {
 	ph := e.sendPhase[opID]
 	e.delivered[shard][ph]++
 	e.latSum[shard][ph] += sub.Elapsed() - at
+}
+
+// onForward runs on the forwarding node's shard: one more overlay hop for
+// the op's payload, attributed to the phase that issued it.
+func (e *scenarioEngine) onForward(opID, shard int) {
+	if _, ok := e.sendTime[opID]; !ok {
+		return
+	}
+	e.forwards[shard][e.sendPhase[opID]]++
 }

@@ -1,6 +1,7 @@
 package livenet_test
 
 import (
+	"strings"
 	"testing"
 	"time"
 
@@ -8,6 +9,7 @@ import (
 	"macedon/internal/livenet"
 	"macedon/internal/overlay"
 	"macedon/internal/overlays/chord"
+	"macedon/internal/substrate"
 )
 
 // TestLiveChordRing runs real Chord nodes over real UDP sockets on
@@ -81,5 +83,273 @@ func TestLiveChordRing(t *testing.T) {
 	case <-done:
 	case <-time.After(10 * time.Second):
 		t.Fatal("routed payload never delivered over live UDP")
+	}
+}
+
+// pair binds two endpoints on the given network and wires b's receive
+// callback into a channel.
+func pair(t *testing.T, net *livenet.Network, a, b overlay.Address) (substrate.Endpoint, substrate.Endpoint, chan []byte) {
+	t.Helper()
+	epA, err := net.Endpoint(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	epB, err := net.Endpoint(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan []byte, 256)
+	epB.SetRecv(func(src overlay.Address, payload []byte) {
+		if src != a {
+			t.Errorf("src = %v, want %v", src, a)
+		}
+		got <- payload
+	})
+	return epA, epB, got
+}
+
+func recvCount(got chan []byte, wait time.Duration) int {
+	deadline := time.After(wait)
+	n := 0
+	for {
+		select {
+		case <-got:
+			n++
+		case <-deadline:
+			return n
+		}
+	}
+}
+
+// TestShapingDrop: a Drop rule blackholes traffic toward the peer; clearing
+// it restores delivery.
+func TestShapingDrop(t *testing.T) {
+	net := livenet.New("127.0.0.1", 39100)
+	defer net.Close()
+	epA, _, got := pair(t, net, 1, 2)
+
+	net.SetPeerShaping(2, livenet.Shaping{Drop: true})
+	for i := 0; i < 5; i++ {
+		if err := epA.Send(2, []byte("dropped")); err != nil {
+			t.Fatalf("shaped send must not error: %v", err)
+		}
+	}
+	if n := recvCount(got, 300*time.Millisecond); n != 0 {
+		t.Fatalf("partitioned peer received %d datagrams", n)
+	}
+	if s := net.Stats(); s.ShapeDrops != 5 {
+		t.Fatalf("ShapeDrops = %d, want 5", s.ShapeDrops)
+	}
+
+	net.SetPeerShaping(2, livenet.Shaping{}) // zero rule removes
+	if err := epA.Send(2, []byte("healed")); err != nil {
+		t.Fatal(err)
+	}
+	if n := recvCount(got, 2*time.Second); n != 1 {
+		t.Fatalf("after heal received %d datagrams, want 1", n)
+	}
+}
+
+// TestShapingLoss: a 100% loss rule behaves like drop but counts separately;
+// a 0-loss rule passes everything.
+func TestShapingLoss(t *testing.T) {
+	net := livenet.New("127.0.0.1", 39110)
+	defer net.Close()
+	epA, _, got := pair(t, net, 1, 2)
+
+	net.SetPeerShaping(2, livenet.Shaping{Loss: 1.0})
+	for i := 0; i < 10; i++ {
+		if err := epA.Send(2, []byte("lost")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := recvCount(got, 300*time.Millisecond); n != 0 {
+		t.Fatalf("full loss delivered %d datagrams", n)
+	}
+	if s := net.Stats(); s.LossDrops != 10 {
+		t.Fatalf("LossDrops = %d, want 10", s.LossDrops)
+	}
+}
+
+// TestShapingDelay: added latency arrives, later than the rule's delay.
+func TestShapingDelay(t *testing.T) {
+	net := livenet.New("127.0.0.1", 39120)
+	defer net.Close()
+	epA, _, got := pair(t, net, 1, 2)
+
+	const delay = 300 * time.Millisecond
+	net.SetPeerShaping(2, livenet.Shaping{Delay: delay})
+	start := time.Now()
+	if err := epA.Send(2, []byte("slow")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-got:
+		if el := time.Since(start); el < delay {
+			t.Fatalf("delayed datagram arrived after %v, want >= %v", el, delay)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("delayed datagram never arrived")
+	}
+}
+
+// TestDefaultShaping: a default Drop rule silences every peer without an
+// explicit rule — the live node_down.
+func TestDefaultShaping(t *testing.T) {
+	net := livenet.New("127.0.0.1", 39130)
+	defer net.Close()
+	epA, _, got2 := pair(t, net, 1, 2)
+	ep3, err := net.Endpoint(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got3 := make(chan []byte, 16)
+	ep3.SetRecv(func(src overlay.Address, payload []byte) { got3 <- payload })
+
+	net.SetDefaultShaping(&livenet.Shaping{Drop: true})
+	net.SetPeerShaping(3, livenet.Shaping{Delay: time.Millisecond}) // explicit rule wins over default
+	_ = epA.Send(2, []byte("x"))
+	_ = epA.Send(3, []byte("y"))
+	if n := recvCount(got2, 300*time.Millisecond); n != 0 {
+		t.Fatalf("default drop delivered %d", n)
+	}
+	if n := recvCount(got3, 2*time.Second); n != 1 {
+		t.Fatalf("explicit rule peer received %d, want 1", n)
+	}
+	net.SetDefaultShaping(nil)
+	_ = epA.Send(2, []byte("x"))
+	if n := recvCount(got2, 2*time.Second); n != 1 {
+		t.Fatalf("after clearing default received %d, want 1", n)
+	}
+}
+
+// TestMTUEnforcement: oversize datagrams are rejected before hitting the
+// socket; MTU-sized ones pass.
+func TestMTUEnforcement(t *testing.T) {
+	net := livenet.New("127.0.0.1", 39140)
+	defer net.Close()
+	epA, _, got := pair(t, net, 1, 2)
+
+	if err := epA.Send(2, make([]byte, livenet.MTU+1)); err == nil {
+		t.Fatal("oversize datagram accepted")
+	} else if !strings.Contains(err.Error(), "MTU") {
+		t.Fatalf("oversize error %q does not mention MTU", err)
+	}
+	if err := epA.Send(2, make([]byte, livenet.MTU)); err != nil {
+		t.Fatalf("MTU-sized datagram rejected: %v", err)
+	}
+	select {
+	case p := <-got:
+		if len(p) != livenet.MTU {
+			t.Fatalf("received %d bytes, want %d", len(p), livenet.MTU)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("MTU-sized datagram never arrived")
+	}
+}
+
+// TestDoubleCloseIdempotent: closing the network (or an endpoint) twice is
+// safe, and sends on closed endpoints fail instead of panicking.
+func TestDoubleCloseIdempotent(t *testing.T) {
+	net := livenet.New("127.0.0.1", 39150)
+	ep, err := net.Endpoint(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.CloseEndpoint(1)
+	net.CloseEndpoint(1) // second close: no-op
+	if err := ep.Send(2, []byte("x")); err == nil {
+		t.Fatal("send on closed endpoint succeeded")
+	}
+	net.Close()
+	net.Close() // idempotent
+	if _, err := net.Endpoint(3); err == nil {
+		t.Fatal("endpoint on closed network succeeded")
+	}
+}
+
+// TestRebindAfterClose: an address whose endpoint was closed re-binds a
+// fresh socket — the crash/restart path a deploy agent takes.
+func TestRebindAfterClose(t *testing.T) {
+	net := livenet.New("127.0.0.1", 39160)
+	defer net.Close()
+	ep1, err := net.Endpoint(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep1.SetRecv(func(overlay.Address, []byte) {})
+	net.CloseEndpoint(1)
+
+	// Same address, same port: must bind again cleanly.
+	ep1b, err := net.Endpoint(1)
+	if err != nil {
+		t.Fatalf("rebind failed: %v", err)
+	}
+	got := make(chan []byte, 1)
+	ep1b.SetRecv(func(src overlay.Address, payload []byte) { got <- payload }) // fresh endpoint: recv settable again
+	ep2, err := net.Endpoint(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ep2.Send(1, []byte("back")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-got:
+	case <-time.After(5 * time.Second):
+		t.Fatal("rebound endpoint never received")
+	}
+
+	// A second network on the same port range also binds once this one
+	// releases the address — the cross-process restart.
+	net.CloseEndpoint(1)
+	net2 := livenet.New("127.0.0.1", 39160)
+	defer net2.Close()
+	if _, err := net2.Endpoint(1); err != nil {
+		t.Fatalf("cross-network rebind failed: %v", err)
+	}
+}
+
+// TestAddressTable: WithTable routes listed addresses and falls back to the
+// port arithmetic for the rest.
+func TestAddressTable(t *testing.T) {
+	// Address 7001 lives at a port unrelated to basePort+7001; address 1
+	// falls back to basePort+1.
+	table := map[overlay.Address]string{7001: "127.0.0.1:39179"}
+	net := livenet.New("127.0.0.1", 39170, livenet.WithTable(table))
+	defer net.Close()
+	epA, err := net.Endpoint(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	epB, err := net.Endpoint(7001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan []byte, 1)
+	epB.SetRecv(func(src overlay.Address, payload []byte) { got <- payload })
+	if err := epA.Send(7001, []byte("via table")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-got:
+	case <-time.After(5 * time.Second):
+		t.Fatal("table-resolved datagram never arrived")
+	}
+}
+
+// TestSendDeadline: a bounded write deadline still delivers on a healthy
+// socket (the deadline path arms before every write).
+func TestSendDeadline(t *testing.T) {
+	net := livenet.New("127.0.0.1", 39180, livenet.WithSendDeadline(2*time.Second))
+	defer net.Close()
+	epA, _, got := pair(t, net, 1, 2)
+	if err := epA.Send(2, []byte("bounded")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-got:
+	case <-time.After(5 * time.Second):
+		t.Fatal("datagram with send deadline never arrived")
 	}
 }

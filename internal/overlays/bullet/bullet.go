@@ -9,6 +9,7 @@
 package bullet
 
 import (
+	"sort"
 	"time"
 
 	"macedon/internal/bloom"
@@ -66,6 +67,24 @@ type storedBlock struct {
 	payload []byte
 }
 
+// blockKey identifies a block across source restarts: a revived source
+// resets seq to zero under a fresh incarnation stamp, and the two streams
+// must not collide in dedup or summary state.
+type blockKey struct {
+	inc uint64
+	seq uint32
+}
+
+// bloomKey mixes the incarnation into the summary-filter key so tickets
+// advertise (incarnation, seq) pairs, not bare seqs.
+func (k blockKey) bloomKey() uint64 {
+	return k.inc ^ (uint64(k.seq)+1)*0x9E3779B97F4A7C15
+}
+
+// maxTrackedIncs bounds the per-incarnation horizon map: only the most
+// recent restarts matter for mesh recovery.
+const maxTrackedIncs = 3
+
 // Protocol is one node's Bullet instance.
 type Protocol struct {
 	p Params
@@ -77,11 +96,14 @@ type Protocol struct {
 	children []overlay.Address
 	parent   overlay.Address
 
-	blocks  map[uint32]storedBlock
-	summary *bloom.Filter
-	nextSeq uint32
+	inc        uint64 // incarnation stamp carried on our own stream
+	blocks     map[blockKey]storedBlock
+	incHorizon map[uint64]uint32 // incarnation → highest seq held
+	summary    *bloom.Filter
+	nextSeq    uint32
 
 	peers      map[overlay.Address]bool
+	peerSeen   map[overlay.Address]time.Time
 	peerHaves  map[overlay.Address]*bloom.Filter
 	candidates []candidate
 
@@ -149,9 +171,15 @@ func (b *Protocol) Define(d *core.Def) {
 func (b *Protocol) apiInit(ctx *core.Context, call *core.APICall) {
 	b.self = ctx.Self()
 	b.root = call.Bootstrap == b.self || call.Bootstrap == overlay.NilAddress
-	b.blocks = make(map[uint32]storedBlock)
+	// Incarnation stamp: the clock reading at init, strictly greater after
+	// every restart, so a revived source's restarted seq counter can never
+	// collide with its previous life (the NICE/Overcast/AMMO fix).
+	b.inc = uint64(ctx.Now().UnixNano())
+	b.blocks = make(map[blockKey]storedBlock)
+	b.incHorizon = make(map[uint64]uint32)
 	b.summary = bloom.New(b.p.FilterBits, 4)
 	b.peers = make(map[overlay.Address]bool)
+	b.peerSeen = make(map[overlay.Address]time.Time)
 	b.peerHaves = make(map[overlay.Address]*bloom.Filter)
 	ctx.StateChange("running")
 	ctx.TimerSched("epoch", b.jitter(ctx, b.p.EpochPeriod))
@@ -181,19 +209,19 @@ func (b *Protocol) apiNotify(ctx *core.Context, call *core.APICall) {
 func (b *Protocol) apiMulticast(ctx *core.Context, call *core.APICall) {
 	seq := b.nextSeq
 	b.nextSeq++
-	b.store(ctx, seq, call.PayloadType, call.Payload, true, false)
+	b.store(ctx, blockKey{inc: b.inc, seq: seq}, call.PayloadType, call.Payload, true, false)
 	if len(b.children) == 0 {
 		return
 	}
 	child := b.children[int(seq)%len(b.children)]
-	m := &tblock{Seq: seq, Typ: call.PayloadType, Payload: call.Payload}
+	m := &tblock{Inc: b.inc, Seq: seq, Typ: call.PayloadType, Payload: call.Payload}
 	_ = ctx.Send(child, m, call.Priority)
 }
 
 // recvTblock: a block arrived down the tree; forward to all children.
 func (b *Protocol) recvTblock(ctx *core.Context, ev *core.MsgEvent) {
 	m := ev.Msg.(*tblock)
-	if !b.store(ctx, m.Seq, m.Typ, m.Payload, true, true) {
+	if !b.store(ctx, blockKey{inc: m.Inc, seq: m.Seq}, m.Typ, m.Payload, true, true) {
 		return
 	}
 	for _, kid := range b.children {
@@ -205,12 +233,16 @@ func (b *Protocol) recvTblock(ctx *core.Context, ev *core.MsgEvent) {
 
 // store records a block once, delivering it upward. It reports whether the
 // block was new.
-func (b *Protocol) store(ctx *core.Context, seq uint32, typ int32, payload []byte, deliver, fromTree bool) bool {
-	if _, dup := b.blocks[seq]; dup {
+func (b *Protocol) store(ctx *core.Context, k blockKey, typ int32, payload []byte, deliver, fromTree bool) bool {
+	if _, dup := b.blocks[k]; dup {
 		return false
 	}
-	b.blocks[seq] = storedBlock{typ: typ, payload: append([]byte(nil), payload...)}
-	b.summary.Add(uint64(seq))
+	b.blocks[k] = storedBlock{typ: typ, payload: append([]byte(nil), payload...)}
+	b.summary.Add(k.bloomKey())
+	if hi, ok := b.incHorizon[k.inc]; !ok || k.seq > hi {
+		b.incHorizon[k.inc] = k.seq
+		b.pruneIncs()
+	}
 	if fromTree {
 		b.fromTree++
 	}
@@ -218,6 +250,21 @@ func (b *Protocol) store(ctx *core.Context, seq uint32, typ int32, payload []byt
 		ctx.Deliver(payload, typ, b.self)
 	}
 	return true
+}
+
+// pruneIncs keeps only the most recent incarnations' horizons: mesh
+// recovery chases live streams, not ancient ones.
+func (b *Protocol) pruneIncs() {
+	for len(b.incHorizon) > maxTrackedIncs {
+		lowest := uint64(0)
+		first := true
+		for inc := range b.incHorizon {
+			if first || inc < lowest {
+				lowest, first = inc, false
+			}
+		}
+		delete(b.incHorizon, lowest)
+	}
 }
 
 // --- RanSub epochs -------------------------------------------------------------
@@ -315,6 +362,7 @@ func (b *Protocol) recvPeerReq(ctx *core.Context, ev *core.MsgEvent) {
 	accept := len(b.peers) < 2*b.p.MaxPeers // accept more than we court
 	if accept {
 		b.peers[ev.From] = true
+		b.peerSeen[ev.From] = ctx.Now()
 	}
 	_ = ctx.Send(ev.From, &peerResp{Accept: accept}, overlay.PriorityDefault)
 }
@@ -322,12 +370,14 @@ func (b *Protocol) recvPeerReq(ctx *core.Context, ev *core.MsgEvent) {
 func (b *Protocol) recvPeerResp(ctx *core.Context, ev *core.MsgEvent) {
 	if ev.Msg.(*peerResp).Accept && len(b.peers) < 2*b.p.MaxPeers {
 		b.peers[ev.From] = true
+		b.peerSeen[ev.From] = ctx.Now()
 	}
 }
 
 // --- mesh recovery ---------------------------------------------------------------
 
 func (b *Protocol) onHaves(ctx *core.Context) {
+	b.evictDeadPeers(ctx)
 	if len(b.peers) == 0 {
 		return
 	}
@@ -335,60 +385,122 @@ func (b *Protocol) onHaves(ctx *core.Context) {
 	if err != nil {
 		return
 	}
-	for a := range b.peers {
-		_ = ctx.Send(a, &have{Summary: enc}, overlay.PriorityDefault)
+	m := &have{Summary: enc, Incs: b.knownIncs()}
+	for _, a := range b.sortedPeers() {
+		_ = ctx.Send(a, m, overlay.PriorityDefault)
 	}
 }
 
-// recvHave: request blocks the peer has and we lack.
+// sortedPeers lists the mesh peers in address order: sends that fan out
+// over the peer set must happen in a deterministic order or the engine's
+// same-seed → identical-trace contract breaks.
+func (b *Protocol) sortedPeers() []overlay.Address {
+	out := make([]overlay.Address, 0, len(b.peers))
+	for a := range b.peers {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// knownIncs lists the tracked incarnations newest-first (stamps are
+// init-clock readings, so higher = more recent). The order is
+// deterministic, which keeps mesh request traffic identical across runs
+// of one scenario and seed.
+func (b *Protocol) knownIncs() []uint64 {
+	incs := make([]uint64, 0, len(b.incHorizon))
+	for inc := range b.incHorizon {
+		incs = append(incs, inc)
+	}
+	sort.Slice(incs, func(i, j int) bool { return incs[i] > incs[j] })
+	return incs
+}
+
+// evictDeadPeers drops mesh peers that have gone silent for several
+// exchange periods. Without eviction, peers that died during churn clog
+// the degree cap forever and mesh recovery wedges — the join-retry class
+// of the churn audits, in mesh form.
+func (b *Protocol) evictDeadPeers(ctx *core.Context) {
+	cutoff := ctx.Now().Add(-4 * b.p.HavePeriod)
+	for _, a := range b.sortedPeers() {
+		if seen, ok := b.peerSeen[a]; ok && seen.After(cutoff) {
+			continue
+		}
+		if _, ok := b.peerSeen[a]; !ok {
+			// Never heard: start the grace period now.
+			b.peerSeen[a] = ctx.Now()
+			continue
+		}
+		delete(b.peers, a)
+		delete(b.peerSeen, a)
+		delete(b.peerHaves, a)
+	}
+}
+
+// recvHave: request blocks the peer has and we lack, incarnation by
+// incarnation, newest stream first. The scan covers the peer's
+// advertised incarnations too, so a node holding zero blocks of a
+// stream (a long-detached orphan recovering mesh-only) can still
+// bootstrap into it.
 func (b *Protocol) recvHave(ctx *core.Context, ev *core.MsgEvent) {
 	m := ev.Msg.(*have)
+	b.peerSeen[ev.From] = ctx.Now()
 	var f bloom.Filter
 	if err := f.UnmarshalBinary(m.Summary); err != nil {
 		return
 	}
 	b.peerHaves[ev.From] = &f
-	var want []uint32
-	for seq := uint32(0); seq < b.nextSeqHorizon(); seq++ {
-		if _, got := b.blocks[seq]; got {
-			continue
+	// Horizon per incarnation: our own high-water mark plus a window, or
+	// a bare window for incarnations we only know from the advert.
+	horizon := make(map[uint64]uint32, len(b.incHorizon)+len(m.Incs))
+	for inc, hi := range b.incHorizon {
+		horizon[inc] = hi + 64
+	}
+	for _, inc := range m.Incs {
+		if _, ok := horizon[inc]; !ok {
+			horizon[inc] = 64
 		}
-		if f.Contains(uint64(seq)) {
-			want = append(want, seq)
-			if len(want) >= b.p.RequestBatch {
-				break
+	}
+	incs := make([]uint64, 0, len(horizon))
+	for inc := range horizon {
+		incs = append(incs, inc)
+	}
+	sort.Slice(incs, func(i, j int) bool { return incs[i] > incs[j] })
+	budget := b.p.RequestBatch
+	for _, inc := range incs {
+		if budget <= 0 {
+			break
+		}
+		var want []uint32
+		for seq := uint32(0); seq < horizon[inc] && budget > 0; seq++ {
+			k := blockKey{inc: inc, seq: seq}
+			if _, got := b.blocks[k]; got {
+				continue
+			}
+			if f.Contains(k.bloomKey()) {
+				want = append(want, seq)
+				budget--
 			}
 		}
-	}
-	if len(want) > 0 {
-		_ = ctx.Send(ev.From, &blockReq{Seqs: want}, overlay.PriorityDefault)
-	}
-}
-
-// nextSeqHorizon estimates the stream head: the highest block we hold + a
-// window (mesh peers may be ahead of us).
-func (b *Protocol) nextSeqHorizon() uint32 {
-	var hi uint32
-	for s := range b.blocks {
-		if s > hi {
-			hi = s
+		if len(want) > 0 {
+			_ = ctx.Send(ev.From, &blockReq{Inc: inc, Seqs: want}, overlay.PriorityDefault)
 		}
 	}
-	return hi + 64
 }
 
 func (b *Protocol) recvBlockReq(ctx *core.Context, ev *core.MsgEvent) {
 	m := ev.Msg.(*blockReq)
 	for _, seq := range m.Seqs {
-		if blk, ok := b.blocks[seq]; ok {
-			_ = ctx.Send(ev.From, &blockData{Seq: seq, Typ: blk.typ, Payload: blk.payload}, overlay.PriorityDefault)
+		if blk, ok := b.blocks[blockKey{inc: m.Inc, seq: seq}]; ok {
+			_ = ctx.Send(ev.From, &blockData{Inc: m.Inc, Seq: seq, Typ: blk.typ, Payload: blk.payload}, overlay.PriorityDefault)
 		}
 	}
 }
 
 func (b *Protocol) recvBlockData(ctx *core.Context, ev *core.MsgEvent) {
 	m := ev.Msg.(*blockData)
-	if b.store(ctx, m.Seq, m.Typ, m.Payload, true, false) {
+	b.peerSeen[ev.From] = ctx.Now()
+	if b.store(ctx, blockKey{inc: m.Inc, seq: m.Seq}, m.Typ, m.Payload, true, false) {
 		b.fromMesh++
 	}
 }

@@ -43,8 +43,12 @@ func (c candidate) filter() (*bloom.Filter, bool) {
 	return &f, true
 }
 
-// tblock is a stream block moving down the tree.
+// tblock is a stream block moving down the tree. Inc is the source's
+// incarnation stamp: a cold-restarted source resets Seq but never Inc, so
+// receivers that lived through the restart keep old and new streams apart
+// (the stale-incarnation dedup class the churn audits keep finding).
 type tblock struct {
+	Inc     uint64
 	Seq     uint32
 	Typ     int32
 	Payload []byte
@@ -52,11 +56,13 @@ type tblock struct {
 
 func (m *tblock) MsgName() string { return "tblock" }
 func (m *tblock) Encode(w *overlay.Writer) {
+	w.U64(m.Inc)
 	w.U32(m.Seq)
 	w.U32(uint32(m.Typ))
 	w.Bytes32(m.Payload)
 }
 func (m *tblock) Decode(r *overlay.Reader) error {
+	m.Inc = r.U64()
 	m.Seq = r.U32()
 	m.Typ = int32(r.U32())
 	m.Payload = append([]byte(nil), r.Bytes32()...)
@@ -97,31 +103,53 @@ func (m *peerResp) MsgName() string                { return "peer_resp" }
 func (m *peerResp) Encode(w *overlay.Writer)       { w.Bool(m.Accept) }
 func (m *peerResp) Decode(r *overlay.Reader) error { m.Accept = r.Bool(); return r.Err() }
 
-// have advertises the sender's block summary to a mesh peer.
+// have advertises the sender's block summary to a mesh peer, together
+// with the stream incarnations it knows: the bloom summary is opaque, so
+// without the list a peer holding zero blocks of an incarnation could
+// never learn which (inc, seq) keys to probe for.
 type have struct {
 	Summary []byte
+	Incs    []uint64
 }
 
-func (m *have) MsgName() string          { return "have" }
-func (m *have) Encode(w *overlay.Writer) { w.Bytes32(m.Summary) }
+func (m *have) MsgName() string { return "have" }
+func (m *have) Encode(w *overlay.Writer) {
+	w.Bytes32(m.Summary)
+	w.U16(uint16(len(m.Incs)))
+	for _, inc := range m.Incs {
+		w.U64(inc)
+	}
+}
 func (m *have) Decode(r *overlay.Reader) error {
 	m.Summary = append([]byte(nil), r.Bytes32()...)
+	n := int(r.U16())
+	if r.Err() != nil {
+		return r.Err()
+	}
+	m.Incs = make([]uint64, 0, n)
+	for i := 0; i < n; i++ {
+		m.Incs = append(m.Incs, r.U64())
+	}
 	return r.Err()
 }
 
-// blockReq requests specific missing blocks from a peer.
+// blockReq requests specific missing blocks of one stream incarnation
+// from a peer.
 type blockReq struct {
+	Inc  uint64
 	Seqs []uint32
 }
 
 func (m *blockReq) MsgName() string { return "block_req" }
 func (m *blockReq) Encode(w *overlay.Writer) {
+	w.U64(m.Inc)
 	w.U16(uint16(len(m.Seqs)))
 	for _, s := range m.Seqs {
 		w.U32(s)
 	}
 }
 func (m *blockReq) Decode(r *overlay.Reader) error {
+	m.Inc = r.U64()
 	n := int(r.U16())
 	if r.Err() != nil {
 		return r.Err()
@@ -135,6 +163,7 @@ func (m *blockReq) Decode(r *overlay.Reader) error {
 
 // blockData answers a blockReq.
 type blockData struct {
+	Inc     uint64
 	Seq     uint32
 	Typ     int32
 	Payload []byte
@@ -142,11 +171,13 @@ type blockData struct {
 
 func (m *blockData) MsgName() string { return "block_data" }
 func (m *blockData) Encode(w *overlay.Writer) {
+	w.U64(m.Inc)
 	w.U32(m.Seq)
 	w.U32(uint32(m.Typ))
 	w.Bytes32(m.Payload)
 }
 func (m *blockData) Decode(r *overlay.Reader) error {
+	m.Inc = r.U64()
 	m.Seq = r.U32()
 	m.Typ = int32(r.U32())
 	m.Payload = append([]byte(nil), r.Bytes32()...)

@@ -37,11 +37,89 @@ type PhaseReport struct {
 	OpsSent, OpsDelivered int
 	// OpsSkipped counts workload operations whose sender was down.
 	OpsSkipped int
+	// OpsForwarded counts forward() upcalls attributed to the phase's
+	// workload operations: the intermediate overlay hops their payloads
+	// took. MeanHops is the derived per-delivery hop count,
+	// (forwards + deliveries) / deliveries — protocol-level numbers the
+	// live-vs-sim conformance harness compares across substrates
+	// (docs/deploy.md). Neither appears in the legacy Format output, so
+	// golden traces predating them still verify.
+	OpsForwarded int
+	MeanHops     float64
 	// MeanLatency averages delivery latency over the phase's delivered
 	// operations (0 when none).
 	MeanLatency time.Duration
+	// CtlMsgs and CtlBytes are the protocol messages and bytes every live
+	// node had sent by the end of the phase, minus the settle baseline:
+	// cumulative control+data overhead at protocol level. Zero when the
+	// executing engine does not sample node counters.
+	CtlMsgs, CtlBytes uint64
 	// Net is the network counter delta across the phase.
 	Net simnet.Stats
+}
+
+// PhaseTotals is the substrate-independent accounting a schedule executor
+// gathers for one phase: per-phase workload tallies plus cumulative
+// counter snapshots taken when the phase ended. Both execution backends —
+// the virtual-time scenario engine and the live deployment controller —
+// reduce their bookkeeping to rows of this shape and assemble the report
+// with AssemblePhases, so a sim report and a live report of the same
+// scenario are comparable field by field.
+type PhaseTotals struct {
+	// Live is the population still up at phase end.
+	Live int
+	// Sent/Skipped/Delivered/Forwards and LatSum are per-phase workload
+	// tallies (deliveries and forwards attributed to the phase whose
+	// workload issued the operation).
+	Sent, Skipped, Delivered, Forwards int
+	LatSum                             time.Duration
+	// Net is the cumulative network counter snapshot at phase end.
+	Net simnet.Stats
+	// CtlMsgs/CtlBytes are cumulative per-node protocol counters summed
+	// over live nodes at phase end.
+	CtlMsgs, CtlBytes uint64
+}
+
+// satSub is saturating subtraction: counter sums taken over the live
+// population can dip below the settle baseline when churn removes nodes
+// (a revived node's counters restart at zero on both backends), and a
+// clamped zero reads better than a wrapped uint64.
+func satSub(a, b uint64) uint64 {
+	if a < b {
+		return 0
+	}
+	return a - b
+}
+
+// AssemblePhases turns per-phase totals into the report's phase entries.
+// base holds the cumulative snapshots taken when the settle period ended
+// (the zero point of every cumulative column).
+func AssemblePhases(phases []CompiledPhase, rows []PhaseTotals, base PhaseTotals) []PhaseReport {
+	out := make([]PhaseReport, 0, len(phases))
+	prev := base
+	for pi, cp := range phases {
+		row := rows[pi]
+		pr := PhaseReport{
+			Name:         cp.Name,
+			Start:        cp.Start,
+			End:          cp.End,
+			LiveNodes:    row.Live,
+			OpsSent:      row.Sent,
+			OpsSkipped:   row.Skipped,
+			OpsDelivered: row.Delivered,
+			OpsForwarded: row.Forwards,
+			Net:          SubStats(row.Net, prev.Net),
+			CtlMsgs:      satSub(row.CtlMsgs, base.CtlMsgs),
+			CtlBytes:     satSub(row.CtlBytes, base.CtlBytes),
+		}
+		if pr.OpsDelivered > 0 {
+			pr.MeanLatency = row.LatSum / time.Duration(pr.OpsDelivered)
+			pr.MeanHops = float64(row.Forwards+row.Delivered) / float64(row.Delivered)
+		}
+		prev = row
+		out = append(out, pr)
+	}
+	return out
 }
 
 // Report is the structured result of an executed scenario.
