@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strconv"
+	"strings"
 	"time"
 
 	"macedon/internal/deploy"
@@ -34,6 +36,10 @@ func runDeploy(args []string) int {
 	shards := fs.Int("shards", 0, "emulator shards for -vs-sim (0 = GOMAXPROCS)")
 	trace := fs.Bool("trace", false, "print the live event trace")
 	quiet := fs.Bool("q", false, "suppress progress lines")
+	obsOn := fs.Bool("obs", false, "enable the observability plane and print its output (fleet metrics exposition, sampled events, operation traces) after the report")
+	traceSample := fs.Int("trace-sample", 0, "keep 1-in-N operation traces and event records (0 or 1 = all); sampling is keyed by the seed, matching a sim run's sampled population")
+	metricsAddr := fs.String("metrics-addr", "", "base metrics endpoint (\"host:port\" or \":port\"): agent i serves Prometheus metrics on port+i at /metrics (and /debug/obs)")
+	verbose := fs.Bool("v", false, "verbose report: per-phase forwards, mean hops, control traffic, and obs histograms")
 	_ = fs.Parse(args)
 	if fs.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "macedon deploy: exactly one scenario file required")
@@ -61,6 +67,16 @@ func runDeploy(args []string) int {
 		BasePort:    *basePort,
 		AgentCmd:    []string{self, "agent"},
 		AgentLogDir: *agentLogs,
+		Obs:         *obsOn,
+		TraceSample: *traceSample,
+	}
+	if *metricsAddr != "" {
+		port, err := parseMetricsAddr(*metricsAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "macedon deploy: -metrics-addr: %v\n", err)
+			return 2
+		}
+		cfg.MetricsBase = port
 	}
 	if !*quiet {
 		cfg.Out = os.Stderr
@@ -75,9 +91,13 @@ func runDeploy(args []string) int {
 		fmt.Print(rep.TraceText())
 		fmt.Println()
 	}
-	rep.Format(func(format string, args ...any) { fmt.Printf(format, args...) })
+	rep.FormatOpts(func(format string, args ...any) { fmt.Printf(format, args...) }, *verbose)
 	printLiveColumns(rep)
 	fmt.Printf("# live wall clock: %s\n", time.Since(start).Round(time.Millisecond))
+	if *obsOn {
+		fmt.Println()
+		fmt.Print(rep.ObsText())
+	}
 
 	var simRep *scenario.Report
 	exit := 0
@@ -105,6 +125,19 @@ func runDeploy(args []string) int {
 		}
 	}
 	return exit
+}
+
+// parseMetricsAddr accepts "host:port", ":port", or a bare port; only the
+// base port matters (agents bind 127.0.0.1, node i serves port+i).
+func parseMetricsAddr(s string) (int, error) {
+	if i := strings.LastIndexByte(s, ':'); i >= 0 {
+		s = s[i+1:]
+	}
+	port, err := strconv.Atoi(s)
+	if err != nil || port <= 0 || port > 65535 {
+		return 0, fmt.Errorf("bad port %q", s)
+	}
+	return port, nil
 }
 
 // printLiveColumns prints the per-phase metrics the legacy report format

@@ -17,6 +17,7 @@ import (
 	"testing"
 
 	"macedon/internal/harness"
+	"macedon/internal/metrics"
 	"macedon/internal/scenario"
 )
 
@@ -70,6 +71,44 @@ func TestGoldenTraces(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestGoldenObsJSON pins the machine-readable obs section: the churn
+// scenario runs with the observability plane on at -shards=2 and -shards=4,
+// and the full JSON report — per-phase histograms, exposition, sampled
+// events, span records — must be byte-identical to the checked-in golden at
+// both shard counts. Regenerate with MACEDON_UPDATE_GOLDEN=1.
+func TestGoldenObsJSON(t *testing.T) {
+	update := os.Getenv("MACEDON_UPDATE_GOLDEN") != ""
+	s, err := scenario.Load(filepath.Join("examples", "scenarios", "churn-partition.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	goldenPath := filepath.Join("testdata", "golden", "obs-report.json")
+	for _, shards := range []int{2, 4} {
+		rep, err := harness.RunScenarioShardsObs(s, shards, harness.ObsOptions{Enabled: true, TraceSample: 4})
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		b, err := metrics.ReportToJSON(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := string(b) + "\n"
+		if update && shards == 2 {
+			if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		want, err := os.ReadFile(goldenPath)
+		if err != nil {
+			t.Fatalf("missing golden (run with MACEDON_UPDATE_GOLDEN=1 to create): %v", err)
+		}
+		if got != string(want) {
+			t.Fatalf("shards=%d obs JSON diverges from %s:\n%s",
+				shards, goldenPath, firstDiff(string(want), got))
+		}
 	}
 }
 

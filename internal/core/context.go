@@ -185,8 +185,8 @@ func (c *Context) Send(dst overlay.Address, m overlay.Message, pri int) error {
 		Priority:    pri,
 	}
 	i.trace(TraceHigh, "send %s to %v via %s", m.MsgName(), dst, i.lower.def.name)
-	i.counters.MsgsSent++
-	i.counters.BytesSent += uint64(len(frame))
+	i.counters.MsgsSent.Inc()
+	i.counters.BytesSent.Add(uint64(len(frame)))
 	lower := i.lower
 	i.node.post(func() { lower.dispatchAPI(call) })
 	return nil

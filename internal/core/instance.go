@@ -25,7 +25,7 @@ type Instance struct {
 
 	lower, upper *Instance
 
-	counters Counters
+	counters counterSet
 }
 
 type timerState struct {
@@ -84,11 +84,12 @@ func (i *Instance) State() State {
 // way).
 func (i *Instance) Agent() Agent { return i.agent }
 
-// Counters returns a snapshot of the instance's engine counters.
+// Counters returns a snapshot of the instance's engine counters. The
+// accumulator is atomic, so no lock is needed: control goroutines (live
+// agents serving /metrics, tests polling mid-run) can snapshot while
+// transitions execute.
 func (i *Instance) Counters() Counters {
-	i.mu.RLock()
-	defer i.mu.RUnlock()
-	return i.counters
+	return i.counters.snapshot()
 }
 
 // NeighborsSnapshot returns the member addresses of a neighbor list.
@@ -138,7 +139,7 @@ func (i *Instance) dispatch(k eventKey, run func(t transition, ctx *Context)) bo
 			}
 			continue
 		}
-		i.counters.Transitions++
+		i.counters.Transitions.Inc()
 		i.trace(TraceMed, "%s %s [%s, %s]", k.kind, k.name, t.guard, t.lock)
 		ctx := &Context{inst: i}
 		run(t, ctx)
@@ -149,7 +150,7 @@ func (i *Instance) dispatch(k eventKey, run func(t transition, ctx *Context)) bo
 		}
 		return true
 	}
-	i.counters.Unhandled++
+	i.counters.Unhandled.Inc()
 	i.trace(TraceMed, "unhandled %s %s in state %s", k.kind, k.name, i.state)
 	return false
 }
@@ -161,8 +162,8 @@ func (i *Instance) handleFrame(src overlay.Address, frame []byte) {
 		i.trace(TraceLow, "bad frame from %v: %v", src, err)
 		return
 	}
-	i.counters.MsgsRecv++
-	i.counters.BytesRecv += uint64(len(frame))
+	i.counters.MsgsRecv.Inc()
+	i.counters.BytesRecv.Add(uint64(len(frame)))
 	ev := &MsgEvent{Msg: m, From: src}
 	i.dispatch(eventKey{evRecv, m.MsgName()}, func(t transition, ctx *Context) {
 		t.msg(ctx, ev)
@@ -175,8 +176,8 @@ func (i *Instance) sendFrame(dst overlay.Address, msgName string, frame []byte, 
 	if err != nil {
 		return err
 	}
-	i.counters.MsgsSent++
-	i.counters.BytesSent += uint64(len(frame))
+	i.counters.MsgsSent.Inc()
+	i.counters.BytesSent.Add(uint64(len(frame)))
 	i.trace(TraceHigh, "send %s to %v on %s", msgName, dst, tr.Name())
 	return tr.Send(dst, frame)
 }
@@ -220,7 +221,7 @@ func (i *Instance) fireTimer(ts *timerState, name string, gen uint64) {
 		return
 	}
 	ts.tm = nil
-	i.counters.TimerFires++
+	i.counters.TimerFires.Inc()
 	i.dispatch(eventKey{evTimer, name}, func(t transition, ctx *Context) {
 		t.timer(ctx)
 	})
@@ -239,7 +240,7 @@ func (i *Instance) dispatchAPI(call *APICall) {
 
 // deliverUp implements the deliver() upcall from this layer.
 func (i *Instance) deliverUp(payload []byte, typ int32, src overlay.Address) {
-	i.counters.Delivered++
+	i.counters.Delivered.Inc()
 	if typ == ProtocolPayload && i.upper != nil {
 		up := i.upper
 		m, err := overlay.DecodeMessage(up.def.registry, payload)
@@ -247,8 +248,8 @@ func (i *Instance) deliverUp(payload []byte, typ int32, src overlay.Address) {
 			up.trace(TraceLow, "bad layered frame from %v: %v", src, err)
 			return
 		}
-		up.counters.MsgsRecv++
-		up.counters.BytesRecv += uint64(len(payload))
+		up.counters.MsgsRecv.Inc()
+		up.counters.BytesRecv.Add(uint64(len(payload)))
 		ev := &MsgEvent{Msg: m, From: src}
 		up.dispatch(eventKey{evRecv, m.MsgName()}, func(t transition, ctx *Context) {
 			t.msg(ctx, ev)
@@ -262,7 +263,7 @@ func (i *Instance) deliverUp(payload []byte, typ int32, src overlay.Address) {
 		}
 		return
 	}
-	i.counters.Unhandled++
+	i.counters.Unhandled.Inc()
 	i.trace(TraceLow, "undeliverable payload type %d from %v", typ, src)
 }
 
@@ -270,7 +271,7 @@ func (i *Instance) deliverUp(payload []byte, typ int32, src overlay.Address) {
 // the application) the chance to redirect, rewrite, or quash a payload this
 // layer is about to forward toward next.
 func (i *Instance) forwardUp(payload []byte, typ int32, next overlay.Address, nextKey overlay.Key) (bool, overlay.Address, []byte) {
-	i.counters.Forwarded++
+	i.counters.Forwarded.Inc()
 	if typ == ProtocolPayload && i.upper != nil {
 		up := i.upper
 		m, err := overlay.DecodeMessage(up.def.registry, payload)

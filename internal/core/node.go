@@ -438,7 +438,7 @@ func (n *Node) sweep() {
 						// failure — before the error transition fires.
 						l.Remove(nb.Addr)
 						failed = append(failed, nb.Addr)
-						inst.counters.Failures++
+						inst.counters.Failures.Inc()
 						inst.trace(TraceLow, "failure of %v detected on %s", nb.Addr, l.Name())
 						inst.dispatchAPI(&APICall{Kind: overlay.APIError, Failed: nb.Addr})
 						if h := n.handlers.Failure; h != nil {

@@ -3,8 +3,9 @@ package core
 import (
 	"fmt"
 	"io"
-	"sync"
 	"time"
+
+	"macedon/internal/obs"
 )
 
 // TraceLevel is the grammar's four-level tracing header ("trace_ off | low |
@@ -37,34 +38,74 @@ func (l TraceLevel) String() string {
 	return fmt.Sprintf("TraceLevel(%d)", uint8(l))
 }
 
-// Tracer serializes trace lines from a node. One tracer per node; cheap when
-// the level filters everything out.
+// obsLevel maps the grammar's trace levels onto obs log levels: low is the
+// important stuff (state changes, failures), med/high are engine debug.
+func obsLevel(l TraceLevel) obs.Level {
+	if l == TraceLow {
+		return obs.LevelInfo
+	}
+	return obs.LevelDebug
+}
+
+// traceEpoch anchors trace record timestamps: Record.At is the offset from
+// the Unix epoch, so both wall clocks and the emulator's virtual clock
+// (which also starts at a fixed origin) produce stable offsets.
+var traceEpoch = time.Unix(0, 0)
+
+// tracerRing bounds how many recent trace records a tracer retains for
+// structured inspection (`/debug/obs` on live agents).
+const tracerRing = 512
+
+// Tracer serializes trace lines from a node. It is a thin shim over an
+// obs.EventLog: lines ride the obs pipeline (and stay queryable as
+// structured records), while a render hook preserves the historical
+// `15:04:05.000000 message` byte format the golden traces pin down.
 type Tracer struct {
-	mu    sync.Mutex
-	w     io.Writer
+	log   *obs.EventLog
 	level TraceLevel
+	sink  bool // a writer is attached
 }
 
 func newTracer(w io.Writer, level TraceLevel) *Tracer {
-	return &Tracer{w: w, level: level}
+	l := obs.NewEventLog(nil, obs.LevelDebug)
+	l.SetCap(tracerRing)
+	l.SetRender(func(r obs.Record) string {
+		if len(r.Fields) >= 2 {
+			return r.Fields[0].Value + " " + r.Fields[1].Value
+		}
+		return r.String()
+	})
+	if w != nil {
+		l.SetWriter(w)
+	}
+	return &Tracer{log: l, level: level, sink: w != nil}
 }
 
 // Enabled reports whether lines at level l are emitted.
 func (t *Tracer) Enabled(l TraceLevel) bool {
-	return t != nil && t.w != nil && l != TraceOff && l <= t.level
+	return t != nil && t.sink && l != TraceOff && l <= t.level
+}
+
+// Events exposes the tracer's structured record log.
+func (t *Tracer) Events() *obs.EventLog {
+	if t == nil {
+		return nil
+	}
+	return t.log
 }
 
 func (t *Tracer) tracef(l TraceLevel, at time.Time, format string, args ...any) {
 	if !t.Enabled(l) {
 		return
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	fmt.Fprintf(t.w, "%s %s\n", at.Format("15:04:05.000000"), fmt.Sprintf(format, args...))
+	t.log.EmitAt(at.Sub(traceEpoch), 0, obsLevel(l), "trace",
+		obs.F("at", at.Format("15:04:05.000000")),
+		obs.F("msg", fmt.Sprintf(format, args...)))
 }
 
 // Counters aggregates per-instance engine statistics: the built-in metric
-// tracking the paper lists among MACEDON's evaluation facilities.
+// tracking the paper lists among MACEDON's evaluation facilities. It is a
+// plain snapshot struct; the live accumulator behind it is counterSet.
 type Counters struct {
 	MsgsSent    uint64
 	MsgsRecv    uint64
@@ -76,4 +117,39 @@ type Counters struct {
 	Delivered   uint64 // deliver upcalls issued
 	Forwarded   uint64 // forward upcalls issued
 	Failures    uint64 // error transitions invoked by the failure detector
+}
+
+// counterSet is the live per-instance accumulator: one obs.Counter per
+// statistic, incremented atomically so concurrent readers (live agents
+// polling metrics while socket goroutines dispatch, the sharded emulator
+// under read-locked data transitions) never race the hot path. obs.Counter
+// is a plain named uint64, which is what lets statecopy checkpoint/restore
+// rewind these across sweep forks.
+type counterSet struct {
+	MsgsSent    obs.Counter
+	MsgsRecv    obs.Counter
+	BytesSent   obs.Counter
+	BytesRecv   obs.Counter
+	TimerFires  obs.Counter
+	Transitions obs.Counter
+	Unhandled   obs.Counter
+	Delivered   obs.Counter
+	Forwarded   obs.Counter
+	Failures    obs.Counter
+}
+
+// snapshot loads every counter atomically into the public snapshot struct.
+func (c *counterSet) snapshot() Counters {
+	return Counters{
+		MsgsSent:    c.MsgsSent.Load(),
+		MsgsRecv:    c.MsgsRecv.Load(),
+		BytesSent:   c.BytesSent.Load(),
+		BytesRecv:   c.BytesRecv.Load(),
+		TimerFires:  c.TimerFires.Load(),
+		Transitions: c.Transitions.Load(),
+		Unhandled:   c.Unhandled.Load(),
+		Delivered:   c.Delivered.Load(),
+		Forwarded:   c.Forwarded.Load(),
+		Failures:    c.Failures.Load(),
+	}
 }

@@ -1,16 +1,20 @@
 package deploy
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"net"
+	"net/http"
 	"os"
 	"strconv"
+	"strings"
 	"time"
 
 	"macedon/internal/core"
 	"macedon/internal/harness"
 	"macedon/internal/livenet"
+	"macedon/internal/obs"
 	"macedon/internal/overlay"
 )
 
@@ -57,6 +61,14 @@ type agent struct {
 	logw io.Writer
 	net  *livenet.Network
 	node *core.Node
+
+	// Observability plane: reg serves /metrics, events is the sampled
+	// structured log (ring for /debug/obs, teed to the controller as EvObs
+	// frames when cfg.Obs), httpLn is the /metrics listener.
+	reg     *obs.Registry
+	events  *obs.EventLog
+	started time.Time
+	httpLn  net.Listener
 }
 
 // start builds the livenet substrate and the overlay node.
@@ -90,24 +102,34 @@ func (a *agent) start() error {
 		return err
 	}
 	a.node = node
+	a.startObs()
 	// Stream the node's life back to the controller: deliveries and
 	// forwards keyed by workload op id, plus state transitions and failure
 	// verdicts for the per-node event trace.
 	node.RegisterHandlers(core.Handlers{
 		Deliver: func(payload []byte, typ int32, src overlay.Address) {
 			a.event(&Event{Kind: EvDeliver, Op: int(typ), AtUnixNano: time.Now().UnixNano()})
+			a.obsEvent(uint64(uint32(typ)), obs.LevelDebug, "deliver",
+				obs.F("op", typ), obs.F("src", src))
 		},
 		Forward: func(payload []byte, typ int32, next overlay.Address, nextKey overlay.Key) bool {
-			a.event(&Event{Kind: EvForward, Op: int(typ), AtUnixNano: time.Now().UnixNano()})
+			a.event(&Event{Kind: EvForward, Op: int(typ), AtUnixNano: time.Now().UnixNano(),
+				Next: uint32(next)})
+			a.obsEvent(uint64(uint32(typ)), obs.LevelDebug, "forward",
+				obs.F("op", typ), obs.F("next", next))
 			return true
 		},
 		StateChange: func(proto string, from, to core.State) {
 			a.event(&Event{Kind: EvState, AtUnixNano: time.Now().UnixNano(),
 				Proto: proto, From: string(from), State: string(to)})
+			a.obsEvent(uint64(a.cfg.Addr), obs.LevelInfo, "state",
+				obs.F("proto", proto), obs.F("from", from), obs.F("to", to))
 		},
 		Failure: func(proto string, peer overlay.Address) {
 			a.event(&Event{Kind: EvFail, AtUnixNano: time.Now().UnixNano(),
 				Proto: proto, Peer: uint32(peer)})
+			a.obsEvent(uint64(a.cfg.Addr), obs.LevelWarn, "failure",
+				obs.F("proto", proto), obs.F("peer", peer))
 		},
 	})
 	if a.cfg.HasGroup {
@@ -127,6 +149,104 @@ func (a *agent) stop() {
 	if a.net != nil {
 		a.net.Close()
 	}
+	if a.httpLn != nil {
+		_ = a.httpLn.Close()
+	}
+}
+
+// startObs builds the agent's observability plane: a registry of live
+// collectors over the engine and socket counters (the same family names
+// the emulated engine's exposition uses, so a fleet-wide sum is directly
+// comparable to a sim run), the sampled event log, and — when configured —
+// the /metrics + /debug/obs HTTP listener.
+func (a *agent) startObs() {
+	a.started = time.Now()
+	reg := obs.NewRegistry()
+	engine := func(pick func(core.Counters) uint64) func() float64 {
+		return func() float64 { return float64(pick(a.node.Counters())) }
+	}
+	sock := func(pick func(livenet.Stats) uint64) func() float64 {
+		return func() float64 { return float64(pick(a.net.Stats())) }
+	}
+	reg.CounterFunc("macedon_engine_msgs_sent_total", "Protocol messages sent by live nodes.",
+		engine(func(c core.Counters) uint64 { return c.MsgsSent }))
+	reg.CounterFunc("macedon_engine_msgs_recv_total", "Protocol messages received by live nodes.",
+		engine(func(c core.Counters) uint64 { return c.MsgsRecv }))
+	reg.CounterFunc("macedon_engine_bytes_sent_total", "Protocol bytes sent by live nodes.",
+		engine(func(c core.Counters) uint64 { return c.BytesSent }))
+	reg.CounterFunc("macedon_engine_bytes_recv_total", "Protocol bytes received by live nodes.",
+		engine(func(c core.Counters) uint64 { return c.BytesRecv }))
+	reg.CounterFunc("macedon_engine_failures_total", "Failure-detector verdicts raised.",
+		engine(func(c core.Counters) uint64 { return c.Failures }))
+	reg.CounterFunc("macedon_net_sent_total", "Network frames sent.",
+		sock(func(s livenet.Stats) uint64 { return s.Sent }))
+	reg.CounterFunc("macedon_net_delivered_total", "Network frames delivered.",
+		sock(func(s livenet.Stats) uint64 { return s.Recv }))
+	reg.CounterFunc("macedon_net_bytes_total", "Network payload bytes carried.",
+		sock(func(s livenet.Stats) uint64 { return s.BytesSent }))
+	reg.CounterFunc("macedon_net_dropped_total", "Network frames dropped (all causes).",
+		sock(func(s livenet.Stats) uint64 { return s.ShapeDrops + s.LossDrops }))
+	reg.GaugeFunc("macedon_uptime_seconds", "Seconds since this agent process started.",
+		func() float64 { return time.Since(a.started).Seconds() })
+	reg.Gauge("macedon_agent_info", "Constant 1, labeled with this agent's identity.",
+		obs.L("node", strconv.Itoa(a.cfg.Node)), obs.L("proto", a.cfg.Protocol)).Set(1)
+	a.reg = reg
+
+	// The event log samples by wall-clock token bucket (unlike the sim's
+	// deterministic key hash — live time is not replayable anyway) and keeps
+	// a ring for /debug/obs. With Obs on, admitted lines additionally stream
+	// to the controller as EvObs frames.
+	a.events = obs.NewEventLog(&obs.TokenBucket{Rate: 50, Burst: 100}, obs.LevelDebug)
+	a.events.SetCap(256)
+	if a.cfg.Obs {
+		a.events.SetWriter(obsLineWriter{a})
+	}
+
+	if a.cfg.MetricsPort > 0 {
+		ln, err := net.Listen("tcp", fmt.Sprintf("127.0.0.1:%d", a.cfg.MetricsPort))
+		if err != nil {
+			fmt.Fprintf(a.logw, "agent %d: metrics listener: %v\n", a.cfg.Node, err)
+			return
+		}
+		a.httpLn = ln
+		mux := http.NewServeMux()
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+			io.WriteString(w, a.reg.Text())
+		})
+		mux.HandleFunc("/debug/obs", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(map[string]any{
+				"node":           a.cfg.Node,
+				"pid":            os.Getpid(),
+				"addr":           a.cfg.Addr,
+				"protocol":       a.cfg.Protocol,
+				"uptime_seconds": time.Since(a.started).Seconds(),
+				"events":         a.events.Lines(),
+				"events_evicted": a.events.Dropped(),
+			})
+		})
+		go func() { _ = http.Serve(ln, mux) }()
+	}
+}
+
+// obsEvent records one structured event at this agent's uptime-relative
+// timestamp (nil-safe: the log exists once start ran).
+func (a *agent) obsEvent(key uint64, lvl obs.Level, name string, fields ...obs.Field) {
+	if a.events == nil {
+		return
+	}
+	a.events.EmitAt(time.Since(a.started), key, lvl, name, fields...)
+}
+
+// obsLineWriter tees admitted event-log lines to the controller as EvObs
+// frames; the event log hands it one rendered line per Write.
+type obsLineWriter struct{ a *agent }
+
+func (w obsLineWriter) Write(p []byte) (int, error) {
+	w.a.event(&Event{Kind: EvObs, AtUnixNano: time.Now().UnixNano(),
+		Line: strings.TrimRight(string(p), "\n")})
+	return len(p), nil
 }
 
 // serve is the command loop. It returns nil on quit and the read error

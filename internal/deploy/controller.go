@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"macedon/internal/harness"
+	"macedon/internal/obs"
 	"macedon/internal/overlay"
 	"macedon/internal/scenario"
 	"macedon/internal/simnet"
@@ -44,6 +45,20 @@ type Config struct {
 	DegradeBase time.Duration
 	// Timeout aborts a wedged run (default: scaled total + 2 minutes).
 	Timeout time.Duration
+	// Obs enables the observability plane: the controller assembles the
+	// same Report.Obs sections the sim engine emits (metric families,
+	// sampled event log, operation trace spans), and agents stream their
+	// sampled event-log lines back over the control protocol.
+	Obs bool
+	// TraceSample keeps 1-in-N operation traces and event records, keyed by
+	// hash on the scenario seed — the identical sampled population a sim run
+	// of the same scenario traces. 0 or 1 keeps everything.
+	TraceSample int
+	// MetricsBase, when nonzero, has agent i serve Prometheus text-format
+	// metrics at http://Host:MetricsBase+i/metrics (plus /debug/obs); with
+	// Obs also set, the controller scrapes the fleet at report time and
+	// folds the expositions into Report.Obs.
+	MetricsBase int
 }
 
 // agentSlot is the controller's view of one fleet member.
@@ -110,6 +125,11 @@ type controller struct {
 	eventsRun int
 	trace     []string
 	err       error
+
+	// obs is the run's observability plane (nil when Config.Obs is off);
+	// addrIdx maps overlay addresses back to fleet indices for span records.
+	obs     *ctrlObs
+	addrIdx map[uint32]int
 }
 
 // Run executes the scenario as a live localhost deployment and returns
@@ -180,6 +200,13 @@ func Run(cfg Config) (*scenario.Report, error) {
 	}
 	for i := range c.agents {
 		c.agents[i] = &agentSlot{pollCh: make(chan *Metrics, 1)}
+	}
+	c.addrIdx = make(map[uint32]int, len(addrs))
+	for i, a := range addrs {
+		c.addrIdx[uint32(a)] = i
+	}
+	if cfg.Obs {
+		c.obs = newCtrlObs(cfg, s, sched)
 	}
 	if s.NeedsGroup() {
 		c.hasGroup = true
@@ -261,6 +288,10 @@ func (c *controller) agentConfigLocked(i int) *AgentConfig {
 		HeartbeatAfterNs: int64(c.s.HeartbeatAfter.D()),
 		FailAfterNs:      int64(c.s.FailAfter.D()),
 		Shape:            c.rulesForLocked(i),
+		Obs:              c.cfg.Obs,
+	}
+	if c.cfg.MetricsBase > 0 {
+		ac.MetricsPort = c.cfg.MetricsBase + i
 	}
 	if c.hasGroup {
 		ac.HasGroup = true
@@ -318,14 +349,20 @@ func (c *controller) onEvent(i int, ev *Event) {
 		}
 		ph := c.sendPhase[ev.Op]
 		c.delivered[ph]++
-		if lat := time.Unix(0, ev.AtUnixNano).Sub(at); lat > 0 {
+		when := time.Unix(0, ev.AtUnixNano)
+		lat := when.Sub(at)
+		if lat > 0 {
 			c.latSum[ph] += lat
 		}
+		c.obsDeliverLocked(ev.Op, i, ph, when, lat)
 	case EvForward:
 		if _, ok := c.sendAt[ev.Op]; !ok {
 			return
 		}
 		c.forwards[c.sendPhase[ev.Op]]++
+		c.obsForwardLocked(ev.Op, i, c.nextIndex(ev.Next), time.Unix(0, ev.AtUnixNano))
+	case EvObs:
+		c.obsAgentLineLocked(i, ev.Line)
 	case EvState:
 		c.tracefLocked("node %d %s: state %s -> %s", i, ev.Proto, ev.From, ev.State)
 	case EvFail:
@@ -591,6 +628,9 @@ func (c *controller) Apply(op scenario.Op) {
 			return
 		}
 		c.tracef("%s node %d (%v, pid %d)", verb, op.Node, c.addrs[op.Node], c.agents[op.Node].proc.Process.Pid)
+		if op.Kind == scenario.OpRevive {
+			c.obsLifecycle(op.Node, "revive", obs.F("node", op.Node))
+		}
 	case scenario.OpKill:
 		c.mu.Lock()
 		up := c.alive[op.Node]
@@ -601,6 +641,7 @@ func (c *controller) Apply(op scenario.Op) {
 		}
 		c.kill(op.Node)
 		c.tracef("kill node %d (%v) [SIGKILL]", op.Node, c.addrs[op.Node])
+		c.obsLifecycle(op.Node, "kill", obs.F("node", op.Node))
 	case scenario.OpNodeDown, scenario.OpLinkDown:
 		c.mu.Lock()
 		c.down[op.Node] = true
@@ -620,12 +661,14 @@ func (c *controller) Apply(op scenario.Op) {
 		c.mu.Unlock()
 		c.broadcastShape()
 		c.tracef("partition [0..%d) | [%d..%d)", op.SideA, op.SideA, len(c.addrs))
+		c.obsLifecycle(op.SideA, "partition", obs.F("side_a", op.SideA))
 	case scenario.OpHeal:
 		c.mu.Lock()
 		c.partition = false
 		c.mu.Unlock()
 		c.broadcastShape()
 		c.tracef("heal partition")
+		c.obsLifecycle(0, "heal")
 	case scenario.OpDegrade:
 		c.mu.Lock()
 		// A degrade op replaces the node's degradation outright, exactly
@@ -660,6 +703,7 @@ func (c *controller) applyWorkload(op scenario.Op) {
 	up := c.alive[op.Node]
 	if !up {
 		c.opsSkip[op.Phase]++
+		c.obsSkipLocked(kind, op)
 		c.mu.Unlock()
 		c.tracef("%s #%d skipped (node %d down)", kind, op.ID, op.Node)
 		return
@@ -667,6 +711,7 @@ func (c *controller) applyWorkload(op scenario.Op) {
 	c.sendAt[op.ID] = time.Now()
 	c.sendPhase[op.ID] = op.Phase
 	c.opsSent[op.Phase]++
+	c.obsInjectLocked(kind, op)
 	c.mu.Unlock()
 	c.send(op.Node, &Msg{Kind: KindOp, Op: &OpCmd{ID: op.ID, Kind: kind, Key: op.Key, Size: op.Size}})
 }
@@ -702,6 +747,7 @@ func (c *controller) tracefLocked(format string, args ...any) {
 // and accounting the emulated engine emits.
 func (c *controller) report() *scenario.Report {
 	c.poll()
+	scrapes := c.scrapeFleet()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	_, _, finalNet := c.totalsLocked()
@@ -728,5 +774,6 @@ func (c *controller) report() *scenario.Report {
 		rows[pi] = row
 	}
 	rep.Phases = scenario.AssemblePhases(c.sched.Phases, rows, c.base)
+	c.finishObsLocked(rep, scrapes)
 	return rep
 }

@@ -1,0 +1,301 @@
+package deploy
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"macedon/internal/obs"
+	"macedon/internal/scenario"
+)
+
+// ctrlObs is the live deployment's observability plane: the controller-side
+// twin of the scenario engine's engineObs. It keeps the same metric
+// families — workload counters, per-phase latency/hop histograms keyed by
+// the same phase labels — samples the same operation population (the
+// KeySampler is keyed by the scenario seed, so a live run and a sim run of
+// one scenario trace the same ops), and assembles the same Report.Obs
+// sections. Agent-local series (engine and socket counters) arrive by
+// scraping each agent's /metrics endpoint and folding the expositions
+// through obs.Fleet, which sums samples family by family.
+//
+// All mutable state is guarded by the owning controller's mu; registry
+// handles and the event log carry their own synchronization.
+type ctrlObs struct {
+	seed        int64
+	speed       float64
+	host        string
+	metricsBase int
+	sampler     obs.KeySampler
+
+	reg    *obs.Registry
+	events *obs.EventLog
+	spans  *obs.TraceSet
+
+	opsLookup    *obs.Counter
+	opsMulticast *obs.Counter
+	opsSkipped   *obs.Counter
+	opsDelivered *obs.Counter
+	nodesAlive   *obs.Gauge
+	latHist      []*obs.Histogram
+	hopHist      []*obs.Histogram
+
+	// Per-op forward/delivery tallies (live twin of engineObs' atomic
+	// arrays; a single controller process mutates them under mu).
+	opFwd map[int]int
+	opDel map[int]int
+
+	// agentLines collects sampled event-log lines streamed back by agents
+	// (EvObs), prefixed with their node index.
+	agentLines []string
+}
+
+// maxAgentLines bounds the retained agent event stream; beyond it the
+// oldest lines are simply not kept (the per-agent ring still has them).
+const maxAgentLines = 4096
+
+func newCtrlObs(cfg Config, s *scenario.Scenario, sched *scenario.Schedule) *ctrlObs {
+	n := uint64(cfg.TraceSample)
+	if n < 1 {
+		n = 1
+	}
+	sampler := obs.KeySampler{Seed: uint64(s.Seed), N: n}
+	reg := obs.NewRegistry()
+	o := &ctrlObs{
+		seed:        s.Seed,
+		speed:       cfg.Speed,
+		host:        cfg.Host,
+		metricsBase: cfg.MetricsBase,
+		sampler:     sampler,
+		reg:         reg,
+		events:      obs.NewEventLog(sampler, obs.LevelInfo),
+		spans:       obs.NewTraceSet(0),
+
+		opsLookup:    reg.Counter("macedon_ops_total", "Workload operations injected.", obs.L("kind", "lookup")),
+		opsMulticast: reg.Counter("macedon_ops_total", "Workload operations injected.", obs.L("kind", "multicast")),
+		opsSkipped:   reg.Counter("macedon_ops_skipped_total", "Workload operations skipped because the sender was down."),
+		opsDelivered: reg.Counter("macedon_ops_delivered_total", "Workload deliveries (one per receiving member)."),
+		nodesAlive:   reg.Gauge("macedon_nodes_alive", "Nodes currently alive."),
+
+		opFwd: make(map[int]int),
+		opDel: make(map[int]int),
+	}
+	o.latHist = make([]*obs.Histogram, len(sched.Phases))
+	o.hopHist = make([]*obs.Histogram, len(sched.Phases))
+	for pi, p := range sched.Phases {
+		l := obs.L("phase", fmt.Sprintf("%d-%s", pi, p.Name))
+		o.latHist[pi] = reg.Histogram("macedon_op_latency_seconds", "End-to-end operation latency.", obs.LatencyBuckets, l)
+		o.hopHist[pi] = reg.Histogram("macedon_op_hops", "Mean overlay hops per delivery of an operation.", obs.HopBuckets, l)
+	}
+	return o
+}
+
+// scenTime maps a wall instant to the scenario timeline (wall elapsed
+// compressed by the speed factor), so live event timestamps line up with
+// the schedule the sim runs on.
+func (c *controller) scenTime(t time.Time) time.Duration {
+	return time.Duration(float64(t.Sub(c.start)) * c.cfg.Speed)
+}
+
+// obsInjectLocked records one injected workload op: counter, sampled event
+// record, and the trace's inject span (c.mu held).
+func (c *controller) obsInjectLocked(kind string, op scenario.Op) {
+	o := c.obs
+	if o == nil {
+		return
+	}
+	at := c.scenTime(time.Now())
+	if kind == "lookup" {
+		o.opsLookup.Inc()
+	} else {
+		o.opsMulticast.Inc()
+	}
+	tid := obs.MintTraceID(o.seed, op.ID)
+	o.events.EmitAt(at, uint64(op.ID), obs.LevelInfo, "inject",
+		obs.F("kind", kind), obs.F("op", op.ID), obs.F("node", op.Node),
+		obs.F("trace", fmt.Sprintf("%016x", uint64(tid))))
+	if o.sampler.Admit("span", uint64(op.ID)) {
+		o.spans.Record(-1, obs.Span{Trace: tid, Op: op.ID, Kind: obs.SpanInject, Node: op.Node, Next: -1, At: at})
+	}
+}
+
+// obsSkipLocked records a workload op whose sender was down (c.mu held).
+func (c *controller) obsSkipLocked(kind string, op scenario.Op) {
+	o := c.obs
+	if o == nil {
+		return
+	}
+	o.opsSkipped.Inc()
+	o.events.EmitAt(c.scenTime(time.Now()), uint64(op.ID), obs.LevelWarn, "skip",
+		obs.F("kind", kind), obs.F("op", op.ID), obs.F("node", op.Node))
+}
+
+// obsLifecycle records a sampled lifecycle event (kill, revive, partition,
+// heal — the same names the sim engine emits), keyed by node index.
+func (c *controller) obsLifecycle(key int, name string, fields ...obs.Field) {
+	o := c.obs
+	if o == nil {
+		return
+	}
+	o.events.EmitAt(c.scenTime(time.Now()), uint64(key), obs.LevelInfo, name, fields...)
+}
+
+// obsForwardLocked records one forward hop of a traced op (c.mu held).
+func (c *controller) obsForwardLocked(opID, node, next int, at time.Time) {
+	o := c.obs
+	if o == nil {
+		return
+	}
+	o.opFwd[opID]++
+	if o.sampler.Admit("span", uint64(opID)) {
+		o.spans.Record(-1, obs.Span{
+			Trace: obs.MintTraceID(o.seed, opID), Op: opID,
+			Kind: obs.SpanForward, Node: node, Next: next, At: c.scenTime(at),
+		})
+	}
+}
+
+// obsDeliverLocked records one delivery of a traced op (c.mu held).
+func (c *controller) obsDeliverLocked(opID, node, phase int, at time.Time, lat time.Duration) {
+	o := c.obs
+	if o == nil {
+		return
+	}
+	o.opDel[opID]++
+	o.opsDelivered.Inc()
+	if phase >= 0 && phase < len(o.latHist) {
+		o.latHist[phase].Observe(lat.Seconds())
+	}
+	if o.sampler.Admit("span", uint64(opID)) {
+		o.spans.Record(-1, obs.Span{
+			Trace: obs.MintTraceID(o.seed, opID), Op: opID,
+			Kind: obs.SpanDeliver, Node: node, Next: -1, At: c.scenTime(at),
+		})
+	}
+}
+
+// obsAgentLineLocked retains one EvObs line streamed by agent i (c.mu held).
+func (c *controller) obsAgentLineLocked(i int, line string) {
+	o := c.obs
+	if o == nil || len(o.agentLines) >= maxAgentLines {
+		return
+	}
+	o.agentLines = append(o.agentLines, fmt.Sprintf("node=%d %s", i, line))
+}
+
+// scrapeFleet fetches every live agent's /metrics exposition. It runs
+// without c.mu (HTTP round trips) right before the final report assembly.
+func (c *controller) scrapeFleet() []*obs.Scrape {
+	if c.obs == nil || c.obs.metricsBase == 0 {
+		return nil
+	}
+	c.mu.Lock()
+	up := append([]bool(nil), c.alive...)
+	c.mu.Unlock()
+	client := &http.Client{Timeout: 3 * time.Second}
+	var out []*obs.Scrape
+	for i, alive := range up {
+		if !alive {
+			continue
+		}
+		sc, err := scrapeAgent(client, fmt.Sprintf("http://%s:%d/metrics", c.obs.host, c.obs.metricsBase+i))
+		if err != nil {
+			c.tracef("obs scrape node %d failed: %v", i, err)
+			continue
+		}
+		out = append(out, sc)
+	}
+	return out
+}
+
+func scrapeAgent(client *http.Client, url string) (*obs.Scrape, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %s", resp.Status)
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxFrame))
+	if err != nil {
+		return nil, err
+	}
+	return obs.ParseText(body)
+}
+
+// finishObsLocked assembles the live run's Report.Obs (c.mu held): hop
+// histograms from the final per-op tallies, fleet-level mirrors when no
+// agent scrape supplied the engine/net families, and the merged exposition.
+func (c *controller) finishObsLocked(rep *scenario.Report, scrapes []*obs.Scrape) {
+	o := c.obs
+	if o == nil {
+		return
+	}
+	for opID, del := range o.opDel {
+		if del == 0 {
+			continue
+		}
+		ph, ok := c.sendPhase[opID]
+		if !ok || ph < 0 || ph >= len(o.hopHist) {
+			continue
+		}
+		o.hopHist[ph].Observe(float64(o.opFwd[opID]+del) / float64(del))
+	}
+	if len(scrapes) == 0 {
+		// No HTTP plane: mirror the polled totals into the same families the
+		// agents would have served, so the exposition's family set matches
+		// the sim engine's either way.
+		var msgsSent, msgsRecv, bytesSent, bytesRecv uint64
+		for i, slot := range c.agents {
+			if slot.hasStats && c.alive[i] {
+				msgsSent += slot.metrics.MsgsSent
+				msgsRecv += slot.metrics.MsgsRecv
+				bytesSent += slot.metrics.BytesSent
+				bytesRecv += slot.metrics.BytesRecv
+			}
+		}
+		o.reg.Counter("macedon_engine_msgs_sent_total", "Protocol messages sent by live nodes.").Store(msgsSent)
+		o.reg.Counter("macedon_engine_msgs_recv_total", "Protocol messages received by live nodes.").Store(msgsRecv)
+		o.reg.Counter("macedon_engine_bytes_sent_total", "Protocol bytes sent by live nodes.").Store(bytesSent)
+		o.reg.Counter("macedon_engine_bytes_recv_total", "Protocol bytes received by live nodes.").Store(bytesRecv)
+		net := rep.Final
+		o.reg.Counter("macedon_net_sent_total", "Network frames sent.").Store(net.Sent)
+		o.reg.Counter("macedon_net_delivered_total", "Network frames delivered.").Store(net.Delivered)
+		o.reg.Counter("macedon_net_bytes_total", "Network payload bytes carried.").Store(net.Bytes)
+		o.reg.Counter("macedon_net_dropped_total", "Network frames dropped (all causes).").
+			Store(net.RandomLoss + net.PartitionDrops)
+	}
+	o.nodesAlive.Set(float64(c.countLiveLocked()))
+
+	for pi := range rep.Phases {
+		if pi < len(o.latHist) {
+			rep.Phases[pi].Obs = &scenario.PhaseObs{
+				Latency: o.latHist[pi].Snapshot(),
+				Hops:    o.hopHist[pi].Snapshot(),
+			}
+		}
+	}
+	fleet := obs.NewFleet()
+	if own, err := obs.ParseText([]byte(o.reg.Text())); err == nil {
+		fleet.Add(own)
+	}
+	for _, sc := range scrapes {
+		fleet.Add(sc)
+	}
+	rep.Obs = &scenario.ObsReport{
+		Exposition: fleet.Text(),
+		Events:     append(o.events.Lines(), o.agentLines...),
+		Spans:      o.spans.Lines(),
+	}
+}
+
+// nextIndex resolves a forward event's next-hop address to its fleet index
+// (-1 if unknown). addrIdx is built once at construction and only read.
+func (c *controller) nextIndex(a uint32) int {
+	if i, ok := c.addrIdx[a]; ok {
+		return i
+	}
+	return -1
+}

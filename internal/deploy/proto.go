@@ -86,6 +86,14 @@ type AgentConfig struct {
 	// Shape carries the shaping rules already in force (an agent restarted
 	// mid-partition must come back inside it).
 	Shape *ShapeCmd `json:"shape,omitempty"`
+	// MetricsPort, when nonzero, makes the agent serve its observability
+	// plane over HTTP on 127.0.0.1:MetricsPort: Prometheus text-format
+	// metrics at /metrics and a JSON status snapshot at /debug/obs.
+	MetricsPort int `json:"metrics_port,omitempty"`
+	// Obs streams the agent's sampled structured event log back over the
+	// control connection (EvObs events), rate-limited by a wall-clock token
+	// bucket so a busy node cannot flood the controller.
+	Obs bool `json:"obs,omitempty"`
 }
 
 // PeerRule is one serialized shaping rule.
@@ -122,6 +130,7 @@ const (
 	EvForward = "forward" // workload payload forwarded through this node
 	EvState   = "state"   // a protocol instance changed FSM state
 	EvFail    = "fail"    // the failure detector declared a peer dead
+	EvObs     = "obs"     // one sampled structured event-log line
 )
 
 // Event is one streamed per-node event.
@@ -137,6 +146,11 @@ type Event struct {
 	From  string `json:"from,omitempty"`
 	State string `json:"state,omitempty"`
 	Peer  uint32 `json:"peer,omitempty"`
+	// Next is the next-hop overlay address of a forward event, so the
+	// controller can reconstruct the hop chain of an operation trace.
+	Next uint32 `json:"next,omitempty"`
+	// Line is one rendered event-log record (EvObs).
+	Line string `json:"line,omitempty"`
 }
 
 // Metrics is an agent's counter snapshot: engine counters summed over the

@@ -1,0 +1,259 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"macedon/internal/obs"
+	"macedon/internal/overlay"
+	"macedon/internal/scenario"
+)
+
+// ObsOptions configures the observability plane of a scenario run.
+type ObsOptions struct {
+	// Enabled turns the obs plane on: registry, sampled event log, and
+	// operation traces. Off keeps the engine byte-for-byte on its legacy
+	// path (goldens).
+	Enabled bool
+	// TraceSample keeps 1-in-N operation traces and event-log records,
+	// decided by key hash on the scenario seed so every shard count — and a
+	// live run of the same scenario — samples the same population. 0 or 1
+	// keeps everything.
+	TraceSample int
+}
+
+// RunScenarioObs is RunScenario with the observability plane configured.
+func RunScenarioObs(s *scenario.Scenario, opts ObsOptions) (*scenario.Report, error) {
+	return RunScenarioShardsObs(s, 1, opts)
+}
+
+// RunScenarioShardsObs runs a scenario on a sharded event loop with the
+// observability plane configured. Like the trace and report, the obs
+// output (exposition, sampled events, merged spans) is byte-identical at
+// any shard count.
+func RunScenarioShardsObs(s *scenario.Scenario, shards int, opts ObsOptions) (*scenario.Report, error) {
+	sched, err := scenario.Compile(s)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := newScenarioEngine(s, sched, shards)
+	if err != nil {
+		return nil, err
+	}
+	defer eng.c.StopAll()
+	if opts.Enabled {
+		eng.obs = newEngineObs(s, sched, shards, opts)
+	}
+	eng.scheduleSetup()
+	eng.schedulePhases(0, len(sched.Phases)-1)
+	eng.c.RunFor(sched.Total)
+	return eng.report(), nil
+}
+
+// engineObs is the scenario engine's observability plane. Hot-path
+// recording is shard-safe by construction: counters and histogram buckets
+// accumulate by commutative atomic adds, per-op tallies live in atomic
+// arrays indexed by op ID, spans go to per-shard buffers merged by a
+// content-total-order, and the event log is only written from the
+// coordinator (workload injection and lifecycle ops run at epoch barriers
+// while every shard is parked), so its record order is schedule order.
+type engineObs struct {
+	reg     *obs.Registry
+	events  *obs.EventLog
+	spans   *obs.TraceSet
+	sampler obs.KeySampler
+	seed    int64
+
+	opsLookup    *obs.Counter
+	opsMulticast *obs.Counter
+	opsSkipped   *obs.Counter
+	opsDelivered *obs.Counter
+	nodesAlive   *obs.Gauge
+
+	// Per-phase distribution histograms: latency is observed at delivery
+	// (the value depends only on virtual send/deliver times, so bucket
+	// increments commute); hops are observed at run end from the final
+	// per-op tallies (a hop count read at delivery time would depend on
+	// shard interleaving of concurrent forwards).
+	latHist []*obs.Histogram
+	hopHist []*obs.Histogram
+
+	// Per-op atomic tallies, indexed by workload op ID.
+	opFwd []obs.Counter
+	opDel []obs.Counter
+}
+
+// obsNodeField is the canonical node field on lifecycle events.
+func obsNodeField(n int) obs.Field { return obs.F("node", n) }
+
+// obsPhaseLabel renders the phase label every per-phase family carries.
+func obsPhaseLabel(pi int, name string) obs.Label {
+	return obs.L("phase", fmt.Sprintf("%d-%s", pi, name))
+}
+
+func newEngineObs(s *scenario.Scenario, sched *scenario.Schedule, shards int, opts ObsOptions) *engineObs {
+	n := uint64(opts.TraceSample)
+	if n < 1 {
+		n = 1
+	}
+	sampler := obs.KeySampler{Seed: uint64(s.Seed), N: n}
+	reg := obs.NewRegistry()
+	o := &engineObs{
+		reg:     reg,
+		events:  obs.NewEventLog(sampler, obs.LevelInfo),
+		spans:   obs.NewTraceSet(shards),
+		sampler: sampler,
+		seed:    s.Seed,
+
+		opsLookup:    reg.Counter("macedon_ops_total", "Workload operations injected.", obs.L("kind", "lookup")),
+		opsMulticast: reg.Counter("macedon_ops_total", "Workload operations injected.", obs.L("kind", "multicast")),
+		opsSkipped:   reg.Counter("macedon_ops_skipped_total", "Workload operations skipped because the sender was down."),
+		opsDelivered: reg.Counter("macedon_ops_delivered_total", "Workload deliveries (one per receiving member)."),
+		nodesAlive:   reg.Gauge("macedon_nodes_alive", "Nodes currently alive."),
+	}
+	maxOp := 0
+	for _, op := range sched.Ops {
+		if (op.Kind == scenario.OpLookup || op.Kind == scenario.OpMulticast) && op.ID >= maxOp {
+			maxOp = op.ID + 1
+		}
+	}
+	o.opFwd = make([]obs.Counter, maxOp)
+	o.opDel = make([]obs.Counter, maxOp)
+	o.latHist = make([]*obs.Histogram, len(sched.Phases))
+	o.hopHist = make([]*obs.Histogram, len(sched.Phases))
+	for pi, p := range sched.Phases {
+		l := obsPhaseLabel(pi, p.Name)
+		o.latHist[pi] = reg.Histogram("macedon_op_latency_seconds", "End-to-end operation latency.", obs.LatencyBuckets, l)
+		o.hopHist[pi] = reg.Histogram("macedon_op_hops", "Mean overlay hops per delivery of an operation.", obs.HopBuckets, l)
+	}
+	return o
+}
+
+// onInject records a workload injection: the coordinator-side end of the
+// trace, plus the sampled event-log record. Runs at an epoch barrier.
+func (o *engineObs) onInject(kind string, op scenario.Op, node int, at time.Duration) {
+	if kind == "lookup" {
+		o.opsLookup.Inc()
+	} else {
+		o.opsMulticast.Inc()
+	}
+	tid := obs.MintTraceID(o.seed, op.ID)
+	o.events.EmitAt(at, uint64(op.ID), obs.LevelInfo, "inject",
+		obs.F("kind", kind), obs.F("op", op.ID), obs.F("node", node),
+		obs.F("trace", fmt.Sprintf("%016x", uint64(tid))))
+	if o.sampler.Admit("span", uint64(op.ID)) {
+		o.spans.Record(-1, obs.Span{Trace: tid, Op: op.ID, Kind: obs.SpanInject, Node: node, Next: -1, At: at})
+	}
+}
+
+// onSkip records a workload op whose sender was down.
+func (o *engineObs) onSkip(kind string, op scenario.Op, node int, at time.Duration) {
+	o.opsSkipped.Inc()
+	o.events.EmitAt(at, uint64(op.ID), obs.LevelWarn, "skip",
+		obs.F("kind", kind), obs.F("op", op.ID), obs.F("node", node))
+}
+
+// onLifecycle records a sampled lifecycle event (kill, revive, partition,
+// heal), keyed by node index. Runs at an epoch barrier.
+func (o *engineObs) onLifecycle(at time.Duration, key int, name string, fields ...obs.Field) {
+	o.events.EmitAt(at, uint64(key), obs.LevelInfo, name, fields...)
+}
+
+// onForward runs on the forwarding node's shard: atomic tally plus a
+// sampled span.
+func (o *engineObs) onForward(opID, node, next, shard int, at time.Duration) {
+	if opID < 0 || opID >= len(o.opFwd) {
+		return
+	}
+	o.opFwd[opID].Inc()
+	if o.sampler.Admit("span", uint64(opID)) {
+		o.spans.Record(shard, obs.Span{
+			Trace: obs.MintTraceID(o.seed, opID), Op: opID,
+			Kind: obs.SpanForward, Node: node, Next: next, At: at,
+		})
+	}
+}
+
+// onDeliver runs on the receiving node's shard. The latency value depends
+// only on the op's virtual send and deliver instants, so observing it here
+// is deterministic at any shard count.
+func (o *engineObs) onDeliver(opID, node, shard, phase int, at, latency time.Duration) {
+	if opID < 0 || opID >= len(o.opDel) {
+		return
+	}
+	o.opDel[opID].Inc()
+	o.opsDelivered.Inc()
+	o.latHist[phase].Observe(latency.Seconds())
+	if o.sampler.Admit("span", uint64(opID)) {
+		o.spans.Record(shard, obs.Span{
+			Trace: obs.MintTraceID(o.seed, opID), Op: opID,
+			Kind: obs.SpanDeliver, Node: node, Next: -1, At: at,
+		})
+	}
+}
+
+// finish runs once at report time, after the run ended and every shard
+// parked: hop distributions from the final per-op tallies, engine counter
+// and net-stat mirrors, and the assembled report sections.
+func (e *scenarioEngine) finishObs(rep *scenario.Report) {
+	o := e.obs
+	if o == nil {
+		return
+	}
+	for opID := range o.opDel {
+		del := o.opDel[opID].Load()
+		if del == 0 {
+			continue
+		}
+		ph, ok := e.sendPhase[opID]
+		if !ok || ph < 0 || ph >= len(o.hopHist) {
+			continue
+		}
+		fwd := o.opFwd[opID].Load()
+		o.hopHist[ph].Observe(float64(fwd+del) / float64(del))
+	}
+
+	ctl := e.sumCounters()
+	o.reg.Counter("macedon_engine_msgs_sent_total", "Protocol messages sent by live nodes.").Store(ctl.MsgsSent)
+	o.reg.Counter("macedon_engine_msgs_recv_total", "Protocol messages received by live nodes.").Store(ctl.MsgsRecv)
+	o.reg.Counter("macedon_engine_bytes_sent_total", "Protocol bytes sent by live nodes.").Store(ctl.BytesSent)
+	o.reg.Counter("macedon_engine_bytes_recv_total", "Protocol bytes received by live nodes.").Store(ctl.BytesRecv)
+
+	net := rep.Final
+	o.reg.Counter("macedon_net_sent_total", "Network frames sent.").Store(uint64(net.Sent))
+	o.reg.Counter("macedon_net_delivered_total", "Network frames delivered.").Store(uint64(net.Delivered))
+	o.reg.Counter("macedon_net_bytes_total", "Network payload bytes carried.").Store(uint64(net.Bytes))
+	drops := net.QueueDrops + net.RandomLoss + net.DownDrops + net.LinkDownDrops +
+		net.DegradeLoss + net.PartitionDrops + net.NoRouteDrops
+	o.reg.Counter("macedon_net_dropped_total", "Network frames dropped (all causes).").Store(uint64(drops))
+
+	live := 0
+	for _, up := range e.alive {
+		if up {
+			live++
+		}
+	}
+	o.nodesAlive.Set(float64(live))
+
+	for pi := range rep.Phases {
+		rep.Phases[pi].Obs = &scenario.PhaseObs{
+			Latency: o.latHist[pi].Snapshot(),
+			Hops:    o.hopHist[pi].Snapshot(),
+		}
+	}
+	rep.Obs = &scenario.ObsReport{
+		Exposition: o.reg.Text(),
+		Events:     o.events.Lines(),
+		Spans:      o.spans.Lines(),
+	}
+}
+
+// addrIndex resolves a node address to its cluster index (-1 if unknown):
+// span records carry node indices, not raw addresses. The map is built
+// eagerly at engine construction, so concurrent shard callbacks only read.
+func (e *scenarioEngine) addrIndex(a overlay.Address) int {
+	if i, ok := e.addrIdx[a]; ok {
+		return i
+	}
+	return -1
+}

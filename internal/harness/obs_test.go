@@ -1,0 +1,151 @@
+package harness
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"macedon/internal/core"
+)
+
+// TestObsShardInvariance is the obs plane's determinism contract: the
+// exposition, the sampled event log, and the merged span records must be
+// byte-identical at any shard count — and turning obs on must not perturb
+// the legacy trace or report by a single byte.
+func TestObsShardInvariance(t *testing.T) {
+	opts := ObsOptions{Enabled: true, TraceSample: 2}
+	base, err := RunScenarioShardsObs(testScenario(), 1, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Obs == nil {
+		t.Fatal("obs enabled but report carries no obs section")
+	}
+	if base.Obs.Exposition == "" || len(base.Obs.Events) == 0 || len(base.Obs.Spans) == 0 {
+		t.Fatalf("obs section incomplete: exposition=%d bytes, %d events, %d spans",
+			len(base.Obs.Exposition), len(base.Obs.Events), len(base.Obs.Spans))
+	}
+	for _, shards := range []int{2, 4} {
+		got, err := RunScenarioShardsObs(testScenario(), shards, opts)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if got.ObsText() != base.ObsText() {
+			diffLines(t, shards, base.ObsText(), got.ObsText())
+		}
+		if got.TraceText() != base.TraceText() || got.String() != base.String() {
+			t.Fatalf("shards=%d: legacy output drifted under obs", shards)
+		}
+		if got.VerboseString() != base.VerboseString() {
+			t.Fatalf("shards=%d: verbose report drifted:\n--- shards=1\n%s\n--- shards=%d\n%s",
+				shards, base.VerboseString(), shards, got.VerboseString())
+		}
+	}
+
+	// Obs off must reproduce the exact pre-obs run.
+	plain, err := RunScenario(testScenario())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.TraceText() != base.TraceText() || plain.String() != base.String() {
+		t.Fatal("enabling obs changed the legacy trace or report")
+	}
+	if plain.Obs != nil || plain.Phases[0].Obs != nil {
+		t.Fatal("obs disabled but report carries obs sections")
+	}
+}
+
+func diffLines(t *testing.T, shards int, a, b string) {
+	t.Helper()
+	al, bl := strings.Split(a, "\n"), strings.Split(b, "\n")
+	for i := 0; i < len(al) && i < len(bl); i++ {
+		if al[i] != bl[i] {
+			t.Fatalf("shards=%d: obs output diverges at line %d:\n  shards=1: %s\n  shards=%d: %s",
+				shards, i, al[i], shards, bl[i])
+		}
+	}
+	t.Fatalf("shards=%d: obs output lengths differ: %d vs %d lines", shards, len(al), len(bl))
+}
+
+// TestObsPhaseHistograms sanity-checks the per-phase distribution columns:
+// delivered lookups must land in the latency and hop histograms of the
+// phase that issued them.
+func TestObsPhaseHistograms(t *testing.T) {
+	rep, err := RunScenarioObs(testScenario(), ObsOptions{Enabled: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pi, p := range rep.Phases {
+		if p.Obs == nil {
+			t.Fatalf("phase %d: no obs snapshot", pi)
+		}
+		if p.OpsDelivered > 0 {
+			if p.Obs.Latency.Count != uint64(p.OpsDelivered) {
+				t.Errorf("phase %d: latency hist count=%d, delivered=%d", pi, p.Obs.Latency.Count, p.OpsDelivered)
+			}
+			if p.Obs.Hops.Count == 0 {
+				t.Errorf("phase %d: delivered ops but empty hop histogram", pi)
+			}
+			if p.Obs.Latency.Sum <= 0 {
+				t.Errorf("phase %d: latency sum = %v", pi, p.Obs.Latency.Sum)
+			}
+		}
+	}
+	if !strings.Contains(rep.Obs.Exposition, "macedon_ops_total{kind=\"lookup\"}") {
+		t.Error("exposition missing macedon_ops_total{kind=\"lookup\"}")
+	}
+	if !strings.Contains(rep.Obs.Exposition, "macedon_engine_msgs_sent_total") {
+		t.Error("exposition missing engine counter mirror")
+	}
+}
+
+// TestCountersConcurrentSnapshots is the satellite race audit: engine
+// counters must be snapshottable from control goroutines while a sharded
+// run executes — exactly what live agents do when serving /metrics. Run
+// under -race this catches any non-atomic counter increment.
+func TestCountersConcurrentSnapshots(t *testing.T) {
+	c, err := NewCluster(ClusterConfig{Nodes: 8, Routers: 40, Seed: 11, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.StopAll()
+	stack, err := ScenarioStack("chord")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := make([]*core.Node, 0, 8)
+	for i := 0; i < 8; i++ {
+		n, err := c.Spawn(i, stack)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes = append(nodes, n)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, n := range nodes {
+				_ = n.Counters()
+			}
+		}
+	}()
+	c.RunFor(60 * time.Second)
+	close(stop)
+	wg.Wait()
+	var total uint64
+	for _, n := range nodes {
+		total += n.Counters().MsgsSent
+	}
+	if total == 0 {
+		t.Fatal("no protocol traffic recorded")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"macedon/internal/core"
+	"macedon/internal/obs"
 	"macedon/internal/overlay"
 	"macedon/internal/overlays/ammo"
 	"macedon/internal/overlays/bullet"
@@ -123,6 +124,12 @@ type scenarioEngine struct {
 
 	eventsRun int
 	trace     []string
+
+	// obs is the run's observability plane; nil (the default) keeps the
+	// engine byte-for-byte on its legacy path. Not carried across sweep
+	// fork branches.
+	obs     *engineObs
+	addrIdx map[overlay.Address]int
 }
 
 func makeGrid[T any](shards, phases int) [][]T {
@@ -170,6 +177,10 @@ func newScenarioEngine(s *scenario.Scenario, sched *scenario.Schedule, shards in
 		phaseNet:  make([]simnet.Stats, len(sched.Phases)),
 		phaseLive: make([]int, len(sched.Phases)),
 		phaseCtl:  make([]core.Counters, len(sched.Phases)),
+		addrIdx:   make(map[overlay.Address]int, s.Nodes),
+	}
+	for i, addr := range c.Addrs {
+		eng.addrIdx[addr] = i
 	}
 	if s.NeedsGroup() {
 		eng.group = overlay.HashString(s.GroupName())
@@ -376,6 +387,7 @@ func (e *scenarioEngine) report() *scenario.Report {
 		CtlMsgs:  e.baseCtl.MsgsSent,
 		CtlBytes: e.baseCtl.BytesSent,
 	})
+	e.finishObs(rep)
 	return rep
 }
 
@@ -469,6 +481,9 @@ func (e *scenarioEngine) apply(op scenario.Op) {
 		e.c.Kill(op.Node)
 		e.alive[op.Node] = false
 		e.tracef("kill node %d (%v)", op.Node, addr)
+		if e.obs != nil {
+			e.obs.onLifecycle(e.c.Sched.Elapsed(), op.Node, "kill", obsNodeField(op.Node))
+		}
 	case scenario.OpRevive:
 		if e.alive[op.Node] {
 			e.tracef("revive node %d skipped (already up)", op.Node)
@@ -480,6 +495,9 @@ func (e *scenarioEngine) apply(op scenario.Op) {
 		e.alive[op.Node] = true
 		e.attach(op.Node)
 		e.tracef("revive node %d (%v)", op.Node, addr)
+		if e.obs != nil {
+			e.obs.onLifecycle(e.c.Sched.Elapsed(), op.Node, "revive", obsNodeField(op.Node))
+		}
 	case scenario.OpNodeDown:
 		_ = e.c.Net.SetDown(addr, true)
 		e.tracef("node_down node %d (%v)", op.Node, addr)
@@ -497,9 +515,15 @@ func (e *scenarioEngine) apply(op scenario.Op) {
 		}
 		e.c.Net.SetPartition(sides)
 		e.tracef("partition [0..%d) | [%d..%d)", op.SideA, op.SideA, len(e.c.Addrs))
+		if e.obs != nil {
+			e.obs.onLifecycle(e.c.Sched.Elapsed(), op.SideA, "partition", obs.F("side_a", op.SideA))
+		}
 	case scenario.OpHeal:
 		e.c.Net.ClearPartition()
 		e.tracef("heal partition")
+		if e.obs != nil {
+			e.obs.onLifecycle(e.c.Sched.Elapsed(), 0, "heal")
+		}
 	case scenario.OpDegrade:
 		_ = e.c.Net.DegradeNodeAccess(addr, simnet.Degradation{LatencyFactor: op.LatencyFactor, LossRate: op.Loss})
 		e.tracef("degrade node %d (latency x%.1f, loss %.2f)", op.Node, op.LatencyFactor, op.Loss)
@@ -516,21 +540,35 @@ func (e *scenarioEngine) apply(op scenario.Op) {
 		if !e.alive[op.Node] {
 			e.opsSkip[op.Phase]++
 			e.tracef("lookup #%d skipped (node %d down)", op.ID, op.Node)
+			if e.obs != nil {
+				e.obs.onSkip("lookup", op, op.Node, e.c.Sched.Elapsed())
+			}
 			return
 		}
-		e.sendTime[op.ID] = e.c.Sched.Elapsed()
+		at := e.c.Sched.Elapsed()
+		e.sendTime[op.ID] = at
 		e.sendPhase[op.ID] = op.Phase
 		e.opsSent[op.Phase]++
+		if e.obs != nil {
+			e.obs.onInject("lookup", op, op.Node, at)
+		}
 		_ = e.c.Nodes[addr].Route(overlay.Key(op.Key), make([]byte, op.Size), int32(op.ID), overlay.PriorityDefault)
 	case scenario.OpMulticast:
 		if !e.alive[op.Node] {
 			e.opsSkip[op.Phase]++
 			e.tracef("multicast #%d skipped (node %d down)", op.ID, op.Node)
+			if e.obs != nil {
+				e.obs.onSkip("multicast", op, op.Node, e.c.Sched.Elapsed())
+			}
 			return
 		}
-		e.sendTime[op.ID] = e.c.Sched.Elapsed()
+		at := e.c.Sched.Elapsed()
+		e.sendTime[op.ID] = at
 		e.sendPhase[op.ID] = op.Phase
 		e.opsSent[op.Phase]++
+		if e.obs != nil {
+			e.obs.onInject("multicast", op, op.Node, at)
+		}
 		_ = e.c.Nodes[addr].Multicast(e.group, make([]byte, op.Size), int32(op.ID), overlay.PriorityDefault)
 	}
 }
@@ -545,9 +583,22 @@ func (e *scenarioEngine) attach(i int) {
 	n.RegisterHandlers(core.Handlers{
 		Deliver: func(payload []byte, typ int32, src overlay.Address) {
 			e.onDeliver(int(typ), shard, sub)
+			if o := e.obs; o != nil {
+				opID := int(typ)
+				if at, ok := e.sendTime[opID]; ok {
+					now := sub.Elapsed()
+					o.onDeliver(opID, i, shard, e.sendPhase[opID], now, now-at)
+				}
+			}
 		},
 		Forward: func(payload []byte, typ int32, next overlay.Address, nextKey overlay.Key) bool {
 			e.onForward(int(typ), shard)
+			if o := e.obs; o != nil {
+				opID := int(typ)
+				if _, ok := e.sendTime[opID]; ok {
+					o.onForward(opID, i, e.addrIndex(next), shard, sub.Elapsed())
+				}
+			}
 			return true
 		},
 	})

@@ -3,6 +3,7 @@ package metrics
 import (
 	"encoding/json"
 
+	"macedon/internal/obs"
 	"macedon/internal/scenario"
 	"macedon/internal/simnet"
 )
@@ -30,6 +31,37 @@ type PhaseJSON struct {
 	CtlMsgs      uint64  `json:"ctl_msgs,omitempty"`
 	CtlBytes     uint64  `json:"ctl_bytes,omitempty"`
 	Net          NetJSON `json:"net"`
+	// Obs carries the phase's observability histograms; absent unless the
+	// run executed with the obs plane enabled, so pre-obs golden JSON is
+	// byte-identical.
+	Obs *PhaseObsJSON `json:"obs,omitempty"`
+}
+
+// HistJSON encodes one histogram snapshot: per-bucket (non-cumulative)
+// counts, the last entry being the +Inf overflow bucket.
+type HistJSON struct {
+	Bounds []float64 `json:"bounds"`
+	Counts []uint64  `json:"counts"`
+	Count  uint64    `json:"count"`
+	Sum    float64   `json:"sum"`
+}
+
+func histJSON(s obs.HistSnapshot) HistJSON {
+	return HistJSON{Bounds: s.Bounds, Counts: s.Counts, Count: s.Count, Sum: s.Sum}
+}
+
+// PhaseObsJSON is one phase's encoded observability distributions.
+type PhaseObsJSON struct {
+	Latency HistJSON `json:"latency"`
+	Hops    HistJSON `json:"hops"`
+}
+
+// ObsJSON is the run-level observability section: the final metrics
+// exposition plus the sampled event and span records.
+type ObsJSON struct {
+	Exposition string   `json:"exposition"`
+	Events     []string `json:"events,omitempty"`
+	Spans      []string `json:"spans,omitempty"`
 }
 
 // NetJSON encodes the network counter delta of a phase (or run).
@@ -56,6 +88,7 @@ type ReportJSON struct {
 	Events   int         `json:"events_run"`
 	Phases   []PhaseJSON `json:"phases"`
 	Final    NetJSON     `json:"final"`
+	Obs      *ObsJSON    `json:"obs,omitempty"`
 }
 
 // EncodeReport reduces a report to its JSON form.
@@ -90,7 +123,13 @@ func EncodeReport(r *scenario.Report) *ReportJSON {
 		if p.OpsSent > 0 {
 			pj.DeliveryPct = 100 * float64(p.OpsDelivered) / float64(p.OpsSent)
 		}
+		if p.Obs != nil {
+			pj.Obs = &PhaseObsJSON{Latency: histJSON(p.Obs.Latency), Hops: histJSON(p.Obs.Hops)}
+		}
 		out.Phases = append(out.Phases, pj)
+	}
+	if r.Obs != nil {
+		out.Obs = &ObsJSON{Exposition: r.Obs.Exposition, Events: r.Obs.Events, Spans: r.Obs.Spans}
 	}
 	return out
 }

@@ -113,11 +113,14 @@ func NewBandwidthSeries(start time.Time, bucket time.Duration) *BandwidthSeries 
 	return &BandwidthSeries{Bucket: bucket, start: start}
 }
 
-// Add records n bytes delivered at time at.
+// Add records n bytes delivered at time at. Samples timestamped before the
+// series origin (clock skew, deliveries racing the origin snapshot) clamp
+// into the first bucket rather than silently vanishing, so the series total
+// always equals the bytes recorded.
 func (b *BandwidthSeries) Add(at time.Time, n int) {
 	idx := int(at.Sub(b.start) / b.Bucket)
 	if idx < 0 {
-		return
+		idx = 0
 	}
 	for len(b.bytes) <= idx {
 		b.bytes = append(b.bytes, 0)

@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// TraceID identifies one end-to-end operation trace. It is minted at
+// injection from (scenario seed, op ID), so an emulated run and a live run
+// of the same scenario mint identical IDs for the same workload ops.
+type TraceID uint64
+
+// MintTraceID derives the trace ID for a workload op.
+func MintTraceID(seed int64, op int) TraceID {
+	return TraceID(splitmix64(uint64(seed) ^ (uint64(op) << 1)))
+}
+
+// SpanKind classifies one hop record.
+type SpanKind uint8
+
+const (
+	// SpanInject marks the workload injection at the origin node.
+	SpanInject SpanKind = iota
+	// SpanForward marks an intermediate routing hop (the forward upcall).
+	SpanForward
+	// SpanDeliver marks delivery at the owner/root.
+	SpanDeliver
+)
+
+func (k SpanKind) String() string {
+	switch k {
+	case SpanInject:
+		return "inject"
+	case SpanForward:
+		return "forward"
+	case SpanDeliver:
+		return "deliver"
+	}
+	return "unknown"
+}
+
+// Span is one hop of an operation trace. Node is the observing node's
+// index; Next is the next-hop node index for forwards (-1 otherwise).
+type Span struct {
+	Trace TraceID
+	Op    int
+	Kind  SpanKind
+	Node  int
+	Next  int
+	At    time.Duration
+}
+
+// String renders the span as one canonical line.
+func (s Span) String() string {
+	if s.Kind == SpanForward && s.Next >= 0 {
+		return fmt.Sprintf("trace=%016x op=%d t=%.6fs %s node=%d next=%d",
+			uint64(s.Trace), s.Op, s.At.Seconds(), s.Kind, s.Node, s.Next)
+	}
+	return fmt.Sprintf("trace=%016x op=%d t=%.6fs %s node=%d",
+		uint64(s.Trace), s.Op, s.At.Seconds(), s.Kind, s.Node)
+}
+
+// TraceSet collects spans from concurrent shards. Each shard appends to
+// its own buffer with no synchronization against the others; Merged sorts
+// by a total order that depends only on span content, so the merged
+// sequence is identical at any shard count.
+type TraceSet struct {
+	mu     sync.Mutex
+	global []Span
+	shards [][]Span
+}
+
+// NewTraceSet sizes the set for n shards (shard -1, the coordinator,
+// writes to a locked global buffer).
+func NewTraceSet(n int) *TraceSet {
+	return &TraceSet{shards: make([][]Span, n)}
+}
+
+// Record appends a span from the given shard. Shard -1 (or out of range)
+// uses the locked global buffer; in-range shards append lock-free to
+// their own slice, relying on the engine's guarantee that a shard's
+// upcalls run on one goroutine at a time.
+func (t *TraceSet) Record(shard int, s Span) {
+	if shard >= 0 && shard < len(t.shards) {
+		t.shards[shard] = append(t.shards[shard], s)
+		return
+	}
+	t.mu.Lock()
+	t.global = append(t.global, s)
+	t.mu.Unlock()
+}
+
+// Merged returns every recorded span in the canonical total order:
+// (At, Op, kind rank, Node, Next). Kind rank places inject before forward
+// before deliver so ties at the same instant read in causal order.
+func (t *TraceSet) Merged() []Span {
+	t.mu.Lock()
+	out := append([]Span(nil), t.global...)
+	t.mu.Unlock()
+	for _, sh := range t.shards {
+		out = append(out, sh...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.At != b.At {
+			return a.At < b.At
+		}
+		if a.Op != b.Op {
+			return a.Op < b.Op
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		if a.Node != b.Node {
+			return a.Node < b.Node
+		}
+		return a.Next < b.Next
+	})
+	return out
+}
+
+// Chains groups the merged spans by trace ID, each chain in canonical
+// order, returned sorted by op ID.
+func (t *TraceSet) Chains() [][]Span {
+	merged := t.Merged()
+	byOp := make(map[int][]Span)
+	ops := []int{}
+	for _, s := range merged {
+		if _, ok := byOp[s.Op]; !ok {
+			ops = append(ops, s.Op)
+		}
+		byOp[s.Op] = append(byOp[s.Op], s)
+	}
+	sort.Ints(ops)
+	out := make([][]Span, 0, len(ops))
+	for _, op := range ops {
+		out = append(out, byOp[op])
+	}
+	return out
+}
+
+// Lines renders the merged spans one per line.
+func (t *TraceSet) Lines() []string {
+	merged := t.Merged()
+	out := make([]string, len(merged))
+	for i, s := range merged {
+		out[i] = s.String()
+	}
+	return out
+}

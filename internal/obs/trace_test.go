@@ -1,0 +1,69 @@
+package obs
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestMintTraceIDStable(t *testing.T) {
+	a := MintTraceID(42, 7)
+	b := MintTraceID(42, 7)
+	if a != b {
+		t.Fatal("same (seed, op) minted different trace IDs")
+	}
+	if MintTraceID(42, 8) == a || MintTraceID(43, 7) == a {
+		t.Fatal("distinct (seed, op) collided")
+	}
+}
+
+// TestTraceSetMergeShardInvariant records the same spans under two
+// different shard assignments and asserts the merged order is identical —
+// the property that makes sim trace output byte-identical at -shards=1/4.
+func TestTraceSetMergeShardInvariant(t *testing.T) {
+	spans := []Span{
+		{Trace: 1, Op: 0, Kind: SpanInject, Node: 2, Next: -1, At: 10 * time.Millisecond},
+		{Trace: 1, Op: 0, Kind: SpanForward, Node: 2, Next: 5, At: 15 * time.Millisecond},
+		{Trace: 1, Op: 0, Kind: SpanDeliver, Node: 5, Next: -1, At: 20 * time.Millisecond},
+		{Trace: 2, Op: 1, Kind: SpanInject, Node: 0, Next: -1, At: 10 * time.Millisecond},
+		{Trace: 2, Op: 1, Kind: SpanDeliver, Node: 0, Next: -1, At: 10 * time.Millisecond},
+	}
+
+	one := NewTraceSet(1)
+	for _, s := range spans {
+		one.Record(0, s)
+	}
+	four := NewTraceSet(4)
+	// Reverse order, scattered across shards and the coordinator buffer.
+	for i := len(spans) - 1; i >= 0; i-- {
+		four.Record(i%4-1, spans[i]) // shard -1..2
+	}
+	if !reflect.DeepEqual(one.Merged(), four.Merged()) {
+		t.Fatalf("merge differs across shard assignments:\n%v\n%v", one.Merged(), four.Merged())
+	}
+
+	// Causal tie-break: op 1's inject sorts before its deliver at the same
+	// instant, and op 0's spans stay in hop order.
+	m := one.Merged()
+	if m[0].Op != 0 || m[0].Kind != SpanInject {
+		t.Fatalf("first span = %v", m[0])
+	}
+	chains := one.Chains()
+	if len(chains) != 2 {
+		t.Fatalf("chains = %d, want 2", len(chains))
+	}
+	if chains[1][0].Kind != SpanInject || chains[1][1].Kind != SpanDeliver {
+		t.Fatalf("op 1 chain out of causal order: %v", chains[1])
+	}
+}
+
+func TestSpanString(t *testing.T) {
+	f := Span{Trace: 0xabc, Op: 3, Kind: SpanForward, Node: 1, Next: 9, At: 1500 * time.Microsecond}
+	if got, want := f.String(), "trace=0000000000000abc op=3 t=0.001500s forward node=1 next=9"; got != want {
+		t.Errorf("got %q want %q", got, want)
+	}
+	d := Span{Trace: 0xabc, Op: 3, Kind: SpanDeliver, Node: 9, Next: -1, At: 2 * time.Millisecond}
+	if got, want := d.String(), "trace=0000000000000abc op=3 t=0.002000s deliver node=9"; got != want {
+		t.Errorf("got %q want %q", got, want)
+	}
+}

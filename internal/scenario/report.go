@@ -5,6 +5,7 @@ import (
 	"strings"
 	"time"
 
+	"macedon/internal/obs"
 	"macedon/internal/simnet"
 )
 
@@ -56,6 +57,31 @@ type PhaseReport struct {
 	CtlMsgs, CtlBytes uint64
 	// Net is the network counter delta across the phase.
 	Net simnet.Stats
+	// Obs holds the phase's observability histograms when the run was
+	// executed with the obs plane enabled; nil otherwise, and nil keeps
+	// every legacy output byte-identical.
+	Obs *PhaseObs
+}
+
+// PhaseObs is the per-phase slice of the observability plane: distribution
+// snapshots of the op latency and hop-count histograms attributed to the
+// phase's workload.
+type PhaseObs struct {
+	Latency obs.HistSnapshot
+	Hops    obs.HistSnapshot
+}
+
+// ObsReport is the run-level observability output: the final registry
+// exposition, the sampled event log, and the merged per-hop span records.
+type ObsReport struct {
+	// Exposition is the full Prometheus text-format registry dump at run
+	// end.
+	Exposition string
+	// Events are the sampled structured event-log lines.
+	Events []string
+	// Spans are the merged operation-trace span lines, in canonical order
+	// (byte-identical across shard counts).
+	Spans []string
 }
 
 // PhaseTotals is the substrate-independent accounting a schedule executor
@@ -138,6 +164,9 @@ type Report struct {
 	// Trace is the executed event log, one line per operation, identical
 	// across runs of the same scenario and seed.
 	Trace []string
+	// Obs is the run's observability output; nil unless the run executed
+	// with the obs plane enabled.
+	Obs *ObsReport
 }
 
 // TraceText joins the event trace into one newline-terminated string.
@@ -148,8 +177,16 @@ func (r *Report) TraceText() string {
 	return strings.Join(r.Trace, "\n") + "\n"
 }
 
-// Format renders the report deterministically.
+// Format renders the report deterministically. The output is pinned by the
+// golden-trace corpus; anything new goes behind FormatOpts' verbose flag.
 func (r *Report) Format(w func(format string, args ...any)) {
+	r.FormatOpts(w, false)
+}
+
+// FormatOpts renders the report; verbose additionally prints the
+// per-phase columns the legacy format omits (forwards, mean hops, control
+// traffic) and the obs histogram snapshots when present.
+func (r *Report) FormatOpts(w func(format string, args ...any), verbose bool) {
 	w("scenario %q: protocol=%s nodes=%d seed=%d\n", r.Scenario, r.Protocol, r.Nodes, r.Seed)
 	w("timeline: settle=%s end=%s total=%s events=%d\n", r.Settle, r.End, r.Total, r.EventsRun)
 	for i, p := range r.Phases {
@@ -162,11 +199,21 @@ func (r *Report) Format(w func(format string, args ...any)) {
 			if p.MeanLatency > 0 {
 				w(" mean_latency=%.3fms", float64(p.MeanLatency.Microseconds())/1000)
 			}
+			if verbose {
+				w(" forwarded=%d mean_hops=%.2f", p.OpsForwarded, p.MeanHops)
+			}
 		}
 		w("\n")
 		w("  net: sent=%d delivered=%d qdrop=%d loss=%d down=%d linkdown=%d degrade=%d partition=%d noroute=%d\n",
 			p.Net.Sent, p.Net.Delivered, p.Net.QueueDrops, p.Net.RandomLoss, p.Net.DownDrops,
 			p.Net.LinkDownDrops, p.Net.DegradeLoss, p.Net.PartitionDrops, p.Net.NoRouteDrops)
+		if verbose {
+			w("  ctl: msgs=%d bytes=%d\n", p.CtlMsgs, p.CtlBytes)
+			if p.Obs != nil {
+				w("  obs latency: %s\n", p.Obs.Latency)
+				w("  obs hops: %s\n", p.Obs.Hops)
+			}
+		}
 	}
 	w("total: sent=%d delivered=%d qdrop=%d loss=%d down=%d linkdown=%d degrade=%d partition=%d noroute=%d\n",
 		r.Final.Sent, r.Final.Delivered, r.Final.QueueDrops, r.Final.RandomLoss, r.Final.DownDrops,
@@ -177,5 +224,39 @@ func (r *Report) Format(w func(format string, args ...any)) {
 func (r *Report) String() string {
 	var b strings.Builder
 	r.Format(func(format string, args ...any) { fmt.Fprintf(&b, format, args...) })
+	return b.String()
+}
+
+// VerboseString renders the report with the verbose columns.
+func (r *Report) VerboseString() string {
+	var b strings.Builder
+	r.FormatOpts(func(format string, args ...any) { fmt.Fprintf(&b, format, args...) }, true)
+	return b.String()
+}
+
+// ObsText renders the run's observability section (exposition, sampled
+// events, span records) as one deterministic block, or "" when the obs
+// plane was off.
+func (r *Report) ObsText() string {
+	if r.Obs == nil {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString("--- obs exposition ---\n")
+	b.WriteString(r.Obs.Exposition)
+	if len(r.Obs.Events) > 0 {
+		b.WriteString("--- obs events ---\n")
+		for _, e := range r.Obs.Events {
+			b.WriteString(e)
+			b.WriteByte('\n')
+		}
+	}
+	if len(r.Obs.Spans) > 0 {
+		b.WriteString("--- obs spans ---\n")
+		for _, s := range r.Obs.Spans {
+			b.WriteString(s)
+			b.WriteByte('\n')
+		}
+	}
 	return b.String()
 }
