@@ -199,6 +199,7 @@ func BenchmarkScenarioChurnShards(b *testing.B) {
 	}
 	for _, shards := range []int{1, 2, 4} {
 		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			b.ReportAllocs()
 			var events int
 			for i := 0; i < b.N; i++ {
 				rep, err := harness.RunScenarioShards(mk(), shards)

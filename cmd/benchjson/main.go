@@ -7,9 +7,11 @@
 //
 // With -compare, benchjson is the CI bench-trend gate instead: it diffs two
 // artifacts and fails (exit 1) when any benchmark present in both regressed
-// its ns/op beyond the threshold. Benchmarks appearing in only one artifact
-// are reported but never fail the gate, so adding or retiring benchmarks
-// seeds the trajectory without breaking it.
+// ns/op, allocs/op, or B/op beyond the threshold — wall clock and the
+// allocation hot path are gated together, so a speedup bought by garbage
+// can't slip through. Benchmarks (or metrics) appearing in only one
+// artifact are reported but never fail the gate, so adding or retiring
+// benchmarks seeds the trajectory without breaking it.
 //
 //	benchjson -compare -threshold 0.20 BENCH_<parent>.json BENCH_<sha>.json
 package main
@@ -46,7 +48,7 @@ type Document struct {
 
 func main() {
 	compare := flag.Bool("compare", false, "compare two artifacts: benchjson -compare old.json new.json")
-	threshold := flag.Float64("threshold", 0.20, "ns/op regression fraction that fails the comparison")
+	threshold := flag.Float64("threshold", 0.20, "regression fraction (ns/op, allocs/op, B/op) that fails the comparison")
 	flag.Parse()
 	if *compare {
 		os.Exit(runCompare(flag.Args(), *threshold))
@@ -109,8 +111,13 @@ func loadDoc(path string) (*Document, error) {
 	return &doc, nil
 }
 
-// runCompare is the bench-trend gate: fail when ns/op of any benchmark
-// present in both artifacts regressed beyond the threshold.
+// gatedMetrics are the metrics the trend gate enforces. ns/op is wall
+// clock; allocs/op and B/op pin the pooled event hot path, so an
+// allocation regression fails CI even when wall clock holds steady.
+var gatedMetrics = []string{"ns/op", "allocs/op", "B/op"}
+
+// runCompare is the bench-trend gate: fail when any gated metric of any
+// benchmark present in both artifacts regressed beyond the threshold.
 func runCompare(args []string, threshold float64) int {
 	if len(args) != 2 {
 		fmt.Fprintln(os.Stderr, "benchjson -compare: exactly two artifacts required (old new)")
@@ -126,61 +133,67 @@ func runCompare(args []string, threshold float64) int {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		return 2
 	}
-	oldNs := make(map[string]float64)
+	oldBy := make(map[string]Result)
 	for _, r := range oldDoc.Results {
-		if v, ok := r.Metrics["ns/op"]; ok && v > 0 {
-			oldNs[r.Name] = v
-		}
+		oldBy[r.Name] = r
 	}
-	fmt.Printf("bench trend: %s (%s) -> %s (%s), threshold %+.0f%%\n",
-		shortSha(oldDoc.Commit), args[0], shortSha(newDoc.Commit), args[1], threshold*100)
-	fmt.Printf("%-52s %14s %14s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	fmt.Printf("bench trend: %s (%s) -> %s (%s), threshold %+.0f%% on %s\n",
+		shortSha(oldDoc.Commit), args[0], shortSha(newDoc.Commit), args[1],
+		threshold*100, strings.Join(gatedMetrics, ", "))
+	fmt.Printf("%-52s %-10s %14s %14s %9s\n", "benchmark", "metric", "old", "new", "delta")
 	failed := 0
 	seen := make(map[string]bool)
 	var names []string
-	for _, r := range newDoc.Results {
-		names = append(names, r.Name)
-	}
-	sort.Strings(names)
 	byName := make(map[string]Result)
 	for _, r := range newDoc.Results {
+		names = append(names, r.Name)
 		byName[r.Name] = r
 	}
+	sort.Strings(names)
 	for _, name := range names {
 		r := byName[name]
 		seen[name] = true
-		nv, ok := r.Metrics["ns/op"]
-		if !ok || nv <= 0 {
-			continue
+		old, inOld := oldBy[name]
+		for _, metric := range gatedMetrics {
+			nv, ok := r.Metrics[metric]
+			if !ok || nv <= 0 {
+				continue
+			}
+			if !inOld {
+				fmt.Printf("%-52s %-10s %14s %14.0f %9s\n", name, metric, "-", nv, "new")
+				continue
+			}
+			ov, ok := old.Metrics[metric]
+			if !ok || ov <= 0 {
+				// Metric newly reported (e.g. -benchmem just turned on):
+				// seeds the trajectory, never fails the gate.
+				fmt.Printf("%-52s %-10s %14s %14.0f %9s\n", name, metric, "-", nv, "new")
+				continue
+			}
+			delta := nv/ov - 1
+			mark := ""
+			if delta > threshold {
+				mark = "  REGRESSION"
+				failed++
+			}
+			fmt.Printf("%-52s %-10s %14.0f %14.0f %+8.1f%%%s\n", name, metric, ov, nv, delta*100, mark)
 		}
-		ov, ok := oldNs[name]
-		if !ok {
-			fmt.Printf("%-52s %14s %14.0f %9s\n", name, "-", nv, "new")
-			continue
-		}
-		delta := nv/ov - 1
-		mark := ""
-		if delta > threshold {
-			mark = "  REGRESSION"
-			failed++
-		}
-		fmt.Printf("%-52s %14.0f %14.0f %+8.1f%%%s\n", name, ov, nv, delta*100, mark)
 	}
 	var gone []string
-	for name := range oldNs {
+	for name := range oldBy {
 		if !seen[name] {
 			gone = append(gone, name)
 		}
 	}
 	sort.Strings(gone)
 	for _, name := range gone {
-		fmt.Printf("%-52s %14.0f %14s %9s\n", name, oldNs[name], "-", "gone")
+		fmt.Printf("%-52s %-10s %14s %14s %9s\n", name, "", "-", "-", "gone")
 	}
 	if failed > 0 {
-		fmt.Printf("FAIL: %d benchmark(s) regressed ns/op by more than %.0f%%\n", failed, threshold*100)
+		fmt.Printf("FAIL: %d metric(s) regressed by more than %.0f%%\n", failed, threshold*100)
 		return 1
 	}
-	fmt.Println("ok: no ns/op regression beyond threshold")
+	fmt.Printf("ok: no regression beyond threshold on %s\n", strings.Join(gatedMetrics, ", "))
 	return 0
 }
 

@@ -20,6 +20,7 @@ func runScenario(args []string) int {
 	trace := fs.Bool("trace", false, "print the executed event trace")
 	check := fs.Bool("check", false, "validate and compile only; print the schedule summary")
 	shards := fs.Int("shards", 0, "event-loop shards (0 = GOMAXPROCS, 1 = sequential); any value prints identical output")
+	partitioner := fs.String("partitioner", "", "vertex-to-shard assignment: striped (default) or latency; either prints identical output, latency widens the lookahead window on sharded runs")
 	obsOn := fs.Bool("obs", false, "enable the observability plane and print its output (metrics exposition, sampled events, operation traces) after the report")
 	traceSample := fs.Int("trace-sample", 0, "keep 1-in-N operation traces and event records (0 or 1 = all); sampling is keyed by the seed, so any shard count keeps the same ops")
 	verbose := fs.Bool("v", false, "verbose report: per-phase forwards, mean hops, control traffic, and obs histograms")
@@ -51,7 +52,11 @@ func runScenario(args []string) int {
 	if n <= 0 {
 		n = runtime.GOMAXPROCS(0)
 	}
-	rep, err := harness.RunScenarioShardsObs(s, n, harness.ObsOptions{Enabled: *obsOn, TraceSample: *traceSample})
+	rep, err := harness.RunScenarioExec(s, harness.ExecOptions{
+		Shards:      n,
+		Partitioner: *partitioner,
+		Obs:         harness.ObsOptions{Enabled: *obsOn, TraceSample: *traceSample},
+	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "%s: %v\n", fs.Arg(0), err)
 		return 1

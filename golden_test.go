@@ -19,6 +19,7 @@ import (
 	"macedon/internal/harness"
 	"macedon/internal/metrics"
 	"macedon/internal/scenario"
+	"macedon/internal/simnet"
 )
 
 // goldenScenarios lists the corpus: the PR 1 churn-partition scenario plus
@@ -40,8 +41,28 @@ func goldenOutput(rep *scenario.Report) string {
 	return rep.TraceText() + "\n" + rep.String()
 }
 
+// goldenShardCounts returns the shard counts the corpus runs at. The CI
+// golden matrix pins one count per job via MACEDON_GOLDEN_SHARDS so the
+// lanes split the work; unset, the default covers sequential and sharded.
+func goldenShardCounts(t *testing.T) []int {
+	env := os.Getenv("MACEDON_GOLDEN_SHARDS")
+	if env == "" {
+		return []int{1, 4}
+	}
+	var out []int
+	for _, f := range strings.Split(env, ",") {
+		var n int
+		if _, err := fmt.Sscanf(strings.TrimSpace(f), "%d", &n); err != nil || n < 1 {
+			t.Fatalf("MACEDON_GOLDEN_SHARDS: bad shard count %q", f)
+		}
+		out = append(out, n)
+	}
+	return out
+}
+
 func TestGoldenTraces(t *testing.T) {
 	update := os.Getenv("MACEDON_UPDATE_GOLDEN") != ""
+	shardCounts := goldenShardCounts(t)
 	for _, name := range goldenScenarios {
 		name := name
 		t.Run(name, func(t *testing.T) {
@@ -50,13 +71,13 @@ func TestGoldenTraces(t *testing.T) {
 				t.Fatal(err)
 			}
 			goldenPath := filepath.Join("testdata", "golden", name+".txt")
-			for _, shards := range []int{1, 4} {
+			for _, shards := range shardCounts {
 				rep, err := harness.RunScenarioShards(s, shards)
 				if err != nil {
 					t.Fatalf("shards=%d: %v", shards, err)
 				}
 				got := goldenOutput(rep)
-				if update && shards == 1 {
+				if update && shards == shardCounts[0] {
 					if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
 						t.Fatal(err)
 					}
@@ -67,6 +88,41 @@ func TestGoldenTraces(t *testing.T) {
 				}
 				if got != string(want) {
 					t.Fatalf("shards=%d output diverges from %s:\n%s",
+						shards, goldenPath, firstDiff(string(want), got))
+				}
+			}
+		})
+	}
+}
+
+// TestGoldenTracesLatencyPartitioner gates the latency-aware partitioner
+// against the SAME golden files as the striped default: vertex placement is
+// an execution parameter, and event order is defined by deterministic
+// (time, actor, seq) keys that never consult the assignment, so any
+// partitioner must reproduce the corpus byte-for-byte at every shard count.
+func TestGoldenTracesLatencyPartitioner(t *testing.T) {
+	for _, name := range goldenScenarios {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			s, err := scenario.Load(filepath.Join("examples", "scenarios", name+".json"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			goldenPath := filepath.Join("testdata", "golden", name+".txt")
+			want, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatalf("missing golden (run TestGoldenTraces with MACEDON_UPDATE_GOLDEN=1 first): %v", err)
+			}
+			for _, shards := range []int{1, 2, 4} {
+				rep, err := harness.RunScenarioExec(s, harness.ExecOptions{
+					Shards:      shards,
+					Partitioner: simnet.PartitionerLatency,
+				})
+				if err != nil {
+					t.Fatalf("shards=%d: %v", shards, err)
+				}
+				if got := goldenOutput(rep); got != string(want) {
+					t.Fatalf("latency partitioner, shards=%d diverges from %s:\n%s",
 						shards, goldenPath, firstDiff(string(want), got))
 				}
 			}

@@ -32,22 +32,7 @@ func RunScenarioObs(s *scenario.Scenario, opts ObsOptions) (*scenario.Report, er
 // output (exposition, sampled events, merged spans) is byte-identical at
 // any shard count.
 func RunScenarioShardsObs(s *scenario.Scenario, shards int, opts ObsOptions) (*scenario.Report, error) {
-	sched, err := scenario.Compile(s)
-	if err != nil {
-		return nil, err
-	}
-	eng, err := newScenarioEngine(s, sched, shards)
-	if err != nil {
-		return nil, err
-	}
-	defer eng.c.StopAll()
-	if opts.Enabled {
-		eng.obs = newEngineObs(s, sched, shards, opts)
-	}
-	eng.scheduleSetup()
-	eng.schedulePhases(0, len(sched.Phases)-1)
-	eng.c.RunFor(sched.Total)
-	return eng.report(), nil
+	return RunScenarioExec(s, ExecOptions{Shards: shards, Obs: opts})
 }
 
 // engineObs is the scenario engine's observability plane. Hot-path

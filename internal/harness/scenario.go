@@ -64,6 +64,20 @@ func ScenarioStack(proto string) ([]core.Factory, error) {
 	return nil, fmt.Errorf("harness: unknown scenario protocol %q (have chord, pastry, randtree, scribe, nice, overcast, ammo, bullet, genchord, genpastry, genrandtree)", proto)
 }
 
+// ExecOptions are execution parameters of a scenario run: knobs that change
+// how the run executes (parallelism, vertex placement, observability) but
+// never what it computes — every combination produces the identical trace
+// and report, which is what lets one golden corpus gate them all.
+type ExecOptions struct {
+	// Shards is the event-loop shard count; 0 or 1 is sequential.
+	Shards int
+	// Partitioner is the vertex→shard assignment strategy ("" or
+	// simnet.PartitionerStriped, or simnet.PartitionerLatency).
+	Partitioner string
+	// Obs configures the observability plane.
+	Obs ObsOptions
+}
+
 // RunScenario compiles a declarative scenario and executes it against an
 // emulated cluster, returning the structured report. The run is fully
 // deterministic: the same scenario and seed produce a byte-identical event
@@ -77,15 +91,23 @@ func RunScenario(s *scenario.Scenario) (*scenario.Report, error) {
 // yields the identical trace and report (docs/simnet.md explains why), so
 // golden traces recorded at one shard count verify every other.
 func RunScenarioShards(s *scenario.Scenario, shards int) (*scenario.Report, error) {
+	return RunScenarioExec(s, ExecOptions{Shards: shards})
+}
+
+// RunScenarioExec runs a scenario with the full set of execution options.
+func RunScenarioExec(s *scenario.Scenario, exec ExecOptions) (*scenario.Report, error) {
 	sched, err := scenario.Compile(s)
 	if err != nil {
 		return nil, err
 	}
-	eng, err := newScenarioEngine(s, sched, shards)
+	eng, err := newScenarioEngineExec(s, sched, exec)
 	if err != nil {
 		return nil, err
 	}
 	defer eng.c.StopAll()
+	if exec.Obs.Enabled {
+		eng.obs = newEngineObs(s, sched, eng.c.Sched.Shards(), exec.Obs)
+	}
 	eng.scheduleSetup()
 	eng.schedulePhases(0, len(sched.Phases)-1)
 	eng.c.RunFor(sched.Total)
@@ -143,10 +165,16 @@ func makeGrid[T any](shards, phases int) [][]T {
 // newScenarioEngine builds the cluster and a fresh engine for a compiled
 // schedule. The caller owns eng.c.StopAll.
 func newScenarioEngine(s *scenario.Scenario, sched *scenario.Schedule, shards int) (*scenarioEngine, error) {
+	return newScenarioEngineExec(s, sched, ExecOptions{Shards: shards})
+}
+
+// newScenarioEngineExec is newScenarioEngine with the full execution options.
+func newScenarioEngineExec(s *scenario.Scenario, sched *scenario.Schedule, exec ExecOptions) (*scenarioEngine, error) {
 	stack, err := ScenarioStack(s.Protocol)
 	if err != nil {
 		return nil, err
 	}
+	shards := exec.Shards
 	if shards < 1 {
 		shards = 1
 	}
@@ -155,6 +183,7 @@ func newScenarioEngine(s *scenario.Scenario, sched *scenario.Schedule, shards in
 		Routers:        s.Routers,
 		Seed:           s.Seed,
 		Shards:         shards,
+		Partitioner:    exec.Partitioner,
 		HeartbeatAfter: s.HeartbeatAfter.D(),
 		FailAfter:      s.FailAfter.D(),
 	})

@@ -2,6 +2,7 @@ package simnet
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"macedon/internal/overlay"
@@ -49,11 +50,31 @@ type LinkCounters struct {
 	Drops   uint64
 }
 
+// Partitioner names for Config.Partitioner.
+const (
+	// PartitionerStriped assigns vertex v to shard v % nshards: perfectly
+	// balanced, oblivious to the topology. With low-latency access links
+	// spread across shards the conservative lookahead collapses to the
+	// global minimum link latency. The default; also selected by "".
+	PartitionerStriped = "striped"
+	// PartitionerLatency clusters low-latency cliques onto one shard
+	// (capacity-bounded, deterministic — see topology.PartitionLatency), so
+	// only higher-latency core links cross shards and the lookahead window
+	// widens. Traces are byte-identical to striped runs: execution order is
+	// defined by (time, actor, seq) keys that never depend on placement.
+	PartitionerLatency = "latency"
+)
+
 // Config tunes emulation behaviour.
 type Config struct {
 	// LossRate uniformly drops this fraction of datagrams per hop.
 	// Zero by default: loss then only arises from queue overflow.
 	LossRate float64
+	// Partitioner selects the vertex→shard assignment strategy:
+	// PartitionerStriped (default) or PartitionerLatency. Any assignment
+	// yields the same traces; the choice only moves the lookahead window
+	// and therefore wall-clock scaling.
+	Partitioner string
 	// PerHopOverhead adds fixed per-router forwarding delay.
 	PerHopOverhead time.Duration
 	// OracleCacheSize bounds how many failure-set routing oracles the
@@ -105,9 +126,25 @@ type Network struct {
 
 	statsBy []shardStats // per-shard counters, summed on demand
 
+	// pktPools recycles packet records per shard; pktGen pins packets that a
+	// checkpoint's copied event heaps may still reference (see allocPacket).
+	pktPools []packetPool
+	pktGen   uint64
+
 	oracles         oracleCache
 	oracleEvictions uint64
 }
+
+// packetPool is one shard's free list of packet records, padded so
+// neighbouring shards' pool headers don't share a cache line.
+type packetPool struct {
+	pool sync.Pool
+	_    [40]byte
+}
+
+// StateCopyOpaque marks the pool as opaque to the statecopy walk: a free
+// list is scratch state, never part of a checkpoint.
+func (p *packetPool) StateCopyOpaque() {}
 
 type shardPaths struct {
 	m map[pathKey][]topology.LinkID
@@ -169,13 +206,23 @@ func New(sched *Scheduler, g *topology.Graph, cfg Config) *Network {
 	n.routes = topology.NewRoutes(g)
 	n.routes.SetTreeBudget(n.cfg.OracleTreeBudget)
 	n.live = n.routes
-	n.vertexShard = make([]int32, g.NumRouters())
-	for v := range n.vertexShard {
-		n.vertexShard[v] = int32(v % nsh)
+	switch cfg.Partitioner {
+	case "", PartitionerStriped:
+		n.vertexShard = topology.PartitionStriped(g, nsh)
+	case PartitionerLatency:
+		n.vertexShard = topology.PartitionLatency(g, nsh)
+	default:
+		panic(fmt.Sprintf("simnet: unknown partitioner %q (want %q or %q)",
+			cfg.Partitioner, PartitionerStriped, PartitionerLatency))
 	}
+	n.pktPools = make([]packetPool, nsh)
 	for i := range n.pathsBy {
 		n.pathsBy[i].m = make(map[pathKey][]topology.LinkID)
 	}
+	if sched.net != nil {
+		panic("simnet: scheduler already drives a network; flat event records admit exactly one")
+	}
+	sched.net = n
 	for _, addr := range g.Clients() {
 		v, _ := g.ClientVertex(addr)
 		n.eps[addr] = &endpoint{net: n, addr: addr, vertex: v, shard: int(n.vertexShard[v])}
@@ -316,14 +363,44 @@ func (n *Network) path(shard int, src, dst topology.RouterID) []topology.LinkID 
 	return p
 }
 
-// packet is one datagram in flight. It is immutable once created: the hop
-// index travels as an event-closure argument instead of a mutable field, so
-// a checkpoint's copied event heap can replay the packet's remaining hops
-// after a restore without the branch's progress having corrupted it.
+// packet is one datagram in flight. It is immutable for the duration of the
+// flight: the hop index travels in the event record instead of a mutable
+// field, so a checkpoint's copied event heap can replay the packet's
+// remaining hops after a restore without the branch's progress having
+// corrupted it.
+//
+// Records are pooled per shard. Exactly one pending event references a
+// packet at any instant (each arrival schedules the next), so the terminal
+// event — delivery or a drop — owns it and may recycle it. gen pins packets
+// across checkpoints: Network.Snapshot bumps pktGen, and releasePacket only
+// recycles a packet whose gen matches the current generation. A packet
+// created before the latest snapshot might be referenced by that snapshot's
+// copied heap, so it stays immutable forever and is left to the GC.
 type packet struct {
 	src, dst overlay.Address
 	payload  []byte
 	path     []topology.LinkID
+	gen      uint64
+}
+
+// allocPacket takes a packet record from the executing shard's pool.
+func (n *Network) allocPacket(shard int) *packet {
+	if pkt, ok := n.pktPools[shard].pool.Get().(*packet); ok {
+		pkt.gen = n.pktGen
+		return pkt
+	}
+	return &packet{gen: n.pktGen}
+}
+
+// releasePacket returns a terminal packet to the executing shard's pool,
+// unless a snapshot generation pinned it. Fields are cleared so a recycled
+// record can never leak a prior payload or path to its next flight.
+func (n *Network) releasePacket(shard int, pkt *packet) {
+	if pkt.gen != n.pktGen {
+		return // an older generation: some snapshot heap may reference it
+	}
+	*pkt = packet{gen: pkt.gen}
+	n.pktPools[shard].pool.Put(pkt)
 }
 
 func (n *Network) send(src *endpoint, dst overlay.Address, payload []byte) error {
@@ -349,8 +426,10 @@ func (n *Network) send(src *endpoint, dst overlay.Address, payload []byte) error
 	if src.addr == dst {
 		// Loopback bypasses the topology, as the kernel would.
 		src.actorSeq++
-		n.sched.schedule(shard, n.sched.timeOn(shard), n.vertexActor(src.vertex), src.actorSeq,
-			func() { n.deliver(shard, dstEp, src.addr, payload) }, nil)
+		pkt := n.allocPacket(shard)
+		pkt.src, pkt.dst, pkt.payload = src.addr, dst, payload
+		n.sched.scheduleEv(shard, n.sched.timeOn(shard), n.vertexActor(src.vertex), src.actorSeq,
+			event{kind: evDeliver, pkt: pkt, shard: int32(shard)})
 		return nil
 	}
 	path := n.path(shard, src.vertex, dstEp.vertex)
@@ -362,7 +441,8 @@ func (n *Network) send(src *endpoint, dst overlay.Address, payload []byte) error
 		}
 		return fmt.Errorf("simnet: no route from %v to %v", src.addr, dst)
 	}
-	pkt := &packet{src: src.addr, dst: dst, payload: payload, path: path}
+	pkt := n.allocPacket(shard)
+	pkt.src, pkt.dst, pkt.payload, pkt.path = src.addr, dst, payload, path
 	n.enqueue(shard, pkt, 0)
 	return nil
 }
@@ -376,6 +456,7 @@ func (n *Network) enqueue(shard int, pkt *packet, hop int) {
 		// The pipe failed (possibly after this packet's path was chosen):
 		// everything entering it is lost.
 		st.LinkDownDrops++
+		n.releasePacket(shard, pkt)
 		return
 	}
 	link := n.graph.Link(l)
@@ -384,15 +465,18 @@ func (n *Network) enqueue(shard int, pkt *packet, hop int) {
 	if ls.queuedBytes+size > link.QueueBytes {
 		ls.ctr.Drops++
 		st.QueueDrops++
+		n.releasePacket(shard, pkt)
 		return
 	}
 	if n.cfg.LossRate > 0 && n.lossDraw(ls, l) < n.cfg.LossRate {
 		st.RandomLoss++
+		n.releasePacket(shard, pkt)
 		return
 	}
 	deg, isDegraded := n.degraded[l]
 	if isDegraded && deg.LossRate > 0 && n.lossDraw(ls, l) < deg.LossRate {
 		st.DegradeLoss++
+		n.releasePacket(shard, pkt)
 		return
 	}
 	ls.queuedBytes += size
@@ -416,13 +500,15 @@ func (n *Network) enqueue(shard int, pkt *packet, hop int) {
 	// The packet's bytes leave the queue when serialization completes: an
 	// event on the pipe's own shard.
 	ls.seq++
-	n.sched.schedule(shard, txDone, actor, ls.seq, func() { ls.queuedBytes -= size }, nil)
+	n.sched.scheduleEv(shard, txDone, actor, ls.seq,
+		event{kind: evRelease, link: l, arg: int32(size)})
 	// The arrival advances the packet to the pipe's head vertex, possibly on
 	// another shard. Cross-shard arrivals are always at least the link
 	// latency away, which is what the lookahead window guarantees.
 	next := n.shardOf(link.To)
 	ls.seq++
-	n.sched.schedule(next, arrive, actor, ls.seq, func() { n.arriveHop(next, pkt, hop+1) }, nil)
+	n.sched.scheduleEv(next, arrive, actor, ls.seq,
+		event{kind: evArrive, pkt: pkt, arg: int32(hop + 1), shard: int32(next)})
 }
 
 // lossDraw produces the next uniform [0,1) variate of a pipe's private loss
@@ -464,14 +550,25 @@ func (n *Network) arriveHop(shard int, pkt *packet, hop int) {
 	ep, ok := n.eps[pkt.dst]
 	if !ok || ep.down {
 		st.DownDrops++
+		n.releasePacket(shard, pkt)
 		return
 	}
 	if n.Partitioned(pkt.src, pkt.dst) {
 		// The partition formed while the datagram was in flight.
 		st.PartitionDrops++
+		n.releasePacket(shard, pkt)
 		return
 	}
 	n.deliver(shard, ep, pkt.src, pkt.payload)
+	n.releasePacket(shard, pkt)
+}
+
+// deliverLoopback executes an evDeliver record: same-address traffic that
+// bypassed the topology. Endpoints are never removed from eps, so the
+// exec-time lookup sees exactly the endpoint the send saw.
+func (n *Network) deliverLoopback(shard int, pkt *packet) {
+	n.deliver(shard, n.eps[pkt.dst], pkt.src, pkt.payload)
+	n.releasePacket(shard, pkt)
 }
 
 func (n *Network) deliver(shard int, ep *endpoint, src overlay.Address, payload []byte) {

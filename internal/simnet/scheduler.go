@@ -13,12 +13,12 @@
 package simnet
 
 import (
-	"container/heap"
 	"math/rand"
 	"sync"
 	"time"
 
 	"macedon/internal/substrate"
+	"macedon/internal/topology"
 )
 
 // Scheduler is a deterministic virtual-time event loop, optionally sharded.
@@ -31,6 +31,12 @@ type Scheduler struct {
 	seed int64
 	now  time.Duration // global virtual time since epoch
 	rng  *rand.Rand
+
+	// net is the emulated network whose flat event records this scheduler
+	// dispatches (simnet.New installs it). Exactly one network may drive a
+	// scheduler: flat events carry link and packet references that only
+	// resolve against it.
+	net *Network
 
 	shards    []*shard
 	lookahead time.Duration // conservative cross-shard window; 0 = not set
@@ -67,7 +73,7 @@ func NewSharded(seed int64, n int) *Scheduler {
 	s := &Scheduler{seed: seed, rng: rand.New(rand.NewSource(seed))}
 	s.shards = make([]*shard, n)
 	for i := range s.shards {
-		s.shards[i] = &shard{id: i}
+		s.shards[i] = &shard{id: i, sched: s}
 	}
 	return s
 }
@@ -134,18 +140,53 @@ func (t *simTimer) Stop() bool {
 	return true
 }
 
-// event is one scheduled callback. (at, actor, seq) is the deterministic
-// total order: actor identifies the logical scheduling context (0 = global,
-// 1+vertex for endpoints, 1+numVertices+link for pipes) and seq is that
-// actor's private counter. Because every actor schedules from exactly one
-// shard, the key assignment — and therefore the execution order — is
-// independent of how many shards run.
+// Event kinds. The zero value is evFunc, so every event built from a plain
+// closure (timers, global control ops) dispatches unchanged. The network
+// kinds are flat records: the packet hot path schedules them without
+// allocating a closure per event (see network.go).
+const (
+	evFunc    uint8 = iota // run fn (timers, scenario control, test drivers)
+	evRelease              // a pipe finished serializing: release queued bytes
+	evArrive               // a packet advances to its next hop's vertex
+	evDeliver              // loopback delivery at the destination endpoint
+)
+
+// event is one scheduled callback or flat network record. (at, actor, seq)
+// is the deterministic total order: actor identifies the logical scheduling
+// context (0 = global, 1+vertex for endpoints, 1+numVertices+link for pipes)
+// and seq is that actor's private counter. Because every actor schedules
+// from exactly one shard, the key assignment — and therefore the execution
+// order — is independent of how many shards run.
+//
+// Network events carry their operands inline instead of in a closure: kind
+// selects the operation and (pkt, link, arg, shard) parameterize it. This is
+// the zero-alloc hot path — a closure per packet hop used to be the
+// dominant allocation of a large run.
 type event struct {
 	at    time.Duration
 	actor uint64
 	seq   uint64
-	fn    func()
-	tm    *simTimer // nil for internal events that are never cancelled
+	fn    func()          // evFunc only
+	tm    *simTimer       // nil for internal events that are never cancelled
+	pkt   *packet         // evArrive, evDeliver
+	link  topology.LinkID // evRelease: the pipe whose queue drains
+	arg   int32           // evRelease: bytes to release; evArrive: next hop index
+	shard int32           // evArrive, evDeliver: the shard the event executes on
+	kind  uint8
+}
+
+// exec dispatches one event against the network owning the flat records.
+func (e *event) exec(n *Network) {
+	switch e.kind {
+	case evFunc:
+		e.fn()
+	case evRelease:
+		n.links[e.link].queuedBytes -= int(e.arg)
+	case evArrive:
+		n.arriveHop(int(e.shard), e.pkt, int(e.arg))
+	case evDeliver:
+		n.deliverLoopback(int(e.shard), e.pkt)
+	}
 }
 
 func keyLess(a, b event) bool {
@@ -158,19 +199,55 @@ func keyLess(a, b event) bool {
 	return a.seq < b.seq
 }
 
+// eventHeap is a binary min-heap ordered by keyLess, implemented directly
+// on the slice. The generic container/heap would box every event into an
+// interface{} on Push — one heap allocation per scheduled event, which at
+// scale dominates the allocation profile. keyLess is a strict total order
+// ((actor, seq) pairs are unique), so the pop sequence — and therefore
+// every trace — is independent of the heap's internal arrangement.
 type eventHeap []event
 
-func (h eventHeap) Len() int            { return len(h) }
-func (h eventHeap) Less(i, j int) bool  { return keyLess(h[i], h[j]) }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = event{}
-	*h = old[:n-1]
-	return e
+func (h eventHeap) Len() int { return len(h) }
+
+func (h *eventHeap) push(e event) {
+	s := append(*h, e)
+	*h = s
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !keyLess(s[i], s[parent]) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() event {
+	s := *h
+	n := len(s) - 1
+	top := s[0]
+	s[0] = s[n]
+	s[n] = event{} // release closure and packet references
+	s = s[:n]
+	*h = s
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && keyLess(s[r], s[l]) {
+			m = r
+		}
+		if !keyLess(s[m], s[i]) {
+			break
+		}
+		s[i], s[m] = s[m], s[i]
+		i = m
+	}
+	return top
 }
 
 // shard is one partition of the event loop: a locked heap plus the shard's
@@ -178,7 +255,8 @@ func (h *eventHeap) Pop() interface{} {
 // under its mutex; the conservative lookahead guarantees such events land at
 // or beyond the running epoch's horizon, so the owner never misses one.
 type shard struct {
-	id int
+	id    int
+	sched *Scheduler
 
 	mu   sync.Mutex
 	evts eventHeap
@@ -197,7 +275,7 @@ type window struct {
 
 func (sh *shard) push(e event) {
 	sh.mu.Lock()
-	heap.Push(&sh.evts, e)
+	sh.evts.push(e)
 	sh.mu.Unlock()
 }
 
@@ -229,7 +307,7 @@ func (sh *shard) popTop() (e event, run, any bool) {
 	if sh.evts.Len() == 0 {
 		return event{}, false, false
 	}
-	e = heap.Pop(&sh.evts).(event)
+	e = sh.evts.pop()
 	if e.tm != nil {
 		if e.tm.stopped {
 			return event{}, false, true
@@ -249,7 +327,7 @@ func (sh *shard) popIf(w window) (event, bool) {
 		if e.at > w.limit || (e.at == w.limit && !w.inclusive) {
 			return event{}, false
 		}
-		heap.Pop(&sh.evts)
+		sh.evts.pop()
 		if e.tm != nil {
 			if e.tm.stopped {
 				continue
@@ -275,7 +353,7 @@ func (sh *shard) runWindow(w window) {
 			sh.now = e.at
 		}
 		sh.executed++
-		e.fn()
+		e.exec(sh.sched.net)
 	}
 }
 
@@ -291,6 +369,13 @@ func (sh *shard) serve() {
 // deterministic key. Callers own the (actor, seq) counters.
 func (s *Scheduler) schedule(shardID int, at time.Duration, actor, seq uint64, fn func(), tm *simTimer) {
 	s.shards[shardID].push(event{at: at, actor: actor, seq: seq, fn: fn, tm: tm})
+}
+
+// scheduleEv enqueues a prepared flat event record on a shard. The caller
+// fills the kind-specific operands; scheduleEv stamps the deterministic key.
+func (s *Scheduler) scheduleEv(shardID int, at time.Duration, actor, seq uint64, e event) {
+	e.at, e.actor, e.seq = at, actor, seq
+	s.shards[shardID].push(e)
 }
 
 // timeOn returns the current virtual time as seen from a shard: the later
@@ -324,7 +409,7 @@ func (s *Scheduler) After(d time.Duration, fn func()) substrate.Timer {
 	if len(s.shards) == 1 {
 		s.shards[0].push(e)
 	} else {
-		heap.Push(&s.global, e)
+		s.global.push(e)
 	}
 	return t
 }
@@ -339,7 +424,7 @@ func (s *Scheduler) post(d time.Duration, fn func()) {
 	if len(s.shards) == 1 {
 		s.shards[0].push(e)
 	} else {
-		heap.Push(&s.global, e)
+		s.global.push(e)
 	}
 }
 
@@ -374,7 +459,7 @@ func (s *Scheduler) Step() bool {
 		}
 		var e event
 		if src == nil {
-			e = heap.Pop(&s.global).(event)
+			e = s.global.pop()
 			if e.tm != nil {
 				if e.tm.stopped {
 					continue
@@ -395,7 +480,7 @@ func (s *Scheduler) Step() bool {
 			s.now = e.at
 		}
 		s.executed++
-		e.fn()
+		e.exec(s.net)
 		return true
 	}
 }
@@ -526,7 +611,7 @@ func (s *Scheduler) drainBarrier(t time.Duration) {
 			return
 		}
 		if src == nil {
-			e := heap.Pop(&s.global).(event)
+			e := s.global.pop()
 			if e.tm != nil {
 				if e.tm.stopped {
 					continue
@@ -534,7 +619,7 @@ func (s *Scheduler) drainBarrier(t time.Duration) {
 				e.tm.fired = true
 			}
 			s.executed++
-			e.fn()
+			e.exec(s.net)
 			continue
 		}
 		e, run, _ := src.popTop()
@@ -542,7 +627,7 @@ func (s *Scheduler) drainBarrier(t time.Duration) {
 			continue
 		}
 		s.executed++
-		e.fn()
+		e.exec(s.net)
 	}
 }
 

@@ -135,6 +135,12 @@ type NetworkSnapshot struct {
 
 // Snapshot captures the network. Call between RunFor windows only.
 func (n *Network) Snapshot() *NetworkSnapshot {
+	// Retire the current packet generation: the scheduler snapshot taken
+	// alongside this one copies event heaps that reference in-flight packet
+	// records, so those records must never re-enter a pool. pktGen is
+	// monotonic and deliberately absent from the snapshot — restoring must
+	// not resurrect a generation that other snapshots still pin.
+	n.pktGen++
 	cp := &NetworkSnapshot{
 		links:           append([]linkState(nil), n.links...),
 		eps:             make(map[overlay.Address]endpointState, len(n.eps)),

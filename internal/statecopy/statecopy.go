@@ -298,6 +298,12 @@ func (c *capturer) capture(v reflect.Value) saved {
 		if isSyncType(t) {
 			return savNothing{}
 		}
+		// A struct whose pointer receiver declares StateCopyOpaque opts out
+		// even when embedded by value (e.g. a per-shard pool inside an
+		// array): its state is scratch, never part of a checkpoint.
+		if reflect.PointerTo(t).Implements(opaqueType) {
+			return savNothing{}
+		}
 		av := v
 		if !av.CanAddr() {
 			av = copyToTemp(v)

@@ -344,16 +344,75 @@ func (r *Routes) computeTree(dst RouterID) *spt {
 // the two directions adjacently, so the partner differs in the low bit.
 func (r *Routes) partner(l LinkID) LinkID { return l ^ 1 }
 
+// access returns a degree-1 client vertex's single out-link and attachment
+// router. ok is false for core routers (and for any multi-homed client),
+// which keep the plain tree lookup.
+func (r *Routes) access(v RouterID) (up LinkID, router RouterID, ok bool) {
+	if _, isClient := r.g.clientVertex[v]; !isClient || len(r.g.adj[v]) != 1 {
+		return NilLink, NilRouter, false
+	}
+	e := r.g.adj[v][0]
+	return e.link, e.to, true
+}
+
+// endpoints decomposes a (src, dst) query around degree-1 client endpoints:
+// every path out of such a client starts on its uplink and every path into
+// one ends on its downlink, so the oracle only ever needs shortest-path
+// trees toward CORE routers. This is the memory wall of very large
+// populations: one tree per client destination is O(clients × vertices),
+// one per core router is bounded by the (much smaller) router count.
+// ok is false when a required access link is blocked — the query answer is
+// then "unreachable", exactly what the full-graph tree would have said.
+func (r *Routes) endpoints(src, dst RouterID) (coreSrc, coreDst RouterID, up, down LinkID, ok bool) {
+	coreSrc, coreDst, up, down = src, dst, NilLink, NilLink
+	if l, rt, isAccess := r.access(src); isAccess {
+		if r.blocked != nil && r.blocked(l) {
+			return 0, 0, NilLink, NilLink, false
+		}
+		up, coreSrc = l, rt
+	}
+	if l, rt, isAccess := r.access(dst); isAccess {
+		d := r.partner(l) // l leaves dst; traffic enters over the partner
+		if r.blocked != nil && r.blocked(d) {
+			return 0, 0, NilLink, NilLink, false
+		}
+		down, coreDst = d, rt
+	}
+	return coreSrc, coreDst, up, down, true
+}
+
 // Path returns the directed links from src to dst, in traversal order, or
 // nil if unreachable (or src == dst).
 func (r *Routes) Path(src, dst RouterID) []LinkID {
-	t := r.tree(dst)
-	if t.prev[src] == NilLink && src != dst {
+	if src == dst {
+		return nil
+	}
+	coreSrc, coreDst, up, down, ok := r.endpoints(src, dst)
+	if !ok {
+		return nil
+	}
+	if coreSrc == coreDst {
+		// Same attachment router (or one endpoint is the other's router):
+		// the path is just the access hops.
+		path := make([]LinkID, 0, 2)
+		if up != NilLink {
+			path = append(path, up)
+		}
+		if down != NilLink {
+			path = append(path, down)
+		}
+		return path
+	}
+	t := r.tree(coreDst)
+	if t.prev[coreSrc] == NilLink {
 		return nil
 	}
 	var path []LinkID
-	v := src
-	for v != dst {
+	if up != NilLink {
+		path = append(path, up)
+	}
+	v := coreSrc
+	for v != coreDst {
 		l := t.prev[v]
 		if l == NilLink {
 			return nil
@@ -361,18 +420,38 @@ func (r *Routes) Path(src, dst RouterID) []LinkID {
 		path = append(path, l)
 		v = r.g.links[l].To
 	}
+	if down != NilLink {
+		path = append(path, down)
+	}
 	return path
 }
 
 // Latency returns the propagation latency of the shortest path src→dst, or
 // a negative duration if unreachable.
 func (r *Routes) Latency(src, dst RouterID) time.Duration {
-	t := r.tree(dst)
-	const inf = time.Duration(1<<63 - 1)
-	if t.dist[src] == inf {
+	if src == dst {
+		return 0
+	}
+	coreSrc, coreDst, up, down, ok := r.endpoints(src, dst)
+	if !ok {
 		return -1
 	}
-	return t.dist[src]
+	var d time.Duration
+	if up != NilLink {
+		d += r.g.links[up].Latency
+	}
+	if down != NilLink {
+		d += r.g.links[down].Latency
+	}
+	if coreSrc == coreDst {
+		return d
+	}
+	t := r.tree(coreDst)
+	const inf = time.Duration(1<<63 - 1)
+	if t.dist[coreSrc] == inf {
+		return -1
+	}
+	return d + t.dist[coreSrc]
 }
 
 // ClientLatency returns the one-way propagation latency between two client

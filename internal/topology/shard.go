@@ -1,6 +1,9 @@
 package topology
 
-import "time"
+import (
+	"sort"
+	"time"
+)
 
 // MinCrossShardLatency returns the smallest propagation latency of any link
 // whose endpoints are owned by different shards under the given assignment.
@@ -20,4 +23,119 @@ func MinCrossShardLatency(g *Graph, shardOf func(RouterID) int) (time.Duration, 
 		}
 	}
 	return min, found
+}
+
+// PartitionStriped assigns vertex v to shard v % nshards. Balanced and
+// placement-oblivious: with short access links scattered across shards the
+// lookahead collapses to the global minimum link latency.
+func PartitionStriped(g *Graph, nshards int) []int32 {
+	if nshards < 1 {
+		nshards = 1
+	}
+	assign := make([]int32, g.NumRouters())
+	for v := range assign {
+		assign[v] = int32(v % nshards)
+	}
+	return assign
+}
+
+// PartitionLatency clusters the graph so its lowest-latency links become
+// intra-shard, widening the conservative lookahead window (the minimum
+// CROSS-shard latency). The construction is a capacity-bounded Kruskal
+// sweep: undirected pipes in ascending (latency, id) order merge their
+// endpoint clusters whenever the merged cluster still fits the per-shard
+// capacity ceil(n/nshards); the resulting components are then bin-packed
+// onto shards largest-first, each onto the least-loaded shard.
+//
+// The assignment is a pure function of the graph and nshards — ties break
+// on link id, component size, smallest member, and shard id — so the same
+// seed and topology always shard identically. Placement never changes
+// results (execution order is keyed independently of shards); it changes
+// only how far shards may run ahead of each other between barriers.
+func PartitionLatency(g *Graph, nshards int) []int32 {
+	n := g.NumRouters()
+	assign := make([]int32, n)
+	if nshards < 1 {
+		nshards = 1
+	}
+	if nshards == 1 || n == 0 {
+		return assign
+	}
+	capacity := (n + nshards - 1) / nshards
+
+	// Union-find over vertices, merging along cheap pipes first. Links are
+	// created in fwd/rev pairs (rev = fwd^1), so even ids enumerate each
+	// undirected pipe exactly once.
+	parent := make([]int32, n)
+	size := make([]int32, n)
+	for v := range parent {
+		parent[v] = int32(v)
+		size[v] = 1
+	}
+	var find func(int32) int32
+	find = func(v int32) int32 {
+		for parent[v] != v {
+			parent[v] = parent[parent[v]] // path halving
+			v = parent[v]
+		}
+		return v
+	}
+	links := g.Links()
+	pipes := make([]LinkID, 0, len(links)/2)
+	for id := 0; id < len(links); id += 2 {
+		pipes = append(pipes, LinkID(id))
+	}
+	sort.Slice(pipes, func(i, j int) bool {
+		a, b := links[pipes[i]], links[pipes[j]]
+		if a.Latency != b.Latency {
+			return a.Latency < b.Latency
+		}
+		return pipes[i] < pipes[j]
+	})
+	for _, id := range pipes {
+		l := links[id]
+		ra, rb := find(int32(l.From)), find(int32(l.To))
+		if ra == rb || size[ra]+size[rb] > int32(capacity) {
+			continue
+		}
+		if size[ra] < size[rb] {
+			ra, rb = rb, ra
+		}
+		parent[rb] = ra
+		size[ra] += size[rb]
+	}
+
+	// Bin-pack components onto shards: largest first (ties break on the
+	// smallest member vertex), each onto the currently least-loaded shard
+	// (ties on the lowest shard id).
+	members := make(map[int32][]int32, nshards*2)
+	for v := int32(0); v < int32(n); v++ {
+		r := find(v)
+		members[r] = append(members[r], v) // ascending: v increases
+	}
+	roots := make([]int32, 0, len(members))
+	for r := range members {
+		roots = append(roots, r)
+	}
+	sort.Slice(roots, func(i, j int) bool {
+		a, b := members[roots[i]], members[roots[j]]
+		if len(a) != len(b) {
+			return len(a) > len(b)
+		}
+		return a[0] < b[0]
+	})
+	load := make([]int, nshards)
+	for _, r := range roots {
+		best := 0
+		for s := 1; s < nshards; s++ {
+			if load[s] < load[best] {
+				best = s
+			}
+		}
+		for _, v := range members[r] {
+			assign[v] = int32(best)
+		}
+		load[best] += len(members[r])
+	}
+	return assign
 }

@@ -1,0 +1,113 @@
+package topology
+
+import (
+	"testing"
+	"time"
+)
+
+// cliqueGraph builds groups of size `size` with cheap intra-group pipes and
+// an expensive ring joining the groups: the shape latency partitioning is
+// meant to exploit.
+func cliqueGraph(groups, size int, intra, inter time.Duration) *Graph {
+	g := NewGraph()
+	for i := 0; i < groups*size; i++ {
+		g.AddRouter()
+	}
+	for grp := 0; grp < groups; grp++ {
+		base := RouterID(grp * size)
+		for a := 0; a < size; a++ {
+			for b := a + 1; b < size; b++ {
+				g.AddLink(base+RouterID(a), base+RouterID(b), intra, 1e8, 1<<16)
+			}
+		}
+	}
+	for grp := 0; grp < groups; grp++ {
+		a := RouterID(grp * size)
+		b := RouterID(((grp + 1) % groups) * size)
+		g.AddLink(a, b, inter, 1e8, 1<<16)
+	}
+	return g
+}
+
+// TestPartitionLatencyDeterministic: the assignment is a pure function of
+// the graph and the shard count — two builds of the same topology shard
+// identically, which is what lets a latency-partitioned run reproduce the
+// golden corpus.
+func TestPartitionLatencyDeterministic(t *testing.T) {
+	build := func() *Graph {
+		g, err := INET(DefaultINET(120, 9))
+		if err != nil {
+			t.Fatal(err)
+		}
+		AttachClients(g, 30, 1, DefaultAccess, 10)
+		return g
+	}
+	for _, shards := range []int{2, 4, 16} {
+		a := PartitionLatency(build(), shards)
+		b := PartitionLatency(build(), shards)
+		if len(a) != len(b) {
+			t.Fatalf("shards=%d: assignment lengths differ", shards)
+		}
+		for v := range a {
+			if a[v] != b[v] {
+				t.Fatalf("shards=%d: vertex %d assigned to %d then %d", shards, v, a[v], b[v])
+			}
+			if a[v] < 0 || int(a[v]) >= shards {
+				t.Fatalf("shards=%d: vertex %d assigned out of range: %d", shards, v, a[v])
+			}
+		}
+	}
+}
+
+// TestPartitionLatencyWidensLookahead: on a clustered topology the latency
+// partitioner keeps each cheap clique on one shard, so only the expensive
+// inter-group links cross shards and the conservative lookahead jumps from
+// the global minimum latency to the inter-group latency.
+func TestPartitionLatencyWidensLookahead(t *testing.T) {
+	const intra, inter = time.Millisecond, 50 * time.Millisecond
+	g := cliqueGraph(4, 4, intra, inter)
+
+	striped := PartitionStriped(g, 4)
+	sw, ok := MinCrossShardLatency(g, func(v RouterID) int { return int(striped[v]) })
+	if !ok || sw != intra {
+		t.Fatalf("striped lookahead: got %v ok=%v, want %v (cheap links cross shards)", sw, ok, intra)
+	}
+
+	lat := PartitionLatency(g, 4)
+	for grp := 0; grp < 4; grp++ {
+		for m := 1; m < 4; m++ {
+			if lat[grp*4+m] != lat[grp*4] {
+				t.Fatalf("group %d split across shards: %v", grp, lat)
+			}
+		}
+	}
+	lw, ok := MinCrossShardLatency(g, func(v RouterID) int { return int(lat[v]) })
+	if !ok || lw != inter {
+		t.Fatalf("latency lookahead: got %v ok=%v, want %v (only ring links cross)", lw, ok, inter)
+	}
+}
+
+// TestPartitionLatencyBalance: the capacity bound keeps the assignment
+// usable as a parallel work partition — no shard holds more than twice the
+// ideal share even on an irregular graph, and striped stays exact.
+func TestPartitionLatencyBalance(t *testing.T) {
+	g, err := INET(DefaultINET(200, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	AttachClients(g, 60, 1, DefaultAccess, 4)
+	n := g.NumRouters()
+	for _, shards := range []int{2, 4, 8} {
+		assign := PartitionLatency(g, shards)
+		load := make([]int, shards)
+		for _, s := range assign {
+			load[s]++
+		}
+		capacity := (n + shards - 1) / shards
+		for s, l := range load {
+			if l > 2*capacity {
+				t.Fatalf("shards=%d: shard %d holds %d vertices (capacity %d)", shards, s, l, capacity)
+			}
+		}
+	}
+}

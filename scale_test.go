@@ -1,7 +1,11 @@
-// Scale acceptance: a 10,000-node RandTree churn scenario must run to
-// completion on the sharded event loop. The run takes minutes of wall
-// clock, so it is gated behind MACEDON_SCALE=1 (CI runs it in a dedicated
-// job; `make` of the default test target skips it).
+// Scale acceptance: large RandTree churn scenarios must run to completion
+// on the sharded event loop. The runs take minutes of wall clock, so they
+// are gated behind MACEDON_SCALE=1 (the CI perf lane runs them in a
+// dedicated job; `go test ./...` skips them).
+//
+// Every population size, churn knob, and pass/fail threshold lives in the
+// scaleCases table below — the single source the CI job and local
+// MACEDON_SCALE=1 runs both read, so the two can't drift.
 package main
 
 import (
@@ -12,46 +16,114 @@ import (
 
 	"macedon/internal/harness"
 	"macedon/internal/scenario"
+	"macedon/internal/simnet"
 )
 
-func TestScale10kRandTreeChurn(t *testing.T) {
+// scaleCase pins one scale-acceptance scenario: the population, the churn
+// storm it must survive, the partitioner it runs under, and the acceptance
+// thresholds.
+type scaleCase struct {
+	name        string
+	nodes       int
+	routers     int
+	partitioner string // "" = striped default
+	joinWindow  time.Duration
+	settle      time.Duration
+	churnFor    time.Duration
+	churnRate   float64 // kills per second (poisson)
+	downtime    time.Duration
+	drain       time.Duration
+	minLive     int // population floor after the churn phase
+}
+
+// scaleCases is THE one place scale thresholds live. The CI perf job runs
+// `-run Scale` against this table and local MACEDON_SCALE=1 runs read the
+// same rows, so a threshold bump lands in both or neither.
+var scaleCases = map[string]scaleCase{
+	"10k": {
+		name:       "randtree-10k-churn",
+		nodes:      10_000,
+		routers:    2_500,
+		joinWindow: 20 * time.Second,
+		settle:     30 * time.Second,
+		churnFor:   60 * time.Second,
+		churnRate:  2, // ~120 kills over the phase
+		downtime:   20 * time.Second,
+		drain:      10 * time.Second,
+		minLive:    9_800,
+	},
+	// The 100k trajectory point: five times the population, routed through
+	// the access-link decomposition (trees only toward core routers) and
+	// placed by the latency-aware partitioner so the conservative lookahead
+	// window stays wide at scale.
+	"50k": {
+		name:        "randtree-50k-churn",
+		nodes:       50_000,
+		routers:     5_000,
+		partitioner: simnet.PartitionerLatency,
+		joinWindow:  20 * time.Second,
+		settle:      20 * time.Second,
+		churnFor:    30 * time.Second,
+		churnRate:   2, // ~60 kills over the phase
+		downtime:    15 * time.Second,
+		drain:       10 * time.Second,
+		minLive:     49_800,
+	},
+}
+
+// runScaleCase executes one row of the table and enforces its thresholds.
+func runScaleCase(t *testing.T, c scaleCase) {
 	if os.Getenv("MACEDON_SCALE") == "" {
-		t.Skip("set MACEDON_SCALE=1 to run the 10k-node scenario")
+		t.Skipf("set MACEDON_SCALE=1 to run the %d-node scenario", c.nodes)
 	}
 	s := &scenario.Scenario{
-		Name:     "randtree-10k-churn",
+		Name:     c.name,
 		Seed:     2004,
-		Nodes:    10_000,
-		Routers:  2_500,
+		Nodes:    c.nodes,
+		Routers:  c.routers,
 		Protocol: "randtree",
-		Join:     scenario.JoinSpec{Process: "staggered", Window: scenario.Duration(20 * time.Second)},
-		Settle:   scenario.Duration(30 * time.Second),
-		Drain:    scenario.Duration(10 * time.Second),
+		Join:     scenario.JoinSpec{Process: "staggered", Window: scenario.Duration(c.joinWindow)},
+		Settle:   scenario.Duration(c.settle),
+		Drain:    scenario.Duration(c.drain),
 		Phases: []scenario.Phase{
 			{
 				Name:     "churn",
-				Duration: scenario.Duration(60 * time.Second),
+				Duration: scenario.Duration(c.churnFor),
 				Churn: &scenario.Churn{
 					Model:    "poisson",
-					Rate:     2, // ~120 kills over the phase
-					Downtime: scenario.Duration(20 * time.Second),
+					Rate:     c.churnRate,
+					Downtime: scenario.Duration(c.downtime),
 				},
 			},
 		},
 	}
 	shards := runtime.GOMAXPROCS(0)
 	start := time.Now()
-	rep, err := harness.RunScenarioShards(s, shards)
+	rep, err := harness.RunScenarioExec(s, harness.ExecOptions{
+		Shards:      shards,
+		Partitioner: c.partitioner,
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Logf("10k-node churn: %d events, %d kills+revives traced, wall=%s shards=%d",
-		rep.EventsRun, len(rep.Trace), time.Since(start).Round(time.Second), shards)
+	t.Logf("%d-node churn: %d events, %d kills+revives traced, wall=%s shards=%d partitioner=%q",
+		c.nodes, rep.EventsRun, len(rep.Trace), time.Since(start).Round(time.Second), shards, c.partitioner)
 	last := rep.Phases[len(rep.Phases)-1]
-	if last.LiveNodes < 9_800 {
-		t.Fatalf("population collapsed: live=%d", last.LiveNodes)
+	if last.LiveNodes < c.minLive {
+		t.Fatalf("population collapsed: live=%d (floor %d)", last.LiveNodes, c.minLive)
 	}
 	if rep.Final.Delivered == 0 {
-		t.Fatal("no traffic delivered at 10k nodes")
+		t.Fatalf("no traffic delivered at %d nodes", c.nodes)
 	}
+}
+
+func TestScale10kRandTreeChurn(t *testing.T) {
+	runScaleCase(t, scaleCases["10k"])
+}
+
+// TestScale50kRandTreeChurn is the 100k-trajectory acceptance: a 50,000-node
+// population under churn, latency-partitioned, completing on the pooled
+// event hot path.
+func TestScale50kRandTreeChurn(t *testing.T) {
+	runScaleCase(t, scaleCases["50k"])
 }
