@@ -1,0 +1,115 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+
+	"macedon/internal/harness"
+	"macedon/internal/metrics"
+	"macedon/internal/scenario"
+)
+
+// runDiff implements "macedon diff": differential conformance between a
+// generated protocol and its hand-written port. The scenario's protocol
+// names either side of a pair (genchord/chord, genpastry/pastry,
+// genrandtree/randtree); both implementations run the same compiled
+// schedule on the emulator and the drift is graded within declared
+// tolerances (metrics.DiffConformance). A failed verdict exits nonzero,
+// which is what makes the command a CI gate.
+func runDiff(args []string) int {
+	fs := flag.NewFlagSet("diff", flag.ExitOnError)
+	seed := fs.Int64("seed", 0, "override the scenario's seed")
+	shards := fs.Int("shards", 0, "event-loop shards (0 = GOMAXPROCS); any value prints identical output")
+	jsonOut := fs.String("json", "", "write the verdict as JSON to this file ('-' = stdout)")
+	tolDelivery := fs.Float64("tol-delivery", 0, "delivery tolerance in points (0 = default)")
+	tolHops := fs.Float64("tol-hops", 0, "mean-hop tolerance as a fraction (0 = default)")
+	tolMsgs := fs.Float64("tol-msgs", 0, "control-message tolerance as a fraction (0 = default)")
+	tolBytes := fs.Float64("tol-bytes", 0, "control-byte tolerance as a fraction (0 = default)")
+	_ = fs.Parse(args)
+	if fs.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "macedon diff: exactly one scenario file required")
+		return 2
+	}
+	s, err := scenario.Load(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", fs.Arg(0), err)
+		return 1
+	}
+	if *seed != 0 {
+		s.Seed = *seed
+	}
+	genName, handName, err := diffPair(s.Protocol)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "macedon diff: %v\n", err)
+		return 2
+	}
+	n := *shards
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	run := func(proto string) (*scenario.Report, error) {
+		// The two runs share everything but the protocol: same seed, same
+		// compiled schedule, same workload population.
+		v := *s
+		v.Protocol = proto
+		return harness.RunScenarioExec(&v, harness.ExecOptions{Shards: n})
+	}
+	genRep, err := run(genName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "macedon diff: %s run: %v\n", genName, err)
+		return 1
+	}
+	handRep, err := run(handName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "macedon diff: %s run: %v\n", handName, err)
+		return 1
+	}
+	d := metrics.DiffConformance(genRep, handRep, metrics.DiffTolerances{
+		DeliveryPoints: *tolDelivery,
+		HopsFrac:       *tolHops,
+		MsgsFrac:       *tolMsgs,
+		BytesFrac:      *tolBytes,
+	})
+	fmt.Print(d.Table())
+	if *jsonOut != "" {
+		body, err := json.MarshalIndent(d, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "macedon diff: encode: %v\n", err)
+			return 1
+		}
+		body = append(body, '\n')
+		if *jsonOut == "-" {
+			os.Stdout.Write(body)
+		} else if err := os.WriteFile(*jsonOut, body, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", *jsonOut, err)
+			return 1
+		}
+	}
+	if !d.Pass {
+		return 1
+	}
+	return 0
+}
+
+// diffPair resolves a scenario protocol to its (generated, hand-written)
+// implementation pair: either side of the pair may be named.
+func diffPair(proto string) (gen, hand string, err error) {
+	if proto == "" {
+		proto = "chord"
+	}
+	if strings.HasPrefix(proto, "gen") {
+		gen, hand = proto, strings.TrimPrefix(proto, "gen")
+	} else {
+		gen, hand = "gen"+proto, proto
+	}
+	for _, p := range []string{gen, hand} {
+		if _, err := harness.ScenarioStack(p); err != nil {
+			return "", "", fmt.Errorf("protocol %q has no gen/hand pair (%v)", proto, err)
+		}
+	}
+	return gen, hand, nil
+}

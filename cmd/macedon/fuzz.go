@@ -1,0 +1,70 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"macedon/internal/fuzz"
+	"macedon/internal/scenario"
+)
+
+// runFuzz implements "macedon fuzz": execute seed-keyed random scenarios
+// on the emulator with the invariant checkers enabled. A failing seed is
+// deterministically shrunk to a minimal repro scenario and written under
+// -out; committing the repro turns the found bug into a regression test
+// (the repro replay in ci). -replay re-runs one repro file and reports its
+// violation count. Everything is keyed by the seed: the same seed always
+// generates, fails, and shrinks identically.
+func runFuzz(args []string) int {
+	fs := flag.NewFlagSet("fuzz", flag.ExitOnError)
+	seed := fs.Int64("seed", 1, "first fuzz seed")
+	runs := fs.Int("runs", 1, "number of consecutive seeds to try")
+	shards := fs.Int("shards", 0, "emulator shards (0 = 2); any value reaches identical verdicts")
+	budget := fs.Duration("budget", 0, "wall-clock budget for the campaign (0 = unbounded)")
+	out := fs.String("out", "testdata/repro", "directory for shrunken repro scenarios")
+	synthetic := fs.Bool("synthetic", false, "enable the synthetic always-fails checker (shrinker exercise)")
+	replay := fs.String("replay", "", "re-run one repro scenario file and report its violations")
+	_ = fs.Parse(args)
+	if *replay != "" {
+		s, err := scenario.Load(*replay)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", *replay, err)
+			return 1
+		}
+		v, err := fuzz.Violations(s, *shards)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", *replay, err)
+			return 1
+		}
+		fmt.Printf("replay %s: %d violation(s)\n", *replay, v)
+		if v > 0 {
+			return 1
+		}
+		return 0
+	}
+	start := time.Now()
+	found, err := fuzz.Run(fuzz.Options{
+		Seed:      *seed,
+		Runs:      *runs,
+		Shards:    *shards,
+		Budget:    *budget,
+		Synthetic: *synthetic,
+		Out:       *out,
+		Log:       os.Stdout,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "macedon fuzz: %v\n", err)
+		return 1
+	}
+	fmt.Printf("fuzz: %d seed(s) from %d, %d failing, %s wall\n",
+		*runs, *seed, len(found), time.Since(start).Round(time.Millisecond))
+	if len(found) > 0 {
+		for _, f := range found {
+			fmt.Printf("  seed %d: %d violation(s) -> %s\n", f.Seed, f.Violations, f.ReproPath)
+		}
+		return 1
+	}
+	return 0
+}

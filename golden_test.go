@@ -33,6 +33,10 @@ var goldenScenarios = []string{
 	"overcast-churn",
 	"genchord-churn",
 	"genpastry-churn",
+	// genchord-checked opts into the runtime invariant checkers, so its
+	// golden pins the per-phase check report — checker set, node count,
+	// violation count — across shard counts and partitioners too.
+	"genchord-checked",
 }
 
 // goldenOutput renders a report exactly as `macedon scenario -trace` prints
@@ -163,6 +167,51 @@ func TestGoldenObsJSON(t *testing.T) {
 		}
 		if got != string(want) {
 			t.Fatalf("shards=%d obs JSON diverges from %s:\n%s",
+				shards, goldenPath, firstDiff(string(want), got))
+		}
+	}
+}
+
+// TestGoldenDiffTable pins the differential-conformance table: genchord and
+// chord both run the genchord-churn schedule, the drift is graded with the
+// default tolerances, and the rendered table must be byte-identical to the
+// checked-in golden at -shards=1 and -shards=4 — the gen-vs-hand verdict is
+// itself deterministic and shard-invariant. The test also asserts the
+// verdict is PASS, so a conformance regression in either implementation
+// fails loudly rather than just reshaping the table.
+func TestGoldenDiffTable(t *testing.T) {
+	update := os.Getenv("MACEDON_UPDATE_GOLDEN") != ""
+	s, err := scenario.Load(filepath.Join("examples", "scenarios", "genchord-churn.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	goldenPath := filepath.Join("testdata", "golden", "genchord-diff.txt")
+	for _, shards := range []int{1, 4} {
+		run := func(proto string) *scenario.Report {
+			v := *s
+			v.Protocol = proto
+			rep, err := harness.RunScenarioExec(&v, harness.ExecOptions{Shards: shards})
+			if err != nil {
+				t.Fatalf("%s shards=%d: %v", proto, shards, err)
+			}
+			return rep
+		}
+		d := metrics.DiffConformance(run("genchord"), run("chord"), metrics.DiffTolerances{})
+		got := d.Table()
+		if !d.Pass {
+			t.Fatalf("shards=%d: genchord-vs-chord conformance verdict is FAIL:\n%s", shards, got)
+		}
+		if update && shards == 1 {
+			if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		want, err := os.ReadFile(goldenPath)
+		if err != nil {
+			t.Fatalf("missing golden (run with MACEDON_UPDATE_GOLDEN=1 to create): %v", err)
+		}
+		if got != string(want) {
+			t.Fatalf("shards=%d diff table diverges from %s:\n%s",
 				shards, goldenPath, firstDiff(string(want), got))
 		}
 	}

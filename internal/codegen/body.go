@@ -813,6 +813,13 @@ func (g *generator) callExpr(e dsl.CallExpr) (string, error) {
 		}
 		g.need("listContains")
 		return fmt.Sprintf("listContains(%s, %s)", s, v), nil
+	case "list_random":
+		s, err := g.nodesetExpr(e.Args[0])
+		if err != nil {
+			return "", err
+		}
+		g.need("listRandom")
+		return fmt.Sprintf("listRandom(ctx, %s)", s), nil
 	case "table_get":
 		id, err := identArg(e, 0)
 		if err != nil {

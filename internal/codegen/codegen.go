@@ -445,6 +445,15 @@ func listGet(s []overlay.Address, i int32) overlay.Address {
 	return s[i]
 }
 `},
+	{"listRandom", `// listRandom picks a uniformly random entry with the node's seeded
+// source, or NilAddress when the list is empty.
+func listRandom(ctx *core.Context, s []overlay.Address) overlay.Address {
+	if len(s) == 0 {
+		return overlay.NilAddress
+	}
+	return s[ctx.Rand().Intn(len(s))]
+}
+`},
 	{"listContains", `// listContains reports whether a is in the list.
 func listContains(s []overlay.Address, a overlay.Address) bool {
 	for _, x := range s {

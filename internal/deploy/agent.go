@@ -11,6 +11,7 @@ import (
 	"strings"
 	"time"
 
+	"macedon/internal/check"
 	"macedon/internal/core"
 	"macedon/internal/harness"
 	"macedon/internal/livenet"
@@ -263,7 +264,15 @@ func (a *agent) serve() error {
 		case KindShape:
 			a.applyShape(m.Shape)
 		case KindPoll:
-			_ = a.conn.Send(&Msg{Kind: KindMetrics, Metrics: a.metrics()})
+			reply := &Msg{Kind: KindMetrics, Metrics: a.metrics()}
+			if m.PollState {
+				// Extract runs on the node's dispatch queue (core.Node.Exec),
+				// so the routing-state read is as consistent as the sim
+				// engine's barrier-time extraction.
+				st := check.Extract(a.node, a.cfg.Node)
+				reply.State = &st
+			}
+			_ = a.conn.Send(reply)
 		case KindQuit:
 			fmt.Fprintf(a.logw, "agent %d: quit\n", a.cfg.Node)
 			return nil

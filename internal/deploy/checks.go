@@ -1,0 +1,90 @@
+package deploy
+
+import (
+	"fmt"
+	"time"
+
+	"macedon/internal/check"
+	"macedon/internal/obs"
+)
+
+// The live backend's half of the correctness plane: the same invariant
+// checkers the scenario engine drives at phase boundaries run here over
+// routing-state snapshots the agents ship back on a state-carrying poll.
+// The View's liveness and connectivity ages are scenario-time (wall
+// elapsed × Speed), so a scenario's grace and staleness windows mean the
+// same thing on both backends.
+
+// touchAllConnLocked stamps every node's connectivity age: a partition or
+// heal changes the whole network's shape at once (c.mu held).
+func (c *controller) touchAllConnLocked() {
+	now := time.Now()
+	for i := range c.connAt {
+		c.connAt[i] = now
+	}
+}
+
+// scenSince converts a wall-clock age to scenario time (c.mu held — reads
+// the stamp arrays only through its caller).
+func (c *controller) scenSince(since, now time.Time) time.Duration {
+	if !since.Before(now) {
+		return 0
+	}
+	return time.Duration(float64(now.Sub(since)) * c.cfg.Speed)
+}
+
+// runChecksLocked assembles the phase-boundary View from the latest
+// per-agent state snapshots and drives the checkers (c.mu held). An alive
+// agent that has not answered a state poll yet — its process restarted
+// between the poll and the snapshot — contributes an alive-but-unjoined
+// placeholder: no checker indicts a node it has no state for, and the
+// stability windows keep its peers' views out of scope too.
+func (c *controller) runChecksLocked(pi int) *check.PhaseChecks {
+	now := time.Now()
+	n := len(c.agents)
+	v := &check.View{
+		Phase:       pi,
+		PhaseName:   c.sched.Phases[pi].Name,
+		At:          c.scenTime(now),
+		Grace:       c.checkGrace,
+		StaleBound:  c.checkStale,
+		Partitioned: c.partition,
+	}
+	v.Nodes = make([]check.NodeState, n)
+	v.UpFor = make([]time.Duration, n)
+	v.DownFor = make([]time.Duration, n)
+	v.ConnAge = make([]time.Duration, n)
+	v.Reachable = make([]bool, n)
+	v.Degraded = make([]bool, n)
+	for i := 0; i < n; i++ {
+		switch {
+		case c.alive[i] && c.agents[i].state != nil:
+			v.Nodes[i] = *c.agents[i].state
+			v.Nodes[i].Node = i // controller indexing is authoritative
+			v.UpFor[i] = c.scenSince(c.upAt[i], now)
+		case c.alive[i]:
+			v.Nodes[i] = check.NodeState{Node: i, Addr: c.addrs[i], Alive: true}
+			v.UpFor[i] = c.scenSince(c.upAt[i], now)
+		default:
+			v.Nodes[i] = check.DeadState(i, c.addrs[i])
+			v.DownFor[i] = c.scenSince(c.downAt[i], now)
+		}
+		v.ConnAge[i] = c.scenSince(c.connAt[i], now)
+		v.Reachable[i] = !c.down[i]
+		v.Degraded[i] = c.degLoss[i] > 0 || c.degDelay[i] > 0
+	}
+	pc := check.Run(c.checkers, v)
+	for _, vi := range pc.Violations {
+		c.tracefLocked("check violation %s", vi)
+		if c.obs != nil {
+			key := vi.Node
+			if key < 0 {
+				key = 0
+			}
+			c.obs.events.EmitAt(v.At, uint64(key), obs.LevelWarn, "check_violation",
+				obs.F("checker", vi.Checker), obs.F("node", vi.Node),
+				obs.F("phase", pi), obs.F("detail", fmt.Sprintf("%q", vi.Detail)))
+		}
+	}
+	return pc
+}

@@ -12,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"macedon/internal/check"
 	"macedon/internal/harness"
 	"macedon/internal/obs"
 	"macedon/internal/overlay"
@@ -81,6 +82,9 @@ type agentSlot struct {
 	// the live node objects, whose counters also restart on revive.
 	retired Metrics
 	pollCh  chan *Metrics
+	// state is the last routing-state snapshot a state-carrying poll
+	// brought back (correctness plane); cleared on kill like the metrics.
+	state *check.NodeState
 }
 
 // controller executes a compiled schedule against a fleet of agent
@@ -130,6 +134,16 @@ type controller struct {
 	// addrIdx maps overlay addresses back to fleet indices for span records.
 	obs     *ctrlObs
 	addrIdx map[uint32]int
+
+	// Correctness plane (empty unless the scenario has a checks spec): the
+	// resolved checker set, the stability windows, and wall-clock stamps of
+	// each node's last liveness/connectivity change. PhaseEnd converts the
+	// stamps to scenario-time ages (wall × Speed) so the grace-window
+	// semantics match the emulated backend's.
+	checkers             []check.Checker
+	checkGrace           time.Duration
+	checkStale           time.Duration
+	upAt, downAt, connAt []time.Time
 }
 
 // Run executes the scenario as a live localhost deployment and returns
@@ -201,6 +215,16 @@ func Run(cfg Config) (*scenario.Report, error) {
 	for i := range c.agents {
 		c.agents[i] = &agentSlot{pollCh: make(chan *Metrics, 1)}
 	}
+	if ccfg := s.CheckConfig(); ccfg != nil {
+		if c.checkers, err = check.New(*ccfg); err != nil {
+			_ = ln.Close()
+			return nil, err
+		}
+		c.checkGrace, c.checkStale = ccfg.Resolve()
+	}
+	c.upAt = make([]time.Time, s.Nodes)
+	c.downAt = make([]time.Time, s.Nodes)
+	c.connAt = make([]time.Time, s.Nodes)
 	c.addrIdx = make(map[uint32]int, len(addrs))
 	for i, a := range addrs {
 		c.addrIdx[uint32(a)] = i
@@ -223,6 +247,9 @@ func Run(cfg Config) (*scenario.Report, error) {
 	defer cancel()
 
 	c.start = time.Now()
+	for i := range c.connAt {
+		c.upAt[i], c.downAt[i], c.connAt[i] = c.start, c.start, c.start
+	}
 	fmt.Fprintf(cfg.Out, "deploy %q: %d nodes on %s:%d.., control %s, speed %.3gx, wall ≈%s\n",
 		s.Name, s.Nodes, cfg.Host, cfg.BasePort, ln.Addr(), cfg.Speed,
 		time.Duration(float64(sched.Total)/cfg.Speed).Round(time.Second))
@@ -325,6 +352,11 @@ func (c *controller) reader(i, gen int, conn *Conn) {
 			c.onEvent(i, m.Event)
 		case KindMetrics:
 			if m.Metrics != nil {
+				if m.State != nil {
+					c.mu.Lock()
+					c.agents[i].state = m.State
+					c.mu.Unlock()
+				}
 				select {
 				case c.agents[i].pollCh <- m.Metrics:
 				default:
@@ -396,6 +428,7 @@ func (c *controller) spawn(i int) error {
 	slot.proc = cmd
 	slot.logFile = logf
 	c.alive[i] = true
+	c.upAt[i] = time.Now()
 	c.mu.Unlock()
 	go func() { _ = cmd.Wait() }() // reap
 	return nil
@@ -424,7 +457,9 @@ func (c *controller) kill(i int) {
 		slot.metrics = Metrics{}
 		slot.hasStats = false
 	}
+	slot.state = nil
 	c.alive[i] = false
+	c.downAt[i] = time.Now()
 	c.mu.Unlock()
 	if proc != nil && proc.Process != nil {
 		_ = proc.Process.Kill()
@@ -506,8 +541,9 @@ func (c *controller) sideOf(i int) int {
 }
 
 // poll gathers metrics from every live agent (last-known snapshots stand
-// in for agents that do not answer in time).
-func (c *controller) poll() {
+// in for agents that do not answer in time). withState additionally asks
+// each agent for its routing-state snapshot (correctness plane).
+func (c *controller) poll(withState bool) {
 	type pending struct {
 		i  int
 		ch chan *Metrics
@@ -526,7 +562,7 @@ func (c *controller) poll() {
 		case <-ch:
 		default:
 		}
-		if err := conn.Send(&Msg{Kind: KindPoll}); err == nil {
+		if err := conn.Send(&Msg{Kind: KindPoll, PollState: withState}); err == nil {
 			waits = append(waits, pending{i, ch})
 		}
 	}
@@ -577,7 +613,7 @@ func (c *controller) totalsLocked() (ctlMsgs, ctlBytes uint64, net simnet.Stats)
 // SettleEnd polls the fleet for the baseline snapshot phase deltas are
 // measured against.
 func (c *controller) SettleEnd() {
-	c.poll()
+	c.poll(false)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.base = scenario.PhaseTotals{}
@@ -587,12 +623,15 @@ func (c *controller) SettleEnd() {
 
 // PhaseEnd snapshots phase pi.
 func (c *controller) PhaseEnd(pi int) {
-	c.poll()
+	c.poll(len(c.checkers) > 0)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	row := &c.rows[pi]
 	row.Live = c.countLiveLocked()
 	row.CtlMsgs, row.CtlBytes, row.Net = c.totalsLocked()
+	if len(c.checkers) > 0 {
+		row.Checks = c.runChecksLocked(pi)
+	}
 	c.tracefLocked("phase %d (%s) complete", pi, c.sched.Phases[pi].Name)
 }
 
@@ -645,12 +684,14 @@ func (c *controller) Apply(op scenario.Op) {
 	case scenario.OpNodeDown, scenario.OpLinkDown:
 		c.mu.Lock()
 		c.down[op.Node] = true
+		c.connAt[op.Node] = time.Now()
 		c.mu.Unlock()
 		c.broadcastShape()
 		c.tracef("%s node %d", op.Kind, op.Node)
 	case scenario.OpNodeUp, scenario.OpLinkUp:
 		c.mu.Lock()
 		c.down[op.Node] = false
+		c.connAt[op.Node] = time.Now()
 		c.mu.Unlock()
 		c.broadcastShape()
 		c.tracef("%s node %d", op.Kind, op.Node)
@@ -658,6 +699,7 @@ func (c *controller) Apply(op scenario.Op) {
 		c.mu.Lock()
 		c.partition = true
 		c.partitionA = op.SideA
+		c.touchAllConnLocked()
 		c.mu.Unlock()
 		c.broadcastShape()
 		c.tracef("partition [0..%d) | [%d..%d)", op.SideA, op.SideA, len(c.addrs))
@@ -665,6 +707,7 @@ func (c *controller) Apply(op scenario.Op) {
 	case scenario.OpHeal:
 		c.mu.Lock()
 		c.partition = false
+		c.touchAllConnLocked()
 		c.mu.Unlock()
 		c.broadcastShape()
 		c.tracef("heal partition")
@@ -679,6 +722,7 @@ func (c *controller) Apply(op scenario.Op) {
 		if op.LatencyFactor > 1 {
 			c.degDelay[op.Node] = time.Duration(float64(c.degradeBase) * (op.LatencyFactor - 1))
 		}
+		c.connAt[op.Node] = time.Now()
 		c.mu.Unlock()
 		c.broadcastShape()
 		c.tracef("degrade node %d (delay %v, loss %.2f)", op.Node, c.degDelay[op.Node], op.Loss)
@@ -686,6 +730,7 @@ func (c *controller) Apply(op scenario.Op) {
 		c.mu.Lock()
 		c.degLoss[op.Node] = 0
 		c.degDelay[op.Node] = 0
+		c.connAt[op.Node] = time.Now()
 		c.mu.Unlock()
 		c.broadcastShape()
 		c.tracef("restore node %d", op.Node)
@@ -746,7 +791,7 @@ func (c *controller) tracefLocked(format string, args ...any) {
 // report assembles the live run's structured report with the same shape
 // and accounting the emulated engine emits.
 func (c *controller) report() *scenario.Report {
-	c.poll()
+	c.poll(false)
 	scrapes := c.scrapeFleet()
 	c.mu.Lock()
 	defer c.mu.Unlock()

@@ -22,6 +22,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"macedon/internal/check"
 )
 
 // maxFrame bounds a control frame; anything larger is a protocol error.
@@ -49,6 +51,12 @@ type Msg struct {
 	Op      *OpCmd       `json:"op,omitempty"`
 	Metrics *Metrics     `json:"metrics,omitempty"`
 	Event   *Event       `json:"event,omitempty"`
+	// PollState, on a poll, asks the agent to extract its overlay routing
+	// state alongside the counters; State carries it back on the metrics
+	// reply. The correctness plane's phase-boundary invariant checks ride
+	// the existing poll round trip rather than a new message kind.
+	PollState bool             `json:"poll_state,omitempty"`
+	State     *check.NodeState `json:"state,omitempty"`
 }
 
 // Hello identifies a connecting agent process.

@@ -1,0 +1,134 @@
+package fuzz
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"macedon/internal/harness"
+	"macedon/internal/scenario"
+)
+
+// Options configures a fuzz campaign.
+type Options struct {
+	// Seed is the first fuzz seed; Runs how many consecutive seeds to try.
+	Seed int64
+	Runs int
+	// Shards is the emulator shard count (0 = 2). Any value produces the
+	// same verdicts — the simulator is shard-invariant.
+	Shards int
+	// Budget bounds the campaign's wall-clock time (0 = unbounded). The
+	// per-seed results are deterministic either way; the budget only decides
+	// how far into the seed range a CI lane gets.
+	Budget time.Duration
+	// Synthetic enables the always-fails-under-churn checker, exercising
+	// the shrinking machinery end to end.
+	Synthetic bool
+	// Out is the repro directory (default testdata/repro).
+	Out string
+	// Log receives progress lines (nil = silent).
+	Log io.Writer
+}
+
+// Found is one failing seed's outcome.
+type Found struct {
+	Seed       int64
+	Violations int
+	ReproPath  string
+	Repro      *scenario.Scenario
+}
+
+// Violations runs one scenario on the emulator and returns its total
+// invariant-violation count.
+func Violations(s *scenario.Scenario, shards int) (int, error) {
+	if shards <= 0 {
+		shards = 2
+	}
+	rep, err := harness.RunScenarioExec(s, harness.ExecOptions{Shards: shards})
+	if err != nil {
+		return 0, err
+	}
+	return rep.CheckViolations(), nil
+}
+
+// Run executes the campaign: generate, check, and — on failure — shrink
+// and persist a minimal repro. It returns every failing seed's outcome.
+func Run(opts Options) ([]Found, error) {
+	logw := opts.Log
+	if logw == nil {
+		logw = io.Discard
+	}
+	if opts.Runs <= 0 {
+		opts.Runs = 1
+	}
+	if opts.Out == "" {
+		opts.Out = filepath.Join("testdata", "repro")
+	}
+	start := time.Now()
+	var found []Found
+	for i := 0; i < opts.Runs; i++ {
+		if opts.Budget > 0 && time.Since(start) > opts.Budget {
+			fmt.Fprintf(logw, "fuzz: budget %s exhausted after %d seed(s)\n", opts.Budget, i)
+			break
+		}
+		seed := opts.Seed + int64(i)
+		s := Generate(seed, opts.Synthetic)
+		v, err := Violations(s, opts.Shards)
+		if err != nil {
+			return found, fmt.Errorf("fuzz seed %d: %w", seed, err)
+		}
+		fmt.Fprintf(logw, "fuzz seed %d: %s nodes=%d phases=%d -> %d violation(s)\n",
+			seed, s.Protocol, s.Nodes, len(s.Phases), v)
+		if v == 0 {
+			continue
+		}
+		min := Shrink(s, func(c *scenario.Scenario) bool {
+			cv, cerr := Violations(c, opts.Shards)
+			return cerr == nil && cv > 0
+		}, func(format string, args ...any) { fmt.Fprintf(logw, "  "+format+"\n", args...) })
+		mv, err := Violations(min, opts.Shards)
+		if err != nil {
+			return found, fmt.Errorf("fuzz seed %d: shrunken repro: %w", seed, err)
+		}
+		path, err := WriteRepro(opts.Out, min, opts.Synthetic)
+		if err != nil {
+			return found, err
+		}
+		fmt.Fprintf(logw, "fuzz seed %d: shrunk to nodes=%d phases=%d (%d violation(s)), repro %s\n",
+			seed, min.Nodes, len(min.Phases), mv, path)
+		found = append(found, Found{Seed: seed, Violations: mv, ReproPath: path, Repro: min})
+	}
+	return found, nil
+}
+
+// ReproBytes renders a repro scenario deterministically (the bytes a given
+// fuzz seed always shrinks to).
+func ReproBytes(s *scenario.Scenario) []byte {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		// A Scenario is plain data; this cannot fail.
+		panic(fmt.Sprintf("fuzz: encode repro: %v", err))
+	}
+	return append(b, '\n')
+}
+
+// WriteRepro persists a shrunken repro under dir. Synthetic repros are
+// prefixed so the regression replay can tell demos (expected to still
+// fail) from fixed bugs (expected to pass).
+func WriteRepro(dir string, s *scenario.Scenario, synthetic bool) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	prefix := "fuzz"
+	if synthetic {
+		prefix = "synthetic"
+	}
+	path := filepath.Join(dir, fmt.Sprintf("%s-%d.json", prefix, s.Seed))
+	if err := os.WriteFile(path, ReproBytes(s), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}

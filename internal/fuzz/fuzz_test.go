@@ -1,0 +1,126 @@
+package fuzz
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"macedon/internal/repo"
+	"macedon/internal/scenario"
+)
+
+// TestGenerateDeterministic is the fuzzer's core promise: the same seed
+// always produces byte-identical scenarios, with no ambient entropy.
+func TestGenerateDeterministic(t *testing.T) {
+	for seed := int64(1); seed <= 50; seed++ {
+		a := ReproBytes(Generate(seed, false))
+		b := ReproBytes(Generate(seed, false))
+		if !bytes.Equal(a, b) {
+			t.Fatalf("seed %d generated two different scenarios", seed)
+		}
+		s := Generate(seed, false)
+		if err := s.Validate(); err != nil {
+			t.Fatalf("seed %d generated an invalid scenario: %v", seed, err)
+		}
+	}
+}
+
+// TestShrinkDeterministicEndToEnd runs the whole campaign twice for the
+// synthetic always-fails seed and demands byte-identical repro files, then
+// pins them against the committed shrinker demo: the same seed must fail
+// the same way and shrink to the same bytes on every machine.
+func TestShrinkDeterministicEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the emulator many times while shrinking")
+	}
+	run := func(dir string) []byte {
+		found, err := Run(Options{Seed: 2, Runs: 1, Shards: 2, Synthetic: true, Out: dir})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(found) != 1 {
+			t.Fatalf("synthetic seed 2 produced %d failures, want 1", len(found))
+		}
+		b, err := os.ReadFile(found[0].ReproPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	a := run(t.TempDir())
+	b := run(t.TempDir())
+	if !bytes.Equal(a, b) {
+		t.Fatal("two runs of the same synthetic seed shrank to different repro bytes")
+	}
+	committed, err := os.ReadFile(repo.Path("testdata", "repro", "synthetic-2.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, committed) {
+		t.Fatal("synthetic seed 2 no longer shrinks to the committed testdata/repro/synthetic-2.json")
+	}
+}
+
+// TestReproReplay replays every committed repro scenario. fuzz-*.json are
+// shrunken reproductions of bugs that have since been fixed — they must
+// stay violation-free, which is what turns each found bug into a permanent
+// regression test. synthetic-*.json use the synthetic always-fails checker
+// and must still fail, which guards the shrinking machinery itself.
+func TestReproReplay(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replays emulator scenarios")
+	}
+	files, err := filepath.Glob(repo.Path("testdata", "repro", "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no committed repro scenarios found")
+	}
+	for _, f := range files {
+		f := f
+		t.Run(filepath.Base(f), func(t *testing.T) {
+			s, err := scenario.Load(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			v, err := Violations(s, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if strings.HasPrefix(filepath.Base(f), "synthetic-") {
+				if v == 0 {
+					t.Fatal("synthetic repro no longer fails: the shrinker demo lost its bug")
+				}
+				return
+			}
+			if v > 0 {
+				t.Fatalf("fixed-bug repro regressed with %d violation(s)", v)
+			}
+		})
+	}
+}
+
+// TestVerdictShardInvariant replays one repro at several shard counts: the
+// checkers snapshot state at global barriers, so the verdict cannot depend
+// on the execution's parallelism.
+func TestVerdictShardInvariant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replays emulator scenarios")
+	}
+	s, err := scenario.Load(repo.Path("testdata", "repro", "fuzz-4.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{1, 2, 4} {
+		v, err := Violations(s, shards)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if v != 0 {
+			t.Fatalf("shards=%d: %d violation(s), want 0 at every shard count", shards, v)
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package fuzz
+
+import (
+	"encoding/json"
+
+	"macedon/internal/scenario"
+)
+
+// The shrinker reduces a failing scenario to a minimal reproduction while
+// the failure predicate keeps holding. It is fully deterministic: a fixed
+// transformation order over a deterministic predicate (the emulator), no
+// randomness, so the same failing scenario always shrinks to the same
+// bytes. The order is structural first — drop whole phases, then whole
+// phase components (churn, events, workload) — then numeric bisection of
+// populations, rates and counts, which matches how a human would minimize:
+// first "which part matters", then "how little of it still breaks".
+
+// maxShrinkRounds bounds the fixpoint loop; each round only keeps
+// transformations that preserve the failure, so the bound is a backstop,
+// not a tuning knob.
+const maxShrinkRounds = 12
+
+// Shrink minimizes s under the failing predicate. The returned scenario
+// always fails (it starts from a failing s and only keeps failing
+// candidates). logf receives one line per accepted transformation.
+func Shrink(s *scenario.Scenario, failing func(*scenario.Scenario) bool, logf func(string, ...any)) *scenario.Scenario {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	cur := clone(s)
+	for round := 0; round < maxShrinkRounds; round++ {
+		changed := false
+		// 1. Drop whole phases (first to last; restart after each success so
+		// indices stay meaningful).
+		for len(cur.Phases) > 1 {
+			dropped := false
+			for pi := 0; pi < len(cur.Phases); pi++ {
+				c := clone(cur)
+				c.Phases = append(append([]scenario.Phase(nil), c.Phases[:pi]...), c.Phases[pi+1:]...)
+				if failing(c) {
+					logf("shrink: drop phase %d (%s)", pi, cur.Phases[pi].Name)
+					cur, changed, dropped = c, true, true
+					break
+				}
+			}
+			if !dropped {
+				break
+			}
+		}
+		// 2. Drop phase components.
+		for pi := range cur.Phases {
+			if cur.Phases[pi].Churn != nil {
+				c := clone(cur)
+				c.Phases[pi].Churn = nil
+				if failing(c) {
+					logf("shrink: drop phase %d churn", pi)
+					cur, changed = c, true
+				}
+			}
+			if len(cur.Phases[pi].Events) > 0 {
+				c := clone(cur)
+				c.Phases[pi].Events = nil
+				if failing(c) {
+					logf("shrink: drop phase %d events", pi)
+					cur, changed = c, true
+				}
+			}
+			if cur.Phases[pi].Workload != nil {
+				c := clone(cur)
+				c.Phases[pi].Workload = nil
+				if failing(c) {
+					logf("shrink: drop phase %d workload", pi)
+					cur, changed = c, true
+				}
+			}
+		}
+		// 3. Bisect the population toward the 4-node floor.
+		for cur.Nodes > 4 {
+			c := clone(cur)
+			c.Nodes = cur.Nodes / 2
+			if c.Nodes < 4 {
+				c.Nodes = 4
+			}
+			if !failing(c) {
+				break
+			}
+			logf("shrink: nodes %d -> %d", cur.Nodes, c.Nodes)
+			cur, changed = c, true
+		}
+		// 4. Halve churn and workload intensity while the failure survives.
+		for pi := range cur.Phases {
+			for {
+				ch := cur.Phases[pi].Churn
+				if ch == nil {
+					break
+				}
+				c := clone(cur)
+				cc := c.Phases[pi].Churn
+				switch {
+				case ch.Model == "poisson" && ch.Rate > 0.005:
+					cc.Rate = ch.Rate / 2
+				case ch.Model == "wave" && ch.Kill > 1:
+					cc.Kill = ch.Kill / 2
+				default:
+					ch = nil
+				}
+				if ch == nil || !failing(c) {
+					break
+				}
+				logf("shrink: phase %d churn halved", pi)
+				cur, changed = c, true
+			}
+			for {
+				wl := cur.Phases[pi].Workload
+				if wl == nil || wl.Rate < 0.5 {
+					break
+				}
+				c := clone(cur)
+				c.Phases[pi].Workload.Rate = wl.Rate / 2
+				if !failing(c) {
+					break
+				}
+				logf("shrink: phase %d workload rate halved", pi)
+				cur, changed = c, true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return cur
+}
+
+// clone deep-copies a scenario through its JSON form — the same round trip
+// a repro file takes, so shrinking operates on exactly what will be
+// persisted.
+func clone(s *scenario.Scenario) *scenario.Scenario {
+	b, err := json.Marshal(s)
+	if err != nil {
+		panic(err)
+	}
+	var c scenario.Scenario
+	if err := json.Unmarshal(b, &c); err != nil {
+		panic(err)
+	}
+	return &c
+}

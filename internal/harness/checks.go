@@ -1,0 +1,92 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"macedon/internal/check"
+	"macedon/internal/obs"
+	"macedon/internal/scenario"
+)
+
+// engineChecks is the scenario engine's hook into the correctness plane:
+// the resolved checker set plus the windows the View assembler needs. The
+// liveness/connectivity age arrays live on the engine itself (they are
+// maintained unconditionally — cheap — so sweep branching stays uniform).
+type engineChecks struct {
+	checkers []check.Checker
+	grace    scenario.Duration
+	stale    scenario.Duration
+}
+
+// newEngineChecks resolves a scenario's checks spec; nil when checks are
+// off.
+func newEngineChecks(s *scenario.Scenario) (*engineChecks, error) {
+	cfg := s.CheckConfig()
+	if cfg == nil {
+		return nil, nil
+	}
+	checkers, err := check.New(*cfg)
+	if err != nil {
+		return nil, err
+	}
+	g, st := cfg.Resolve()
+	return &engineChecks{checkers: checkers, grace: scenario.Duration(g), stale: scenario.Duration(st)}, nil
+}
+
+// runChecks extracts every node's state at a phase boundary and drives the
+// checkers. It runs as a global event at an epoch barrier: all shards are
+// parked, so node-state reads are race-free and — because node state is
+// shard-invariant by the simulator's determinism contract — the verdict is
+// byte-identical at any shard count.
+func (e *scenarioEngine) runChecks(pi int) *check.PhaseChecks {
+	now := e.c.Sched.Elapsed()
+	v := &check.View{
+		Phase:       pi,
+		PhaseName:   e.sched.Phases[pi].Name,
+		At:          now,
+		Grace:       e.checks.grace.D(),
+		StaleBound:  e.checks.stale.D(),
+		Partitioned: e.partitioned,
+	}
+	n := len(e.alive)
+	v.Nodes = make([]check.NodeState, 0, n)
+	v.UpFor = make([]time.Duration, n)
+	v.DownFor = make([]time.Duration, n)
+	v.ConnAge = make([]time.Duration, n)
+	v.Reachable = make([]bool, n)
+	v.Degraded = make([]bool, n)
+	for i := 0; i < n; i++ {
+		if e.alive[i] {
+			v.Nodes = append(v.Nodes, check.Extract(e.c.Nodes[e.c.Addrs[i]], i))
+			v.UpFor[i] = now - e.upAt[i]
+		} else {
+			v.Nodes = append(v.Nodes, check.DeadState(i, e.c.Addrs[i]))
+			v.DownFor[i] = now - e.downAt[i]
+		}
+		v.ConnAge[i] = now - e.connAt[i]
+		v.Reachable[i] = !e.hostDown[i] && !e.linkDown[i]
+		v.Degraded[i] = e.nodeDegraded[i]
+	}
+	pc := check.Run(e.checks.checkers, v)
+	if e.obs != nil {
+		for _, vi := range pc.Violations {
+			e.obs.onViolation(now, pi, vi)
+		}
+	}
+	return pc
+}
+
+// onViolation records an invariant violation on the event log. Violations
+// bypass the sampler-by-key semantics only in severity: the record is
+// emitted at warn level keyed by the offending node, so the population a
+// shard count admits matches the live backend's, like every other event.
+func (o *engineObs) onViolation(at time.Duration, pi int, vi check.Violation) {
+	key := vi.Node
+	if key < 0 {
+		key = 0
+	}
+	o.events.EmitAt(at, uint64(key), obs.LevelWarn, "check_violation",
+		obs.F("checker", vi.Checker), obs.F("node", vi.Node),
+		obs.F("phase", pi), obs.F("detail", fmt.Sprintf("%q", vi.Detail)))
+}

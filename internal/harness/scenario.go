@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"macedon/internal/check"
 	"macedon/internal/core"
 	"macedon/internal/obs"
 	"macedon/internal/overlay"
@@ -147,6 +148,22 @@ type scenarioEngine struct {
 	eventsRun int
 	trace     []string
 
+	// Liveness and connectivity ages for the correctness plane
+	// (internal/check): maintained unconditionally so sweep branching is
+	// uniform, consulted only when the scenario opted into checks.
+	upAt         []time.Duration // last transition to up (spawn/revive)
+	downAt       []time.Duration // last transition to down (0 = down since start)
+	connAt       []time.Duration // last connectivity change (down/up, link, degrade, partition)
+	hostDown     []bool          // node_down active
+	linkDown     []bool          // link_down active
+	nodeDegraded []bool          // degrade active
+	partitioned  bool
+
+	// checks is the run's correctness plane; nil when the scenario has no
+	// checks spec. phaseChecks collects the per-phase verdicts.
+	checks      *engineChecks
+	phaseChecks []*check.PhaseChecks
+
 	// obs is the run's observability plane; nil (the default) keeps the
 	// engine byte-for-byte on its legacy path. Not carried across sweep
 	// fork branches.
@@ -207,6 +224,18 @@ func newScenarioEngineExec(s *scenario.Scenario, sched *scenario.Schedule, exec 
 		phaseLive: make([]int, len(sched.Phases)),
 		phaseCtl:  make([]core.Counters, len(sched.Phases)),
 		addrIdx:   make(map[overlay.Address]int, s.Nodes),
+
+		upAt:         make([]time.Duration, s.Nodes),
+		downAt:       make([]time.Duration, s.Nodes),
+		connAt:       make([]time.Duration, s.Nodes),
+		hostDown:     make([]bool, s.Nodes),
+		linkDown:     make([]bool, s.Nodes),
+		nodeDegraded: make([]bool, s.Nodes),
+		phaseChecks:  make([]*check.PhaseChecks, len(sched.Phases)),
+	}
+	if eng.checks, err = newEngineChecks(s); err != nil {
+		c.StopAll()
+		return nil, err
 	}
 	for i, addr := range c.Addrs {
 		eng.addrIdx[addr] = i
@@ -295,6 +324,15 @@ type engineState struct {
 	baseCtl   core.Counters
 	eventsRun int
 	trace     []string
+
+	upAt         []time.Duration
+	downAt       []time.Duration
+	connAt       []time.Duration
+	hostDown     []bool
+	linkDown     []bool
+	nodeDegraded []bool
+	partitioned  bool
+	phaseChecks  []*check.PhaseChecks
 }
 
 // saveState captures the engine accounting for later branches.
@@ -315,6 +353,15 @@ func (e *scenarioEngine) saveState() *engineState {
 		baseCtl:   e.baseCtl,
 		eventsRun: e.eventsRun,
 		trace:     append([]string(nil), e.trace...),
+
+		upAt:         append([]time.Duration(nil), e.upAt...),
+		downAt:       append([]time.Duration(nil), e.downAt...),
+		connAt:       append([]time.Duration(nil), e.connAt...),
+		hostDown:     append([]bool(nil), e.hostDown...),
+		linkDown:     append([]bool(nil), e.linkDown...),
+		nodeDegraded: append([]bool(nil), e.nodeDegraded...),
+		partitioned:  e.partitioned,
+		phaseChecks:  append([]*check.PhaseChecks(nil), e.phaseChecks...),
 	}
 	for k, v := range e.sendTime {
 		st.sendTime[k] = v
@@ -354,6 +401,20 @@ func (e *scenarioEngine) branch(s *scenario.Scenario, sched *scenario.Schedule, 
 	e.baseCtl = st.baseCtl
 	e.eventsRun = st.eventsRun
 	e.trace = append(e.trace[:0:0], st.trace...)
+
+	e.upAt = append(e.upAt[:0:0], st.upAt...)
+	e.downAt = append(e.downAt[:0:0], st.downAt...)
+	e.connAt = append(e.connAt[:0:0], st.connAt...)
+	e.hostDown = append(e.hostDown[:0:0], st.hostDown...)
+	e.linkDown = append(e.linkDown[:0:0], st.linkDown...)
+	e.nodeDegraded = append(e.nodeDegraded[:0:0], st.nodeDegraded...)
+	e.partitioned = st.partitioned
+	e.phaseChecks = resizeSlice(st.phaseChecks, np)
+	// A variant may re-window or re-select its checkers.
+	var err error
+	if e.checks, err = newEngineChecks(s); err != nil {
+		panic(fmt.Sprintf("harness: sweep variant checks: %v", err))
+	}
 }
 
 func copyGrid[T any](g [][]T) [][]T {
@@ -403,6 +464,7 @@ func (e *scenarioEngine) report() *scenario.Report {
 			Net:      e.phaseNet[pi],
 			CtlMsgs:  e.phaseCtl[pi].MsgsSent,
 			CtlBytes: e.phaseCtl[pi].BytesSent,
+			Checks:   e.phaseChecks[pi],
 		}
 		for sh := range e.delivered {
 			row.Delivered += e.delivered[sh][pi]
@@ -453,6 +515,9 @@ func (e *scenarioEngine) snapshot(pi int) {
 		}
 	}
 	e.phaseLive[pi] = live
+	if e.checks != nil {
+		e.phaseChecks[pi] = e.runChecks(pi)
+	}
 }
 
 func (e *scenarioEngine) tracef(format string, args ...any) {
@@ -481,6 +546,7 @@ func (e *scenarioEngine) applySpawnBatch(ops []scenario.Op) {
 	}
 	for _, n := range idx {
 		e.alive[n] = true
+		e.upAt[n] = e.c.Sched.Elapsed()
 		e.attach(n)
 		e.tracef("spawn node %d (%v)", n, e.c.Addrs[n])
 	}
@@ -500,6 +566,7 @@ func (e *scenarioEngine) apply(op scenario.Op) {
 			panic(fmt.Sprintf("harness: scenario spawn %d: %v", op.Node, err))
 		}
 		e.alive[op.Node] = true
+		e.upAt[op.Node] = e.c.Sched.Elapsed()
 		e.attach(op.Node)
 		e.tracef("spawn node %d (%v)", op.Node, addr)
 	case scenario.OpKill:
@@ -509,6 +576,7 @@ func (e *scenarioEngine) apply(op scenario.Op) {
 		}
 		e.c.Kill(op.Node)
 		e.alive[op.Node] = false
+		e.downAt[op.Node] = e.c.Sched.Elapsed()
 		e.tracef("kill node %d (%v)", op.Node, addr)
 		if e.obs != nil {
 			e.obs.onLifecycle(e.c.Sched.Elapsed(), op.Node, "kill", obsNodeField(op.Node))
@@ -522,6 +590,7 @@ func (e *scenarioEngine) apply(op scenario.Op) {
 			panic(fmt.Sprintf("harness: scenario revive %d: %v", op.Node, err))
 		}
 		e.alive[op.Node] = true
+		e.upAt[op.Node] = e.c.Sched.Elapsed()
 		e.attach(op.Node)
 		e.tracef("revive node %d (%v)", op.Node, addr)
 		if e.obs != nil {
@@ -529,9 +598,13 @@ func (e *scenarioEngine) apply(op scenario.Op) {
 		}
 	case scenario.OpNodeDown:
 		_ = e.c.Net.SetDown(addr, true)
+		e.hostDown[op.Node] = true
+		e.connAt[op.Node] = e.c.Sched.Elapsed()
 		e.tracef("node_down node %d (%v)", op.Node, addr)
 	case scenario.OpNodeUp:
 		_ = e.c.Net.SetDown(addr, false)
+		e.hostDown[op.Node] = false
+		e.connAt[op.Node] = e.c.Sched.Elapsed()
 		e.tracef("node_up node %d (%v)", op.Node, addr)
 	case scenario.OpPartition:
 		sides := make(map[overlay.Address]int, len(e.c.Addrs))
@@ -543,27 +616,39 @@ func (e *scenarioEngine) apply(op scenario.Op) {
 			}
 		}
 		e.c.Net.SetPartition(sides)
+		e.partitioned = true
+		e.touchAllConn()
 		e.tracef("partition [0..%d) | [%d..%d)", op.SideA, op.SideA, len(e.c.Addrs))
 		if e.obs != nil {
 			e.obs.onLifecycle(e.c.Sched.Elapsed(), op.SideA, "partition", obs.F("side_a", op.SideA))
 		}
 	case scenario.OpHeal:
 		e.c.Net.ClearPartition()
+		e.partitioned = false
+		e.touchAllConn()
 		e.tracef("heal partition")
 		if e.obs != nil {
 			e.obs.onLifecycle(e.c.Sched.Elapsed(), 0, "heal")
 		}
 	case scenario.OpDegrade:
 		_ = e.c.Net.DegradeNodeAccess(addr, simnet.Degradation{LatencyFactor: op.LatencyFactor, LossRate: op.Loss})
+		e.nodeDegraded[op.Node] = true
+		e.connAt[op.Node] = e.c.Sched.Elapsed()
 		e.tracef("degrade node %d (latency x%.1f, loss %.2f)", op.Node, op.LatencyFactor, op.Loss)
 	case scenario.OpRestore:
 		_ = e.c.Net.RestoreNodeAccess(addr)
+		e.nodeDegraded[op.Node] = false
+		e.connAt[op.Node] = e.c.Sched.Elapsed()
 		e.tracef("restore node %d", op.Node)
 	case scenario.OpLinkDown:
 		_ = e.c.Net.SetNodeAccessDown(addr, true)
+		e.linkDown[op.Node] = true
+		e.connAt[op.Node] = e.c.Sched.Elapsed()
 		e.tracef("link_down node %d", op.Node)
 	case scenario.OpLinkUp:
 		_ = e.c.Net.SetNodeAccessDown(addr, false)
+		e.linkDown[op.Node] = false
+		e.connAt[op.Node] = e.c.Sched.Elapsed()
 		e.tracef("link_up node %d", op.Node)
 	case scenario.OpLookup:
 		if !e.alive[op.Node] {
@@ -599,6 +684,15 @@ func (e *scenarioEngine) apply(op scenario.Op) {
 			e.obs.onInject("multicast", op, op.Node, at)
 		}
 		_ = e.c.Nodes[addr].Multicast(e.group, make([]byte, op.Size), int32(op.ID), overlay.PriorityDefault)
+	}
+}
+
+// touchAllConn stamps every node's connectivity-change instant: partitions
+// and heals change everyone's reachability at once.
+func (e *scenarioEngine) touchAllConn() {
+	now := e.c.Sched.Elapsed()
+	for i := range e.connAt {
+		e.connAt[i] = now
 	}
 }
 

@@ -1,0 +1,239 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"macedon/internal/scenario"
+)
+
+// Gen-vs-hand differential conformance: `macedon diff` runs a generated
+// protocol (genchord, genpastry, genrandtree) and its hand-written port on
+// the same compiled schedule and grades the disagreement. The generated
+// agent is translated mechanically from the .mac specification while the
+// hand port is an independent implementation of the same algorithm, so the
+// two runs double-check each other: a drift outside tolerance means one of
+// them diverged from the algorithm. The grading mirrors the live-vs-sim
+// conformance verdict (deploy.Compare) — delivery in absolute points for
+// once-per-op workloads, relative percent for fan-out workloads, hops and
+// control overhead as relative fractions — and the rendered table is
+// deterministic, so it can be pinned as a golden like a sweep table.
+
+// DiffTolerances bound how far the generated protocol's run may drift from
+// the hand-written port's before the verdict fails. Zero fields select the
+// defaults.
+type DiffTolerances struct {
+	// DeliveryPoints is the allowed delivery-rate gap in percentage points
+	// (relative percent for fan-out workloads, see deploy.Compare).
+	DeliveryPoints float64
+	// HopsFrac is the allowed |gen − hand| / hand mean-hop gap.
+	HopsFrac float64
+	// MsgsFrac and BytesFrac bound the relative control-overhead gap
+	// (cumulative protocol messages and bytes over the phased window). The
+	// two implementations share timer constants but not message encodings,
+	// so these bounds are looser than the routing-behavior ones.
+	MsgsFrac  float64
+	BytesFrac float64
+}
+
+// DefaultDiffTolerances are the conformance-gate acceptance bounds.
+var DefaultDiffTolerances = DiffTolerances{
+	DeliveryPoints: 2,
+	HopsFrac:       0.25,
+	MsgsFrac:       0.35,
+	BytesFrac:      0.50,
+}
+
+// ProtocolDiff is the gen-vs-hand verdict for one scenario.
+type ProtocolDiff struct {
+	Scenario string
+	// Gen and Hand name the two protocol implementations.
+	Gen  string
+	Hand string
+
+	GenSent, HandSent           int
+	GenDelivered, HandDelivered int
+	// Delivery rates in percent, aggregated over every workload phase;
+	// DeliveryUnit is "points" or "% relative" (fan-out workloads).
+	GenDelivery, HandDelivery float64
+	DeliveryDelta             float64
+	DeliveryUnit              string
+
+	// Mean hops per delivered operation ((forwards+deliveries)/deliveries).
+	GenHops, HandHops float64
+	HopsDelta         float64
+
+	// Control overhead at the end of the phased window.
+	GenCtlMsgs, HandCtlMsgs   uint64
+	MsgsDelta                 float64
+	GenCtlBytes, HandCtlBytes uint64
+	BytesDelta                float64
+
+	// Violations totals invariant-checker breaches on either run (the diff
+	// gate fails on any, independent of the tolerance bounds).
+	GenViolations, HandViolations int
+
+	Tol      DiffTolerances
+	Pass     bool
+	Failures []string
+
+	genPhases, handPhases []scenario.PhaseReport
+}
+
+// lastCtlOf returns the final phase's cumulative control counters.
+func lastCtlOf(r *scenario.Report) (msgs, bytes uint64) {
+	if len(r.Phases) == 0 {
+		return 0, 0
+	}
+	last := r.Phases[len(r.Phases)-1]
+	return last.CtlMsgs, last.CtlBytes
+}
+
+// relDelta is |a − b| / b, or 0 when either side is unmeasured.
+func relDelta(a, b float64) float64 {
+	if a <= 0 || b <= 0 {
+		return 0
+	}
+	return math.Abs(a-b) / b
+}
+
+// DiffConformance grades a generated protocol's report against its
+// hand-written port's. Zero tolerance fields select the defaults.
+func DiffConformance(gen, hand *scenario.Report, tol DiffTolerances) *ProtocolDiff {
+	if tol.DeliveryPoints == 0 {
+		tol.DeliveryPoints = DefaultDiffTolerances.DeliveryPoints
+	}
+	if tol.HopsFrac == 0 {
+		tol.HopsFrac = DefaultDiffTolerances.HopsFrac
+	}
+	if tol.MsgsFrac == 0 {
+		tol.MsgsFrac = DefaultDiffTolerances.MsgsFrac
+	}
+	if tol.BytesFrac == 0 {
+		tol.BytesFrac = DefaultDiffTolerances.BytesFrac
+	}
+	d := &ProtocolDiff{
+		Scenario: gen.Scenario, Gen: gen.Protocol, Hand: hand.Protocol,
+		Tol: tol, Pass: true,
+		genPhases: gen.Phases, handPhases: hand.Phases,
+	}
+	var genFwd, handFwd int
+	for _, p := range gen.Phases {
+		d.GenSent += p.OpsSent
+		d.GenDelivered += p.OpsDelivered
+		genFwd += p.OpsForwarded
+	}
+	for _, p := range hand.Phases {
+		d.HandSent += p.OpsSent
+		d.HandDelivered += p.OpsDelivered
+		handFwd += p.OpsForwarded
+	}
+	d.GenCtlMsgs, d.GenCtlBytes = lastCtlOf(gen)
+	d.HandCtlMsgs, d.HandCtlBytes = lastCtlOf(hand)
+	d.GenViolations, d.HandViolations = gen.CheckViolations(), hand.CheckViolations()
+
+	if d.GenSent > 0 {
+		d.GenDelivery = 100 * float64(d.GenDelivered) / float64(d.GenSent)
+	}
+	if d.HandSent > 0 {
+		d.HandDelivery = 100 * float64(d.HandDelivered) / float64(d.HandSent)
+	}
+	d.DeliveryDelta = math.Abs(d.GenDelivery - d.HandDelivery)
+	d.DeliveryUnit = "points"
+	if math.Max(d.GenDelivery, d.HandDelivery) > 100 && d.HandDelivery > 0 {
+		d.DeliveryDelta = 100 * d.DeliveryDelta / d.HandDelivery
+		d.DeliveryUnit = "% relative"
+	}
+	if d.DeliveryDelta > tol.DeliveryPoints {
+		d.fail("delivery: gen %.2f%% vs hand %.2f%% (Δ %.2f %s > %.2f)",
+			d.GenDelivery, d.HandDelivery, d.DeliveryDelta, d.DeliveryUnit, tol.DeliveryPoints)
+	}
+
+	if d.GenDelivered > 0 {
+		d.GenHops = float64(genFwd+d.GenDelivered) / float64(d.GenDelivered)
+	}
+	if d.HandDelivered > 0 {
+		d.HandHops = float64(handFwd+d.HandDelivered) / float64(d.HandDelivered)
+	}
+	d.HopsDelta = relDelta(d.GenHops, d.HandHops)
+	if d.HopsDelta > tol.HopsFrac {
+		d.fail("hops: gen %.3f vs hand %.3f (Δ %.1f%% > %.0f%%)",
+			d.GenHops, d.HandHops, 100*d.HopsDelta, 100*tol.HopsFrac)
+	}
+
+	d.MsgsDelta = relDelta(float64(d.GenCtlMsgs), float64(d.HandCtlMsgs))
+	if d.MsgsDelta > tol.MsgsFrac {
+		d.fail("ctl msgs: gen %d vs hand %d (Δ %.1f%% > %.0f%%)",
+			d.GenCtlMsgs, d.HandCtlMsgs, 100*d.MsgsDelta, 100*tol.MsgsFrac)
+	}
+	d.BytesDelta = relDelta(float64(d.GenCtlBytes), float64(d.HandCtlBytes))
+	if d.BytesDelta > tol.BytesFrac {
+		d.fail("ctl bytes: gen %d vs hand %d (Δ %.1f%% > %.0f%%)",
+			d.GenCtlBytes, d.HandCtlBytes, 100*d.BytesDelta, 100*tol.BytesFrac)
+	}
+
+	if d.GenViolations > 0 || d.HandViolations > 0 {
+		d.fail("invariants: gen %d violation(s), hand %d", d.GenViolations, d.HandViolations)
+	}
+	return d
+}
+
+func (d *ProtocolDiff) fail(format string, args ...any) {
+	d.Pass = false
+	d.Failures = append(d.Failures, fmt.Sprintf(format, args...))
+}
+
+// Table renders the verdict deterministically: the aggregate comparison
+// columns, a per-phase delivery matrix in the sweep-table shape, and the
+// verdict line. Byte-identical across runs, machines and shard counts.
+func (d *ProtocolDiff) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "gen-vs-hand %q: %s vs %s\n", d.Scenario, d.Gen, d.Hand)
+	fmt.Fprintf(&b, "  %-12s %14s %14s\n", "", d.Gen, d.Hand)
+	fmt.Fprintf(&b, "  %-12s %8d/%-5d %8d/%-5d\n", "delivered",
+		d.GenDelivered, d.GenSent, d.HandDelivered, d.HandSent)
+	fmt.Fprintf(&b, "  %-12s %13.2f%% %13.2f%%  (Δ %.2f %s, tol %.1f)\n",
+		"delivery", d.GenDelivery, d.HandDelivery, d.DeliveryDelta, d.DeliveryUnit, d.Tol.DeliveryPoints)
+	fmt.Fprintf(&b, "  %-12s %14.3f %14.3f  (Δ %.1f%%, tol %.0f%%)\n",
+		"mean hops", d.GenHops, d.HandHops, 100*d.HopsDelta, 100*d.Tol.HopsFrac)
+	fmt.Fprintf(&b, "  %-12s %14d %14d  (Δ %.1f%%, tol %.0f%%)\n",
+		"ctl msgs", d.GenCtlMsgs, d.HandCtlMsgs, 100*d.MsgsDelta, 100*d.Tol.MsgsFrac)
+	fmt.Fprintf(&b, "  %-12s %14d %14d  (Δ %.1f%%, tol %.0f%%)\n",
+		"ctl bytes", d.GenCtlBytes, d.HandCtlBytes, 100*d.BytesDelta, 100*d.Tol.BytesFrac)
+	fmt.Fprintf(&b, "  %-12s %14d %14d\n", "violations", d.GenViolations, d.HandViolations)
+	b.WriteString("\nper-phase delivered/sent (mean latency):\n")
+	fmt.Fprintf(&b, "%-24s %-26s %-26s\n", "phase", d.Gen, d.Hand)
+	n := len(d.genPhases)
+	if len(d.handPhases) > n {
+		n = len(d.handPhases)
+	}
+	cell := func(ps []scenario.PhaseReport, pi int) string {
+		if pi >= len(ps) {
+			return "-"
+		}
+		p := ps[pi]
+		c := fmt.Sprintf("%d/%d", p.OpsDelivered, p.OpsSent)
+		if p.MeanLatency > 0 {
+			c += fmt.Sprintf(" (%s)", p.MeanLatency.Round(time.Microsecond))
+		}
+		return c
+	}
+	for pi := 0; pi < n; pi++ {
+		label := fmt.Sprintf("%d", pi)
+		if pi < len(d.genPhases) && d.genPhases[pi].Name != "" {
+			label = fmt.Sprintf("%d %s", pi, d.genPhases[pi].Name)
+		}
+		fmt.Fprintf(&b, "%-24s %-26s %-26s\n", label, cell(d.genPhases, pi), cell(d.handPhases, pi))
+	}
+	if d.Pass {
+		b.WriteString("\nverdict: PASS\n")
+	} else {
+		b.WriteString("\nverdict: FAIL\n")
+		for _, f := range d.Failures {
+			fmt.Fprintf(&b, "  %s\n", f)
+		}
+	}
+	return b.String()
+}

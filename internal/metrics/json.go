@@ -3,6 +3,7 @@ package metrics
 import (
 	"encoding/json"
 
+	"macedon/internal/check"
 	"macedon/internal/obs"
 	"macedon/internal/scenario"
 	"macedon/internal/simnet"
@@ -35,6 +36,10 @@ type PhaseJSON struct {
 	// run executed with the obs plane enabled, so pre-obs golden JSON is
 	// byte-identical.
 	Obs *PhaseObsJSON `json:"obs,omitempty"`
+	// Checks carries the phase's invariant-checker verdict; absent unless
+	// the scenario opted into the correctness plane (same byte-identity
+	// contract as Obs).
+	Checks *check.PhaseChecks `json:"checks,omitempty"`
 }
 
 // HistJSON encodes one histogram snapshot: per-bucket (non-cumulative)
@@ -126,6 +131,7 @@ func EncodeReport(r *scenario.Report) *ReportJSON {
 		if p.Obs != nil {
 			pj.Obs = &PhaseObsJSON{Latency: histJSON(p.Obs.Latency), Hops: histJSON(p.Obs.Hops)}
 		}
+		pj.Checks = p.Checks
 		out.Phases = append(out.Phases, pj)
 	}
 	if r.Obs != nil {

@@ -26,6 +26,10 @@ type Params struct {
 	// FixFingersPeriod is the static route-repair period (default 1 s);
 	// Figure 10 contrasts 1 s and 20 s.
 	FixFingersPeriod time.Duration
+	// RingProbePeriod is the ring-merge probe period (default 10 s): joined
+	// nodes re-run the join lookup through the bootstrap so ring fragments
+	// left behind by a healed partition find each other again.
+	RingProbePeriod time.Duration
 	// Dynamic selects the lsd-style adaptive fix-fingers policy: the period
 	// halves when a repair changes an entry and doubles when it confirms
 	// one, clamped to [DynamicMin, DynamicMax].
@@ -39,6 +43,9 @@ type Params struct {
 func (p *Params) setDefaults() {
 	if p.StabilizePeriod <= 0 {
 		p.StabilizePeriod = time.Second
+	}
+	if p.RingProbePeriod <= 0 {
+		p.RingProbePeriod = 10 * time.Second
 	}
 	if p.FixFingersPeriod <= 0 {
 		p.FixFingersPeriod = time.Second
@@ -93,6 +100,12 @@ func (c *Protocol) Successor() overlay.Address {
 // Predecessor returns the current predecessor, NilAddress when unknown.
 func (c *Protocol) Predecessor() overlay.Address { return c.pred }
 
+// SuccList copies the successor list (the redundancy the correctness
+// plane's ring and staleness checkers audit).
+func (c *Protocol) SuccList() []overlay.Address {
+	return append([]overlay.Address(nil), c.succs...)
+}
+
 // FingerSnapshot copies the finger table (the per-node routing state the
 // convergence oracle grades).
 func (c *Protocol) FingerSnapshot() [Fingers]overlay.Address { return c.fingers }
@@ -125,6 +138,7 @@ func (c *Protocol) Define(d *core.Def) {
 
 	d.Timer("stabilize", c.p.StabilizePeriod)
 	d.Timer("fix_fingers", c.p.FixFingersPeriod)
+	d.Timer("ring_probe", c.p.RingProbePeriod)
 	d.NeighborList("succs", c.p.SuccListLen+1, true)
 	d.NeighborList("pred", 1, true)
 
@@ -147,6 +161,7 @@ func (c *Protocol) Define(d *core.Def) {
 
 	d.OnTimer("stabilize", core.In("joined"), core.Write, c.onStabilize)
 	d.OnTimer("fix_fingers", core.In("joined"), core.Write, c.onFixFingers)
+	d.OnTimer("ring_probe", core.In("joined"), core.Write, c.onRingProbe)
 }
 
 func (c *Protocol) apiInit(ctx *core.Context, call *core.APICall) {
@@ -174,6 +189,7 @@ func (c *Protocol) becomeJoined(ctx *core.Context) {
 	c.joinedAt = ctx.Now()
 	ctx.TimerSched("stabilize", c.jitter(ctx, c.p.StabilizePeriod))
 	ctx.TimerSched("fix_fingers", c.jitter(ctx, c.fixIvl))
+	ctx.TimerSched("ring_probe", c.jitter(ctx, c.p.RingProbePeriod))
 }
 
 // jitter spreads periodic timers ±25% so a thousand nodes do not
@@ -286,6 +302,22 @@ func (c *Protocol) recvFindRespJoining(ctx *core.Context, ev *core.MsgEvent) {
 
 func (c *Protocol) recvFindRespJoined(ctx *core.Context, ev *core.MsgEvent) {
 	m := ev.Msg.(*findResp)
+	if m.Purpose == purposeJoin {
+		// Ring-merge probe answer (onRingProbe): in a healthy ring the owner
+		// of our own key is self and the answer is a no-op; after a partition
+		// heal it is a node from the boot-side fragment, adopted as successor
+		// when closer than (or substituting for a missing) successor so
+		// ordinary stabilization can knit the rings back together.
+		if m.Owner == c.self || m.Owner == overlay.NilAddress {
+			return
+		}
+		succ := c.Successor()
+		if succ == c.self || overlay.HashAddress(m.Owner).Between(c.selfKey, overlay.HashAddress(succ)) {
+			c.setSuccessor(ctx, m.Owner)
+			_ = ctx.Send(m.Owner, &notify{}, overlay.PriorityDefault)
+		}
+		return
+	}
 	if m.Purpose != purposeFix || int(m.Idx) >= Fingers {
 		return
 	}
@@ -338,6 +370,23 @@ func (c *Protocol) recvNotify(ctx *core.Context, ev *core.MsgEvent) {
 		}
 		ctx.NotifyNeighbors(overlay.NbrTypePredecessor, []overlay.Address{from})
 	}
+}
+
+// onRingProbe re-runs the join lookup through the bootstrap. A split ring
+// cannot be detected locally — every fragment looks like a consistent ring
+// to its own members — so whichever fragment still holds boot answers with
+// its owner of our key and recvFindRespJoined merges the answer in. Only
+// the initial offset (becomeJoined) is jittered: that already de-phases the
+// fleet, and a fixed steady period keeps this slow timer from draining the
+// per-node entropy stream the finer-grained maintenance jitters consume.
+func (c *Protocol) onRingProbe(ctx *core.Context) {
+	defer ctx.TimerSched("ring_probe", c.p.RingProbePeriod)
+	if c.boot == c.self || c.boot == overlay.NilAddress {
+		return
+	}
+	c.nextReqID++
+	_ = ctx.Send(c.boot, &findReq{Target: c.selfKey, Origin: c.self,
+		ReqID: c.nextReqID, Purpose: purposeJoin}, overlay.PriorityDefault)
 }
 
 func (c *Protocol) onStabilize(ctx *core.Context) {

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"time"
 
+	"macedon/internal/check"
 	"macedon/internal/obs"
 	"macedon/internal/simnet"
 )
@@ -61,6 +62,10 @@ type PhaseReport struct {
 	// executed with the obs plane enabled; nil otherwise, and nil keeps
 	// every legacy output byte-identical.
 	Obs *PhaseObs
+	// Checks holds the phase's invariant-checker verdict when the scenario
+	// opted into the correctness plane; nil otherwise (same byte-identity
+	// contract as Obs).
+	Checks *check.PhaseChecks
 }
 
 // PhaseObs is the per-phase slice of the observability plane: distribution
@@ -104,6 +109,8 @@ type PhaseTotals struct {
 	// CtlMsgs/CtlBytes are cumulative per-node protocol counters summed
 	// over live nodes at phase end.
 	CtlMsgs, CtlBytes uint64
+	// Checks is the phase's invariant verdict; nil when checks are off.
+	Checks *check.PhaseChecks
 }
 
 // satSub is saturating subtraction: counter sums taken over the live
@@ -137,6 +144,7 @@ func AssemblePhases(phases []CompiledPhase, rows []PhaseTotals, base PhaseTotals
 			Net:          SubStats(row.Net, prev.Net),
 			CtlMsgs:      satSub(row.CtlMsgs, base.CtlMsgs),
 			CtlBytes:     satSub(row.CtlBytes, base.CtlBytes),
+			Checks:       row.Checks,
 		}
 		if pr.OpsDelivered > 0 {
 			pr.MeanLatency = row.LatSum / time.Duration(pr.OpsDelivered)
@@ -167,6 +175,28 @@ type Report struct {
 	// Obs is the run's observability output; nil unless the run executed
 	// with the obs plane enabled.
 	Obs *ObsReport
+}
+
+// CheckViolations totals the invariant violations across every phase (0
+// when checks were off or clean).
+func (r *Report) CheckViolations() int {
+	total := 0
+	for _, p := range r.Phases {
+		if p.Checks != nil {
+			total += p.Checks.Total
+		}
+	}
+	return total
+}
+
+// ChecksEnabled reports whether any phase carries a checks verdict.
+func (r *Report) ChecksEnabled() bool {
+	for _, p := range r.Phases {
+		if p.Checks != nil {
+			return true
+		}
+	}
+	return false
 }
 
 // TraceText joins the event trace into one newline-terminated string.
@@ -212,6 +242,17 @@ func (r *Report) FormatOpts(w func(format string, args ...any), verbose bool) {
 			if p.Obs != nil {
 				w("  obs latency: %s\n", p.Obs.Latency)
 				w("  obs hops: %s\n", p.Obs.Hops)
+			}
+		}
+		// The checks section only exists for scenarios that opted in, so
+		// printing it unconditionally keeps legacy goldens byte-identical.
+		if c := p.Checks; c != nil {
+			w("  checks: %s nodes=%d violations=%d\n", strings.Join(c.Checkers, ","), c.Nodes, c.Total)
+			for _, vi := range c.Violations {
+				w("    %s\n", vi)
+			}
+			if c.Total > len(c.Violations) {
+				w("    ... %d more\n", c.Total-len(c.Violations))
 			}
 		}
 	}

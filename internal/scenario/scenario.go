@@ -16,6 +16,8 @@ import (
 	"fmt"
 	"os"
 	"time"
+
+	"macedon/internal/check"
 )
 
 // Duration is a time.Duration that marshals as a Go duration string
@@ -77,6 +79,26 @@ type Scenario struct {
 	// zero keeps the node defaults.
 	HeartbeatAfter Duration `json:"heartbeat_after,omitempty"`
 	FailAfter      Duration `json:"fail_after,omitempty"`
+
+	// Checks opts the run into the correctness plane (internal/check):
+	// invariant checkers driven at every phase boundary by both backends.
+	// Nil keeps every legacy output byte-identical.
+	Checks *ChecksSpec `json:"checks,omitempty"`
+}
+
+// ChecksSpec selects the runtime invariant checkers of a scenario.
+type ChecksSpec struct {
+	// Names lists checkers: "ring", "leafset", "tree", "staleness", or
+	// "auto" (the set fitting the protocol). docs/testing.md documents
+	// each.
+	Names []string `json:"names"`
+	// Grace is the stability window: structural checks only judge nodes
+	// whose liveness and connectivity were unchanged this long (default
+	// 30s).
+	Grace Duration `json:"grace,omitempty"`
+	// StaleBound caps how long dead nodes may linger in failure-detected
+	// route state (default 2×grace).
+	StaleBound Duration `json:"stale_bound,omitempty"`
 }
 
 // JoinSpec describes the join process.
@@ -212,6 +234,19 @@ func (s *Scenario) Validate() error {
 	if len(s.Phases) == 0 {
 		return fmt.Errorf("scenario %q: no phases", s.Name)
 	}
+	if c := s.Checks; c != nil {
+		if len(c.Names) == 0 {
+			return fmt.Errorf("scenario %q: checks needs at least one checker name (or drop the field)", s.Name)
+		}
+		for _, n := range c.Names {
+			if !check.Known(n) {
+				return fmt.Errorf("scenario %q: unknown checker %q", s.Name, n)
+			}
+		}
+		if c.Grace < 0 || c.StaleBound < 0 {
+			return fmt.Errorf("scenario %q: checks grace/stale_bound must be positive", s.Name)
+		}
+	}
 	forks := 0
 	for _, p := range s.Phases {
 		if p.ForkPoint {
@@ -277,6 +312,20 @@ func (s *Scenario) Validate() error {
 		}
 	}
 	return nil
+}
+
+// CheckConfig resolves the scenario's checks spec into the correctness
+// plane's configuration, or nil when checks are off.
+func (s *Scenario) CheckConfig() *check.Config {
+	if s.Checks == nil {
+		return nil
+	}
+	return &check.Config{
+		Names:      s.Checks.Names,
+		Protocol:   s.Protocol,
+		Grace:      s.Checks.Grace.D(),
+		StaleBound: s.Checks.StaleBound.D(),
+	}
 }
 
 // ForkPhase returns the index of the phase whose end is the checkpoint/fork

@@ -1,0 +1,116 @@
+package substrate_test
+
+import (
+	"testing"
+	"time"
+
+	"macedon/internal/livenet"
+	"macedon/internal/overlay"
+	"macedon/internal/simnet"
+	"macedon/internal/substrate"
+	"macedon/internal/topology"
+)
+
+// Both backends must satisfy the substrate contract at compile time: the
+// emulator's global and shard-bound networks, and the live-deployment one.
+var (
+	_ substrate.Network = (*simnet.Network)(nil)
+	_ substrate.Network = (*simnet.NodeSubstrate)(nil)
+	_ substrate.Network = (*livenet.Network)(nil)
+)
+
+// contractNet builds a two-client emulated topology and returns it as a
+// bare substrate.Network, so every assertion below goes through the
+// interface the engine actually programs against.
+func contractNet(t *testing.T) (substrate.Network, *simnet.Scheduler) {
+	t.Helper()
+	g := topology.NewGraph()
+	r := g.AddRouter()
+	r2 := g.AddRouter()
+	g.AddLink(r, r2, 5*time.Millisecond, 1_000_000, 10*1500)
+	g.AttachClient(1, r, topology.DefaultAccess)
+	g.AttachClient(2, r2, topology.DefaultAccess)
+	s := simnet.NewScheduler(7)
+	return simnet.New(s, g, simnet.Config{}), s
+}
+
+func TestEndpointRoundTrip(t *testing.T) {
+	n, s := contractNet(t)
+	e1, err := n.Endpoint(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := n.Endpoint(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e1.Addr() != 1 || e2.Addr() != 2 {
+		t.Fatalf("Addr() = %v, %v", e1.Addr(), e2.Addr())
+	}
+	var gotSrc overlay.Address
+	var gotPayload []byte
+	e2.SetRecv(func(src overlay.Address, p []byte) {
+		gotSrc = src
+		gotPayload = append([]byte(nil), p...)
+	})
+	if err := e1.Send(2, []byte("datagram")); err != nil {
+		t.Fatal(err)
+	}
+	s.RunUntilIdle()
+	if gotSrc != 1 || string(gotPayload) != "datagram" {
+		t.Fatalf("received src=%v payload=%q", gotSrc, gotPayload)
+	}
+}
+
+func TestEndpointRejectsOversizedDatagram(t *testing.T) {
+	n, _ := contractNet(t)
+	e1, err := n.Endpoint(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e1.MTU() <= 0 {
+		t.Fatalf("MTU() = %d, want positive", e1.MTU())
+	}
+	if err := e1.Send(2, make([]byte, e1.MTU()+1)); err == nil {
+		t.Fatal("Send accepted a datagram larger than MTU")
+	}
+	if err := e1.Send(2, make([]byte, e1.MTU())); err != nil {
+		t.Fatalf("Send rejected an MTU-sized datagram: %v", err)
+	}
+}
+
+func TestEndpointUnknownAddress(t *testing.T) {
+	n, _ := contractNet(t)
+	if _, err := n.Endpoint(99); err == nil {
+		t.Fatal("Endpoint(99) succeeded for an unattached address")
+	}
+}
+
+func TestClockAfterOrderingAndStop(t *testing.T) {
+	n, s := contractNet(t)
+	var fired []int
+	n.After(20*time.Millisecond, func() { fired = append(fired, 2) })
+	n.After(10*time.Millisecond, func() { fired = append(fired, 1) })
+	canceled := n.After(15*time.Millisecond, func() { fired = append(fired, 99) })
+	if !canceled.Stop() {
+		t.Fatal("Stop() on a pending timer reported already-fired")
+	}
+	if canceled.Stop() {
+		t.Fatal("second Stop() reported the callback still pending")
+	}
+	s.RunUntilIdle()
+	if len(fired) != 2 || fired[0] != 1 || fired[1] != 2 {
+		t.Fatalf("fired = %v, want [1 2]", fired)
+	}
+}
+
+func TestClockNowAdvancesWithVirtualTime(t *testing.T) {
+	n, s := contractNet(t)
+	start := n.Now()
+	var at time.Time
+	n.After(42*time.Millisecond, func() { at = n.Now() })
+	s.RunUntilIdle()
+	if got := at.Sub(start); got != 42*time.Millisecond {
+		t.Fatalf("callback observed Now() %v after start, want 42ms", got)
+	}
+}
