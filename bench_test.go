@@ -213,6 +213,58 @@ func BenchmarkScenarioChurnShards(b *testing.B) {
 	}
 }
 
+// BenchmarkScenarioChurnObs runs the same churn scenario with the
+// observability plane off and on at a fixed shard count. The pair is the CI
+// obs-overhead guard's input: the perf lane compares the two ns/op values
+// and fails when obs-on costs more than the budgeted fraction over obs-off,
+// pinning the "pay only when enabled" contract of internal/obs.
+func BenchmarkScenarioChurnObs(b *testing.B) {
+	mk := func() *scenario.Scenario {
+		return &scenario.Scenario{
+			Name:     "bench-churn",
+			Seed:     2004,
+			Nodes:    150,
+			Routers:  450,
+			Protocol: "chord",
+			Join:     scenario.JoinSpec{Process: "staggered", Window: scenario.Duration(10 * time.Second)},
+			Settle:   scenario.Duration(45 * time.Second),
+			Drain:    scenario.Duration(10 * time.Second),
+			Phases: []scenario.Phase{
+				{
+					Name:     "churn",
+					Duration: scenario.Duration(45 * time.Second),
+					Churn: &scenario.Churn{
+						Model:    "poisson",
+						Rate:     0.2,
+						Downtime: scenario.Duration(15 * time.Second),
+					},
+					Workload: &scenario.Workload{Kind: scenario.WlLookups, Rate: 5},
+				},
+			},
+		}
+	}
+	for _, c := range []struct {
+		name string
+		obs  bool
+	}{
+		{"off", false},
+		{"on", true},
+	} {
+		b.Run(c.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_, err := harness.RunScenarioExec(mk(), harness.ExecOptions{
+					Shards: 2,
+					Obs:    harness.ObsOptions{Enabled: c.obs},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // --- ablations -----------------------------------------------------------------
 
 // BenchmarkAblationReadVsWriteLocking measures the paper's control/data

@@ -14,6 +14,14 @@
 // benchmarks seeds the trajectory without breaking it.
 //
 //	benchjson -compare -threshold 0.20 BENCH_<parent>.json BENCH_<sha>.json
+//
+// With -history, the parsed document is additionally appended to a
+// committed trajectory file — one compact JSON document per line, keyed by
+// commit (a re-run of the same commit replaces its line instead of
+// duplicating it). `macedon report -bench` renders the file as per-benchmark
+// sparkline trends.
+//
+//	go test -run '^$' -bench . | benchjson -history bench/history.jsonl > BENCH_$(git rev-parse HEAD).json
 package main
 
 import (
@@ -49,6 +57,7 @@ type Document struct {
 func main() {
 	compare := flag.Bool("compare", false, "compare two artifacts: benchjson -compare old.json new.json")
 	threshold := flag.Float64("threshold", 0.20, "regression fraction (ns/op, allocs/op, B/op) that fails the comparison")
+	history := flag.String("history", "", "also append this run to the given trajectory file (one compact JSON document per line; an existing line for the same commit is replaced)")
 	flag.Parse()
 	if *compare {
 		os.Exit(runCompare(flag.Args(), *threshold))
@@ -96,6 +105,44 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
+	if *history != "" {
+		if err := appendHistory(*history, doc); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: history: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// appendHistory folds one run into the trajectory file: every retained line
+// is one compact document, ordered oldest-first. A line whose commit matches
+// the new document's (nonempty) commit is replaced, so re-running CI on the
+// same sha keeps exactly one entry per commit.
+func appendHistory(path string, doc Document) error {
+	var lines []string
+	if b, err := os.ReadFile(path); err == nil {
+		for _, line := range strings.Split(string(b), "\n") {
+			line = strings.TrimSpace(line)
+			if line == "" {
+				continue
+			}
+			var old Document
+			if err := json.Unmarshal([]byte(line), &old); err != nil {
+				return fmt.Errorf("%s: bad history line: %v", path, err)
+			}
+			if doc.Commit != "" && old.Commit == doc.Commit {
+				continue
+			}
+			lines = append(lines, line)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	b, err := json.Marshal(doc)
+	if err != nil {
+		return err
+	}
+	lines = append(lines, string(b))
+	return os.WriteFile(path, []byte(strings.Join(lines, "\n")+"\n"), 0o644)
 }
 
 // loadDoc reads one artifact.

@@ -38,7 +38,8 @@ func runDeploy(args []string) int {
 	quiet := fs.Bool("q", false, "suppress progress lines")
 	obsOn := fs.Bool("obs", false, "enable the observability plane and print its output (fleet metrics exposition, sampled events, operation traces) after the report")
 	traceSample := fs.Int("trace-sample", 0, "keep 1-in-N operation traces and event records (0 or 1 = all); sampling is keyed by the seed, matching a sim run's sampled population")
-	metricsAddr := fs.String("metrics-addr", "", "base metrics endpoint (\"host:port\" or \":port\"): agent i serves Prometheus metrics on port+i at /metrics (and /debug/obs)")
+	metricsAddr := fs.String("metrics-addr", "", "base metrics endpoint (\"host:port\", \":port\", or a bare port): agent i serves Prometheus metrics on host:port+i at /metrics (and /debug/obs); empty host binds 127.0.0.1, 0.0.0.0 exposes the fleet to an external scraper")
+	pushInterval := fs.Duration("push-interval", 0, "with -obs, the agents' metric delta-push cadence over the control connection (0 = 1s default); pushes need no inbound path, so NAT'd hosts report without -metrics-addr")
 	verbose := fs.Bool("v", false, "verbose report: per-phase forwards, mean hops, control traffic, and obs histograms")
 	_ = fs.Parse(args)
 	if fs.NArg() != 1 {
@@ -71,13 +72,15 @@ func runDeploy(args []string) int {
 		TraceSample: *traceSample,
 	}
 	if *metricsAddr != "" {
-		port, err := parseMetricsAddr(*metricsAddr)
+		host, port, err := parseMetricsAddr(*metricsAddr)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "macedon deploy: -metrics-addr: %v\n", err)
 			return 2
 		}
 		cfg.MetricsBase = port
+		cfg.MetricsHost = host
 	}
+	cfg.PushInterval = *pushInterval
 	if !*quiet {
 		cfg.Out = os.Stderr
 	}
@@ -127,17 +130,20 @@ func runDeploy(args []string) int {
 	return exit
 }
 
-// parseMetricsAddr accepts "host:port", ":port", or a bare port; only the
-// base port matters (agents bind 127.0.0.1, node i serves port+i).
-func parseMetricsAddr(s string) (int, error) {
+// parseMetricsAddr accepts "host:port", ":port", or a bare port. The host
+// part is the agents' metrics bind address ("" = 127.0.0.1); node i serves
+// port+i.
+func parseMetricsAddr(s string) (string, int, error) {
+	host := ""
 	if i := strings.LastIndexByte(s, ':'); i >= 0 {
+		host = s[:i]
 		s = s[i+1:]
 	}
 	port, err := strconv.Atoi(s)
 	if err != nil || port <= 0 || port > 65535 {
-		return 0, fmt.Errorf("bad port %q", s)
+		return "", 0, fmt.Errorf("bad port %q", s)
 	}
-	return port, nil
+	return host, port, nil
 }
 
 // printLiveColumns prints the per-phase metrics the legacy report format

@@ -25,6 +25,7 @@ func runFuzz(args []string) int {
 	budget := fs.Duration("budget", 0, "wall-clock budget for the campaign (0 = unbounded)")
 	out := fs.String("out", "testdata/repro", "directory for shrunken repro scenarios")
 	synthetic := fs.Bool("synthetic", false, "enable the synthetic always-fails checker (shrinker exercise)")
+	obsOn := fs.Bool("obs", false, "run every scenario (and shrink probe) with the observability plane enabled, fuzzing the obs hooks alongside the engine; verdicts are unchanged")
 	replay := fs.String("replay", "", "re-run one repro scenario file and report its violations")
 	_ = fs.Parse(args)
 	if *replay != "" {
@@ -33,7 +34,7 @@ func runFuzz(args []string) int {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", *replay, err)
 			return 1
 		}
-		v, err := fuzz.Violations(s, *shards)
+		v, err := fuzz.ViolationsExec(s, *shards, *obsOn)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", *replay, err)
 			return 1
@@ -51,6 +52,7 @@ func runFuzz(args []string) int {
 		Shards:    *shards,
 		Budget:    *budget,
 		Synthetic: *synthetic,
+		Obs:       *obsOn,
 		Out:       *out,
 		Log:       os.Stdout,
 	})

@@ -13,6 +13,7 @@
 //	macedon deploy [-nodes N] [-vs-sim] file.json    run a scenario as a live multi-process deployment
 //	macedon diff [-shards N] file.json       gen-vs-hand differential conformance on one scenario
 //	macedon fuzz [-seed N] [-runs N]         random scenarios under invariant checks, with shrinking
+//	macedon report [-bench] file             render a report's time series (or a bench history) as sparkline tables
 //	macedon agent -controller H:P -node I    one live overlay node (launched by deploy)
 package main
 
@@ -50,6 +51,8 @@ func main() {
 		os.Exit(runDiff(os.Args[2:]))
 	case "fuzz":
 		os.Exit(runFuzz(os.Args[2:]))
+	case "report":
+		os.Exit(runReport(os.Args[2:]))
 	case "agent":
 		os.Exit(runAgent(os.Args[2:]))
 	default:
@@ -59,7 +62,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: macedon check|gen|loc|scenario|sweep|deploy|diff|fuzz|agent [args]")
+	fmt.Fprintln(os.Stderr, "usage: macedon check|gen|loc|scenario|sweep|deploy|diff|fuzz|report|agent [args]")
 }
 
 func runCheck(args []string) int {

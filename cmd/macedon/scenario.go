@@ -7,6 +7,7 @@ import (
 	"runtime"
 
 	"macedon/internal/harness"
+	"macedon/internal/metrics"
 	"macedon/internal/scenario"
 )
 
@@ -21,8 +22,11 @@ func runScenario(args []string) int {
 	check := fs.Bool("check", false, "validate and compile only; print the schedule summary")
 	shards := fs.Int("shards", 0, "event-loop shards (0 = GOMAXPROCS, 1 = sequential); any value prints identical output")
 	partitioner := fs.String("partitioner", "", "vertex-to-shard assignment: striped (default) or latency; either prints identical output, latency widens the lookahead window on sharded runs")
-	obsOn := fs.Bool("obs", false, "enable the observability plane and print its output (metrics exposition, sampled events, operation traces) after the report")
+	obsOn := fs.Bool("obs", false, "enable the observability plane and print its output (metrics exposition, sampled events, operation traces, per-phase time series) after the report")
 	traceSample := fs.Int("trace-sample", 0, "keep 1-in-N operation traces and event records (0 or 1 = all); sampling is keyed by the seed, so any shard count keeps the same ops")
+	seriesInterval := fs.Duration("series-interval", 0, "with -obs, also sample the engine time series every interval of virtual time inside each phase (0 = phase boundaries only); sampling is scheduled on the virtual clock, so any shard count records identical series")
+	seriesCap := fs.Int("series-cap", 0, "with -obs, per-phase time-series ring capacity (0 = default 256); the oldest points are evicted beyond it")
+	jsonOut := fs.String("json", "", "write the machine-readable report (including the obs series with -obs) as JSON to this file ('-' = stdout)")
 	verbose := fs.Bool("v", false, "verbose report: per-phase forwards, mean hops, control traffic, and obs histograms")
 	_ = fs.Parse(args)
 	if fs.NArg() != 1 {
@@ -55,7 +59,12 @@ func runScenario(args []string) int {
 	rep, err := harness.RunScenarioExec(s, harness.ExecOptions{
 		Shards:      n,
 		Partitioner: *partitioner,
-		Obs:         harness.ObsOptions{Enabled: *obsOn, TraceSample: *traceSample},
+		Obs: harness.ObsOptions{
+			Enabled:        *obsOn,
+			TraceSample:    *traceSample,
+			SeriesInterval: *seriesInterval,
+			SeriesCap:      *seriesCap,
+		},
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "%s: %v\n", fs.Arg(0), err)
@@ -69,6 +78,20 @@ func runScenario(args []string) int {
 	if *obsOn {
 		fmt.Println()
 		fmt.Print(rep.ObsText())
+	}
+	if *jsonOut != "" {
+		b, err := metrics.ReportToJSON(rep)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "macedon scenario: %v\n", err)
+			return 1
+		}
+		b = append(b, '\n')
+		if *jsonOut == "-" {
+			os.Stdout.Write(b)
+		} else if err := os.WriteFile(*jsonOut, b, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "macedon scenario: %v\n", err)
+			return 1
+		}
 	}
 	return 0
 }

@@ -135,10 +135,11 @@ func TestGoldenTracesLatencyPartitioner(t *testing.T) {
 }
 
 // TestGoldenObsJSON pins the machine-readable obs section: the churn
-// scenario runs with the observability plane on at -shards=2 and -shards=4,
-// and the full JSON report — per-phase histograms, exposition, sampled
-// events, span records — must be byte-identical to the checked-in golden at
-// both shard counts. Regenerate with MACEDON_UPDATE_GOLDEN=1.
+// scenario runs with the observability plane on at -shards=1, 2, and 4, and
+// the full JSON report — per-phase histograms, scheduler families, time
+// series, exposition, sampled events, span records — must be byte-identical
+// to the checked-in golden at every shard count. Regenerate with
+// MACEDON_UPDATE_GOLDEN=1.
 func TestGoldenObsJSON(t *testing.T) {
 	update := os.Getenv("MACEDON_UPDATE_GOLDEN") != ""
 	s, err := scenario.Load(filepath.Join("examples", "scenarios", "churn-partition.json"))
@@ -146,7 +147,7 @@ func TestGoldenObsJSON(t *testing.T) {
 		t.Fatal(err)
 	}
 	goldenPath := filepath.Join("testdata", "golden", "obs-report.json")
-	for _, shards := range []int{2, 4} {
+	for _, shards := range []int{1, 2, 4} {
 		rep, err := harness.RunScenarioShardsObs(s, shards, harness.ObsOptions{Enabled: true, TraceSample: 4})
 		if err != nil {
 			t.Fatalf("shards=%d: %v", shards, err)
@@ -156,7 +157,7 @@ func TestGoldenObsJSON(t *testing.T) {
 			t.Fatal(err)
 		}
 		got := string(b) + "\n"
-		if update && shards == 2 {
+		if update && shards == 1 {
 			if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
 				t.Fatal(err)
 			}

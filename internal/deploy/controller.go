@@ -58,8 +58,16 @@ type Config struct {
 	// MetricsBase, when nonzero, has agent i serve Prometheus text-format
 	// metrics at http://Host:MetricsBase+i/metrics (plus /debug/obs); with
 	// Obs also set, the controller scrapes the fleet at report time and
-	// folds the expositions into Report.Obs.
+	// folds the expositions into Report.Obs when no agent pushed one.
 	MetricsBase int
+	// MetricsHost is the bind address of each agent's metrics listener
+	// (empty = 127.0.0.1). Real-cluster deployments set a routable interface
+	// or 0.0.0.0 so an external Prometheus can scrape the fleet.
+	MetricsHost string
+	// PushInterval overrides the agents' EvMetrics delta-push cadence
+	// (default 1s). Pushes ride the control connection, so NAT'd hosts need
+	// no inbound scrape path at all.
+	PushInterval time.Duration
 }
 
 // agentSlot is the controller's view of one fleet member.
@@ -85,6 +93,15 @@ type agentSlot struct {
 	// state is the last routing-state snapshot a state-carrying poll
 	// brought back (correctness plane); cleared on kill like the metrics.
 	state *check.NodeState
+	// push accumulates the current generation's EvMetrics delta expositions
+	// (summing deltas reconstructs the agent's absolute totals). expo and
+	// pushExpo are the consistent pair the last poll captured: the agent's
+	// full page from the reply and the push-reconstructed page snapshotted
+	// the moment the reply arrived (the agent flushes right before replying,
+	// so the two agree exactly). All cleared on kill like the metrics.
+	push     *obs.Fleet
+	expo     string
+	pushExpo string
 }
 
 // controller executes a compiled schedule against a fleet of agent
@@ -319,6 +336,10 @@ func (c *controller) agentConfigLocked(i int) *AgentConfig {
 	}
 	if c.cfg.MetricsBase > 0 {
 		ac.MetricsPort = c.cfg.MetricsBase + i
+		ac.MetricsHost = c.cfg.MetricsHost
+	}
+	if c.cfg.PushInterval > 0 {
+		ac.PushIntervalNs = int64(c.cfg.PushInterval)
 	}
 	if c.hasGroup {
 		ac.HasGroup = true
@@ -352,9 +373,22 @@ func (c *controller) reader(i, gen int, conn *Conn) {
 			c.onEvent(i, m.Event)
 		case KindMetrics:
 			if m.Metrics != nil {
-				if m.State != nil {
+				if m.State != nil || m.Metrics.Expo != "" {
 					c.mu.Lock()
-					c.agents[i].state = m.State
+					slot := c.agents[i]
+					if m.State != nil {
+						slot.state = m.State
+					}
+					if m.Metrics.Expo != "" {
+						// Snapshot the consistent pair: the agent flushed its
+						// delta right before this reply (FIFO stream), so the
+						// push-reconstructed page equals the reply's page.
+						slot.expo = m.Metrics.Expo
+						slot.pushExpo = ""
+						if slot.push != nil {
+							slot.pushExpo = slot.push.Text()
+						}
+					}
 					c.mu.Unlock()
 				}
 				select {
@@ -395,6 +429,8 @@ func (c *controller) onEvent(i int, ev *Event) {
 		c.obsForwardLocked(ev.Op, i, c.nextIndex(ev.Next), time.Unix(0, ev.AtUnixNano))
 	case EvObs:
 		c.obsAgentLineLocked(i, ev.Line)
+	case EvMetrics:
+		c.obsPushLocked(i, ev.Expo)
 	case EvState:
 		c.tracefLocked("node %d %s: state %s -> %s", i, ev.Proto, ev.From, ev.State)
 	case EvFail:
@@ -458,6 +494,11 @@ func (c *controller) kill(i int) {
 		slot.hasStats = false
 	}
 	slot.state = nil
+	// The push accumulation restarts with the next generation's counters,
+	// mirroring the scrape path (current-generation pages only).
+	slot.push = nil
+	slot.expo = ""
+	slot.pushExpo = ""
 	c.alive[i] = false
 	c.downAt[i] = time.Now()
 	c.mu.Unlock()
@@ -629,6 +670,7 @@ func (c *controller) PhaseEnd(pi int) {
 	row := &c.rows[pi]
 	row.Live = c.countLiveLocked()
 	row.CtlMsgs, row.CtlBytes, row.Net = c.totalsLocked()
+	c.obsPhaseSampleLocked(pi, row)
 	if len(c.checkers) > 0 {
 		row.Checks = c.runChecksLocked(pi)
 	}
@@ -806,7 +848,6 @@ func (c *controller) report() *scenario.Report {
 		Total:     c.sched.Total,
 		EventsRun: c.eventsRun,
 		Final:     finalNet,
-		Trace:     append([]string(nil), c.trace...),
 	}
 	rows := make([]scenario.PhaseTotals, len(c.rows))
 	for pi := range c.rows {
@@ -820,5 +861,8 @@ func (c *controller) report() *scenario.Report {
 	}
 	rep.Phases = scenario.AssemblePhases(c.sched.Phases, rows, c.base)
 	c.finishObsLocked(rep, scrapes)
+	// The trace is copied last: finishObsLocked records the push/poll
+	// verification outcome as trace lines.
+	rep.Trace = append([]string(nil), c.trace...)
 	return rep
 }

@@ -235,6 +235,30 @@ func TestLiveObsPlane(t *testing.T) {
 	if latCount == 0 {
 		t.Error("per-phase latency histograms are empty")
 	}
+	// Push-based shipping is the primary fleet source: the controller
+	// reconstructs each agent's page by summing its EvMetrics deltas and
+	// verifies it equals the poll reply's same-instant exposition for the
+	// engine/net families. Any disagreement shows up as a mismatch trace
+	// line; full agreement shows up as the summary line.
+	agreed := false
+	for _, line := range live.Trace {
+		if strings.Contains(line, "obs push/poll mismatch") {
+			t.Errorf("push-merged exposition disagrees with poll: %s", line)
+		}
+		if strings.Contains(line, "obs push/poll expositions agree") && !strings.Contains(line, "agree for 0/") {
+			agreed = true
+		}
+	}
+	if !agreed {
+		t.Error("no agent's push-merged exposition was verified against its poll page")
+	}
+	// The live report carries the per-phase time series the controller
+	// samples from the phase-boundary polls.
+	for pi, p := range live.Phases {
+		if p.Obs == nil || len(p.Obs.Series.Points) == 0 {
+			t.Errorf("phase %d has no live time series", pi)
+		}
+	}
 }
 
 // TestLiveShapingPartition drives a partition through the live backend:

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strings"
 	"time"
 
 	"macedon/internal/obs"
@@ -46,6 +47,12 @@ type ctrlObs struct {
 	opFwd map[int]int
 	opDel map[int]int
 
+	// series is the live twin of the sim engine's per-phase time series,
+	// sampled from the per-phase poll totals at each phase boundary. The
+	// columns are the subset of the sim's the live plane can measure, so a
+	// live report's series lines up column-for-column with a sim run's.
+	series []*obs.Series
+
 	// agentLines collects sampled event-log lines streamed back by agents
 	// (EvObs), prefixed with their node index.
 	agentLines []string
@@ -54,6 +61,10 @@ type ctrlObs struct {
 // maxAgentLines bounds the retained agent event stream; beyond it the
 // oldest lines are simply not kept (the per-agent ring still has them).
 const maxAgentLines = 4096
+
+// liveSeriesColumns is the live plane's shared subset of the sim engine's
+// series columns (no scheduler exists here, so no events/pending).
+var liveSeriesColumns = []string{"net_sent", "net_delivered", "ops_delivered"}
 
 func newCtrlObs(cfg Config, s *scenario.Scenario, sched *scenario.Schedule) *ctrlObs {
 	n := uint64(cfg.TraceSample)
@@ -83,10 +94,12 @@ func newCtrlObs(cfg Config, s *scenario.Scenario, sched *scenario.Schedule) *ctr
 	}
 	o.latHist = make([]*obs.Histogram, len(sched.Phases))
 	o.hopHist = make([]*obs.Histogram, len(sched.Phases))
+	o.series = make([]*obs.Series, len(sched.Phases))
 	for pi, p := range sched.Phases {
 		l := obs.L("phase", fmt.Sprintf("%d-%s", pi, p.Name))
 		o.latHist[pi] = reg.Histogram("macedon_op_latency_seconds", "End-to-end operation latency.", obs.LatencyBuckets, l)
 		o.hopHist[pi] = reg.Histogram("macedon_op_hops", "Mean overlay hops per delivery of an operation.", obs.HopBuckets, l)
+		o.series[pi] = obs.NewSeries(liveSeriesColumns, 0)
 	}
 	return o
 }
@@ -175,6 +188,39 @@ func (c *controller) obsDeliverLocked(opID, node, phase int, at time.Time, lat t
 	}
 }
 
+// obsPushLocked folds one pushed delta exposition into agent i's push
+// fleet (c.mu held): summing every delta from one generation reconstructs
+// that generation's absolute totals, for counters and gauges alike.
+func (c *controller) obsPushLocked(i int, expo string) {
+	if c.obs == nil || expo == "" {
+		return
+	}
+	sc, err := obs.ParseText([]byte(expo))
+	if err != nil {
+		c.tracefLocked("obs push node %d: bad exposition: %v", i, err)
+		return
+	}
+	slot := c.agents[i]
+	if slot.push == nil {
+		slot.push = obs.NewFleet()
+	}
+	slot.push.Add(sc)
+}
+
+// obsPhaseSampleLocked appends phase pi's boundary sample to the live time
+// series (c.mu held): the cumulative totals the phase-end poll just
+// gathered, stamped at the phase's end offset on the scenario timeline —
+// the same virtual-time axis the sim series uses.
+func (c *controller) obsPhaseSampleLocked(pi int, row *scenario.PhaseTotals) {
+	o := c.obs
+	if o == nil || pi >= len(o.series) {
+		return
+	}
+	ph := c.sched.Phases[pi]
+	o.series[pi].Append(ph.End-ph.Start,
+		float64(row.Net.Sent), float64(row.Net.Delivered), float64(o.opsDelivered.Load()))
+}
+
 // obsAgentLineLocked retains one EvObs line streamed by agent i (c.mu held).
 func (c *controller) obsAgentLineLocked(i int, line string) {
 	o := c.obs
@@ -243,7 +289,44 @@ func (c *controller) finishObsLocked(rep *scenario.Report, scrapes []*obs.Scrape
 		}
 		o.hopHist[ph].Observe(float64(o.opFwd[opID]+del) / float64(del))
 	}
-	if len(scrapes) == 0 {
+	// Push shipping is the primary per-agent source (it needs no inbound
+	// path to the fleet); the HTTP scrape is the fallback. Each live slot
+	// contributes the page its last poll captured: the push-reconstructed
+	// exposition, or the reply's own page if no delta ever landed. Where
+	// both exist they must agree exactly on the engine/net families — the
+	// agent flushed its delta immediately before replying — so the check
+	// runs on every report and any drift lands in the trace.
+	var pages []*obs.Scrape
+	agree, mismatch := 0, 0
+	for i, slot := range c.agents {
+		if !c.alive[i] {
+			continue
+		}
+		page := slot.pushExpo
+		if page == "" {
+			page = slot.expo
+		} else if slot.expo != "" {
+			if d := pushPollMismatch(slot.pushExpo, slot.expo); d != "" {
+				mismatch++
+				c.tracefLocked("obs push/poll mismatch node %d: %s", i, d)
+			} else {
+				agree++
+			}
+		}
+		if page == "" {
+			continue
+		}
+		if sc, err := obs.ParseText([]byte(page)); err == nil {
+			pages = append(pages, sc)
+		}
+	}
+	if agree+mismatch > 0 {
+		c.tracefLocked("obs push/poll expositions agree for %d/%d agents", agree, agree+mismatch)
+	}
+	if len(pages) == 0 {
+		pages = scrapes
+	}
+	if len(pages) == 0 {
 		// No HTTP plane: mirror the polled totals into the same families the
 		// agents would have served, so the exposition's family set matches
 		// the sim engine's either way.
@@ -274,6 +357,7 @@ func (c *controller) finishObsLocked(rep *scenario.Report, scrapes []*obs.Scrape
 			rep.Phases[pi].Obs = &scenario.PhaseObs{
 				Latency: o.latHist[pi].Snapshot(),
 				Hops:    o.hopHist[pi].Snapshot(),
+				Series:  o.series[pi].Snapshot(),
 			}
 		}
 	}
@@ -281,7 +365,7 @@ func (c *controller) finishObsLocked(rep *scenario.Report, scrapes []*obs.Scrape
 	if own, err := obs.ParseText([]byte(o.reg.Text())); err == nil {
 		fleet.Add(own)
 	}
-	for _, sc := range scrapes {
+	for _, sc := range pages {
 		fleet.Add(sc)
 	}
 	rep.Obs = &scenario.ObsReport{
@@ -289,6 +373,44 @@ func (c *controller) finishObsLocked(rep *scenario.Report, scrapes []*obs.Scrape
 		Events:     append(o.events.Lines(), o.agentLines...),
 		Spans:      o.spans.Lines(),
 	}
+}
+
+// pushPollMismatch compares a push-reconstructed exposition with the poll
+// reply's page over the engine/net families and returns a description of
+// the first differing sample ("" when they agree). Those families are
+// integral counters well under 2^53, so the telescoped float sum the push
+// path produces is exact and the comparison can demand equality.
+func pushPollMismatch(pushExpo, pollExpo string) string {
+	a, errA := obs.ParseText([]byte(pushExpo))
+	b, errB := obs.ParseText([]byte(pollExpo))
+	if errA != nil || errB != nil {
+		return "unparseable exposition"
+	}
+	filter := func(s *obs.Scrape) map[string]float64 {
+		m := make(map[string]float64)
+		for _, sm := range s.Samples {
+			if strings.HasPrefix(sm.Name, "macedon_engine_") || strings.HasPrefix(sm.Name, "macedon_net_") {
+				m[sm.Name+" "+sm.Labels] = sm.Value
+			}
+		}
+		return m
+	}
+	am, bm := filter(a), filter(b)
+	for k, av := range am {
+		bv, ok := bm[k]
+		if !ok {
+			return fmt.Sprintf("%s: missing from poll page", k)
+		}
+		if av != bv {
+			return fmt.Sprintf("%s: push %v poll %v", k, av, bv)
+		}
+	}
+	for k := range bm {
+		if _, ok := am[k]; !ok {
+			return fmt.Sprintf("%s: missing from push page", k)
+		}
+	}
+	return ""
 }
 
 // nextIndex resolves a forward event's next-hop address to its fleet index

@@ -95,13 +95,22 @@ type AgentConfig struct {
 	// mid-partition must come back inside it).
 	Shape *ShapeCmd `json:"shape,omitempty"`
 	// MetricsPort, when nonzero, makes the agent serve its observability
-	// plane over HTTP on 127.0.0.1:MetricsPort: Prometheus text-format
+	// plane over HTTP on MetricsHost:MetricsPort: Prometheus text-format
 	// metrics at /metrics and a JSON status snapshot at /debug/obs.
 	MetricsPort int `json:"metrics_port,omitempty"`
+	// MetricsHost is the metrics listener's bind address; empty means
+	// 127.0.0.1. Real-cluster deployments bind a routable interface (or
+	// 0.0.0.0) so an external Prometheus can scrape the fleet.
+	MetricsHost string `json:"metrics_host,omitempty"`
 	// Obs streams the agent's sampled structured event log back over the
 	// control connection (EvObs events), rate-limited by a wall-clock token
-	// bucket so a busy node cannot flood the controller.
+	// bucket so a busy node cannot flood the controller. It also enables
+	// push-based metric shipping: the agent periodically sends EvMetrics
+	// delta expositions, so the controller needs no scrape path to NAT'd
+	// hosts.
 	Obs bool `json:"obs,omitempty"`
+	// PushIntervalNs overrides the EvMetrics push cadence (default 1s).
+	PushIntervalNs int64 `json:"push_interval_ns,omitempty"`
 }
 
 // PeerRule is one serialized shaping rule.
@@ -139,6 +148,7 @@ const (
 	EvState   = "state"   // a protocol instance changed FSM state
 	EvFail    = "fail"    // the failure detector declared a peer dead
 	EvObs     = "obs"     // one sampled structured event-log line
+	EvMetrics = "metrics" // a pushed delta exposition of the agent's registry
 )
 
 // Event is one streamed per-node event.
@@ -159,6 +169,10 @@ type Event struct {
 	Next uint32 `json:"next,omitempty"`
 	// Line is one rendered event-log record (EvObs).
 	Line string `json:"line,omitempty"`
+	// Expo is a delta exposition page (EvMetrics): each sample's value is
+	// the change since the agent's previous successful push, so the
+	// controller reconstructs absolute totals by summing every delta.
+	Expo string `json:"expo,omitempty"`
 }
 
 // Metrics is an agent's counter snapshot: engine counters summed over the
@@ -175,6 +189,12 @@ type Metrics struct {
 	NetBytesRecv uint64 `json:"net_bytes_recv"`
 	ShapeDrops   uint64 `json:"shape_drops"`
 	LossDrops    uint64 `json:"loss_drops"`
+	// Expo is the agent's full exposition page, captured at the same
+	// instant as the counters above (obs-enabled agents only). Because the
+	// agent flushes a final delta push before replying to the poll, the
+	// controller's push-merged fleet totals equal this page's totals — the
+	// equality the live-vs-sim acceptance gate checks.
+	Expo string `json:"expo,omitempty"`
 }
 
 // Conn frames control messages over a TCP connection: 4-byte big-endian

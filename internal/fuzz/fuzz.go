@@ -27,6 +27,12 @@ type Options struct {
 	// Synthetic enables the always-fails-under-churn checker, exercising
 	// the shrinking machinery end to end.
 	Synthetic bool
+	// Obs runs every generated scenario (and every shrink probe) with the
+	// observability plane enabled: the fuzzer then also exercises the obs
+	// hooks — series sampling, scheduler telemetry, exposition assembly —
+	// under random churn. Verdicts are unchanged: the obs plane never
+	// perturbs engine execution.
+	Obs bool
 	// Out is the repro directory (default testdata/repro).
 	Out string
 	// Log receives progress lines (nil = silent).
@@ -44,10 +50,19 @@ type Found struct {
 // Violations runs one scenario on the emulator and returns its total
 // invariant-violation count.
 func Violations(s *scenario.Scenario, shards int) (int, error) {
+	return ViolationsExec(s, shards, false)
+}
+
+// ViolationsExec is Violations with the observability plane optionally
+// enabled (obs never changes the verdict, only what else gets exercised).
+func ViolationsExec(s *scenario.Scenario, shards int, obsOn bool) (int, error) {
 	if shards <= 0 {
 		shards = 2
 	}
-	rep, err := harness.RunScenarioExec(s, harness.ExecOptions{Shards: shards})
+	rep, err := harness.RunScenarioExec(s, harness.ExecOptions{
+		Shards: shards,
+		Obs:    harness.ObsOptions{Enabled: obsOn},
+	})
 	if err != nil {
 		return 0, err
 	}
@@ -76,7 +91,7 @@ func Run(opts Options) ([]Found, error) {
 		}
 		seed := opts.Seed + int64(i)
 		s := Generate(seed, opts.Synthetic)
-		v, err := Violations(s, opts.Shards)
+		v, err := ViolationsExec(s, opts.Shards, opts.Obs)
 		if err != nil {
 			return found, fmt.Errorf("fuzz seed %d: %w", seed, err)
 		}
@@ -86,10 +101,10 @@ func Run(opts Options) ([]Found, error) {
 			continue
 		}
 		min := Shrink(s, func(c *scenario.Scenario) bool {
-			cv, cerr := Violations(c, opts.Shards)
+			cv, cerr := ViolationsExec(c, opts.Shards, opts.Obs)
 			return cerr == nil && cv > 0
 		}, func(format string, args ...any) { fmt.Fprintf(logw, "  "+format+"\n", args...) })
-		mv, err := Violations(min, opts.Shards)
+		mv, err := ViolationsExec(min, opts.Shards, opts.Obs)
 		if err != nil {
 			return found, fmt.Errorf("fuzz seed %d: shrunken repro: %w", seed, err)
 		}

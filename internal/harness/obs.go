@@ -20,7 +20,20 @@ type ObsOptions struct {
 	// live run of the same scenario — samples the same population. 0 or 1
 	// keeps everything.
 	TraceSample int
+	// SeriesInterval adds intra-phase time-series samples every interval of
+	// virtual time; 0 samples only at phase boundaries. Samples are
+	// global-actor events at fixed positions in the shard-count-independent
+	// total order, so the series is byte-identical at any shard count.
+	SeriesInterval time.Duration
+	// SeriesCap bounds each phase's series ring; 0 selects
+	// obs.DefaultSeriesCap.
+	SeriesCap int
 }
+
+// seriesColumns are the engine quantities each time-series point carries.
+// Every one is a deterministic function of the executed-event prefix, so
+// sampling them at barrier instants is shard-invariant.
+var seriesColumns = []string{"events", "pending", "net_sent", "net_delivered", "ops_delivered"}
 
 // RunScenarioObs is RunScenario with the observability plane configured.
 func RunScenarioObs(s *scenario.Scenario, opts ObsOptions) (*scenario.Report, error) {
@@ -66,6 +79,12 @@ type engineObs struct {
 	// Per-op atomic tallies, indexed by workload op ID.
 	opFwd []obs.Counter
 	opDel []obs.Counter
+
+	// Per-phase time series, sampled at phase boundaries and every
+	// interval of virtual time. Samples run at epoch barriers
+	// (coordinator-only), never from shard workers.
+	series   []*obs.Series
+	interval time.Duration
 }
 
 // obsNodeField is the canonical node field on lifecycle events.
@@ -106,12 +125,30 @@ func newEngineObs(s *scenario.Scenario, sched *scenario.Schedule, shards int, op
 	o.opDel = make([]obs.Counter, maxOp)
 	o.latHist = make([]*obs.Histogram, len(sched.Phases))
 	o.hopHist = make([]*obs.Histogram, len(sched.Phases))
+	o.series = make([]*obs.Series, len(sched.Phases))
+	o.interval = opts.SeriesInterval
 	for pi, p := range sched.Phases {
 		l := obsPhaseLabel(pi, p.Name)
 		o.latHist[pi] = reg.Histogram("macedon_op_latency_seconds", "End-to-end operation latency.", obs.LatencyBuckets, l)
 		o.hopHist[pi] = reg.Histogram("macedon_op_hops", "Mean overlay hops per delivery of an operation.", obs.HopBuckets, l)
+		o.series[pi] = obs.NewSeries(seriesColumns, opts.SeriesCap)
 	}
 	return o
+}
+
+// samplePhase records one time-series point for a phase at phase-relative
+// offset rel. It runs at an epoch barrier, where every value it reads —
+// executed events, pending events, net totals, delivered ops — is a pure
+// function of the executed-event prefix and therefore shard-invariant.
+func (o *engineObs) samplePhase(e *scenarioEngine, pi int, rel time.Duration) {
+	st := e.c.Net.Stats()
+	o.series[pi].Append(rel,
+		float64(e.c.Sched.Executed()),
+		float64(e.c.Sched.Pending()),
+		float64(st.Sent),
+		float64(st.Delivered),
+		float64(o.opsDelivered.Load()),
+	)
 }
 
 // onInject records a workload injection: the coordinator-side end of the
@@ -212,6 +249,26 @@ func (e *scenarioEngine) finishObs(rep *scenario.Report) {
 		net.DegradeLoss + net.PartitionDrops + net.NoRouteDrops
 	o.reg.Counter("macedon_net_dropped_total", "Network frames dropped (all causes).").Store(uint64(drops))
 
+	// Scheduler telemetry: mirrored from the engine's own counters at this
+	// quiescent point. Every value is shard-invariant — executed/pending
+	// events and the pool recycler are pure functions of the total event
+	// order, and barrier stall accrues the same virtual-time quantity per
+	// global-actor instant in both the sequential and the sharded loop —
+	// so the merged exposition is byte-identical at any shard count.
+	sc := e.c.Sched
+	o.reg.Counter("macedon_sched_events_total", "Events the scheduler executed.").Store(sc.Executed())
+	o.reg.Gauge("macedon_sched_heap_depth", "Events pending in the scheduler heaps at run end.").Set(float64(sc.Pending()))
+	o.reg.Counter("macedon_sched_barrier_stall_ns_total", "Virtual nanoseconds global-actor barriers sat ahead of the engine frontier.").Store(uint64(sc.BarrierStall()))
+	util := 0.0
+	if el := sc.Elapsed().Seconds(); el > 0 {
+		util = float64(sc.Executed()) / el
+	}
+	o.reg.Gauge("macedon_sched_window_utilization", "Events executed per virtual second: the density the lookahead windows carried.").Set(util)
+	pool := e.c.Net.PoolStats()
+	o.reg.Counter("macedon_sched_pool_gets_total", "Packet records requested from the per-shard pools.").Store(pool.Gets)
+	o.reg.Counter("macedon_sched_pool_recycled_total", "Terminal packets recycled for reuse.").Store(pool.Recycled)
+	o.reg.Counter("macedon_sched_pool_pinned_total", "Terminal packets pinned by a snapshot generation.").Store(pool.Pinned)
+
 	live := 0
 	for _, up := range e.alive {
 		if up {
@@ -224,6 +281,7 @@ func (e *scenarioEngine) finishObs(rep *scenario.Report) {
 		rep.Phases[pi].Obs = &scenario.PhaseObs{
 			Latency: o.latHist[pi].Snapshot(),
 			Hops:    o.hopHist[pi].Snapshot(),
+			Series:  o.series[pi].Snapshot(),
 		}
 	}
 	rep.Obs = &scenario.ObsReport{

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"macedon/internal/core"
+	"macedon/internal/scenario"
 )
 
 // TestObsShardInvariance is the obs plane's determinism contract: the
@@ -53,6 +54,77 @@ func TestObsShardInvariance(t *testing.T) {
 	}
 	if plain.Obs != nil || plain.Phases[0].Obs != nil {
 		t.Fatal("obs disabled but report carries obs sections")
+	}
+}
+
+// TestSchedFamiliesShardInvariant pins the scheduler-telemetry contract:
+// every macedon_sched_* family must be present in the merged exposition,
+// carry plausible values, and be byte-identical across shard counts — the
+// per-shard counters (heap depth, barrier stalls, pool traffic) sum to
+// totals that depend only on the executed schedule, never on how the actors
+// were partitioned. The per-phase time series rides the same contract.
+func TestSchedFamiliesShardInvariant(t *testing.T) {
+	opts := ObsOptions{Enabled: true, SeriesInterval: 20 * time.Second}
+	schedLines := func(expo string) string {
+		var b strings.Builder
+		for _, line := range strings.Split(expo, "\n") {
+			if strings.Contains(line, "macedon_sched_") {
+				b.WriteString(line)
+				b.WriteByte('\n')
+			}
+		}
+		return b.String()
+	}
+	var base string
+	var baseRep *scenario.Report
+	for _, shards := range []int{1, 2, 4} {
+		rep, err := RunScenarioShardsObs(testScenario(), shards, opts)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		got := schedLines(rep.Obs.Exposition)
+		if base == "" {
+			base, baseRep = got, rep
+			for _, fam := range []string{
+				"macedon_sched_events_total",
+				"macedon_sched_heap_depth",
+				"macedon_sched_barrier_stall_ns_total",
+				"macedon_sched_window_utilization",
+				"macedon_sched_pool_gets_total",
+				"macedon_sched_pool_recycled_total",
+				"macedon_sched_pool_pinned_total",
+			} {
+				if !strings.Contains(got, fam) {
+					t.Errorf("merged exposition missing %s:\n%s", fam, got)
+				}
+			}
+			continue
+		}
+		if got != base {
+			diffLines(t, shards, base, got)
+		}
+		for pi, p := range rep.Phases {
+			bs, gs := baseRep.Phases[pi].Obs.Series, p.Obs.Series
+			if len(gs.Points) == 0 {
+				t.Fatalf("shards=%d: phase %d has no series points", shards, pi)
+			}
+			if len(gs.Points) != len(bs.Points) {
+				t.Fatalf("shards=%d: phase %d series has %d points, shards=1 has %d",
+					shards, pi, len(gs.Points), len(bs.Points))
+			}
+			for i := range gs.Points {
+				if gs.Points[i].At != bs.Points[i].At {
+					t.Fatalf("shards=%d: phase %d point %d at %v, shards=1 at %v",
+						shards, pi, i, gs.Points[i].At, bs.Points[i].At)
+				}
+				for j := range gs.Points[i].Values {
+					if gs.Points[i].Values[j] != bs.Points[i].Values[j] {
+						t.Fatalf("shards=%d: phase %d point %d column %s: %v vs %v",
+							shards, pi, i, gs.Columns[j], gs.Points[i].Values[j], bs.Points[i].Values[j])
+					}
+				}
+			}
+		}
 	}
 }
 

@@ -297,7 +297,33 @@ func (e *scenarioEngine) schedulePhases(from, to int) {
 		end := e.sched.Phases[pi].End
 		p := pi
 		e.c.Sched.After(end-base, func() { e.snapshot(p) })
+		if e.obs != nil {
+			e.scheduleObsSeries(pi, base)
+		}
 	}
+}
+
+// scheduleObsSeries schedules one phase's time-series samples: the start
+// and end boundaries plus every intra-phase interval point. Samples are
+// read-only global-actor events scheduled after the phase's ops and
+// end-of-phase snapshot at the same instants (a later global sequence
+// number preserves relative order), so turning them on never perturbs the
+// legacy trace or report, and each sample reads engine state at a fixed
+// position in the shard-count-independent total order.
+func (e *scenarioEngine) scheduleObsSeries(pi int, base time.Duration) {
+	ph := e.sched.Phases[pi]
+	o := e.obs
+	sample := func(at time.Duration) {
+		rel := at - ph.Start
+		e.c.Sched.After(at-base, func() { o.samplePhase(e, pi, rel) })
+	}
+	sample(ph.Start)
+	if iv := o.interval; iv > 0 {
+		for t := ph.Start + iv; t < ph.End; t += iv {
+			sample(t)
+		}
+	}
+	sample(ph.End)
 }
 
 // scheduleFrom schedules one op against the virtual instant scheduling

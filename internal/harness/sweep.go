@@ -145,6 +145,15 @@ func RunScenarioForked(s *scenario.Scenario, shards int) (*scenario.Report, *sce
 // different seed or protocol) run cold. defaultShards applies to variants
 // without a shards override.
 func RunSweep(sw *scenario.Sweep, defaultShards int) (*scenario.SweepReport, error) {
+	return RunSweepExec(sw, defaultShards, ObsOptions{})
+}
+
+// RunSweepExec is RunSweep with an observability configuration. An
+// obs-enabled sweep runs every variant cold: the obs plane hooks the engine
+// from time zero and is not carried across a checkpoint/fork branch, so a
+// forked branch could not report its own prefix metrics. Cold execution
+// keeps each variant's exposition self-contained (and still deterministic).
+func RunSweepExec(sw *scenario.Sweep, defaultShards int, obsOpts ObsOptions) (*scenario.SweepReport, error) {
 	if defaultShards < 1 {
 		defaultShards = 1
 	}
@@ -194,20 +203,22 @@ func RunSweep(sw *scenario.Sweep, defaultShards int) (*scenario.SweepReport, err
 	totalStart := time.Now()
 	for _, key := range keys {
 		idxs := groupIdx[key]
-		if len(idxs) == 1 {
-			// A lone prefix gains nothing from forking: run cold.
-			i := idxs[0]
-			start := time.Now()
-			r, err := RunScenarioShards(slots[i].v.s, slots[i].shards)
-			if err != nil {
-				return nil, fmt.Errorf("sweep variant %q: %w", slots[i].v.name, err)
-			}
-			rep.Results[i] = scenario.SweepVariantResult{
-				Name:       slots[i].v.name,
-				Protocol:   r.Protocol,
-				Shards:     slots[i].shards,
-				BranchWall: time.Since(start),
-				Report:     r,
+		if len(idxs) == 1 || obsOpts.Enabled {
+			// A lone prefix gains nothing from forking; an obs-enabled sweep
+			// runs every variant cold (see RunSweepExec).
+			for _, i := range idxs {
+				start := time.Now()
+				r, err := RunScenarioExec(slots[i].v.s, ExecOptions{Shards: slots[i].shards, Obs: obsOpts})
+				if err != nil {
+					return nil, fmt.Errorf("sweep variant %q: %w", slots[i].v.name, err)
+				}
+				rep.Results[i] = scenario.SweepVariantResult{
+					Name:       slots[i].v.name,
+					Protocol:   r.Protocol,
+					Shards:     slots[i].shards,
+					BranchWall: time.Since(start),
+					Report:     r,
+				}
 			}
 			continue
 		}

@@ -55,10 +55,38 @@ func histJSON(s obs.HistSnapshot) HistJSON {
 	return HistJSON{Bounds: s.Bounds, Counts: s.Counts, Count: s.Count, Sum: s.Sum}
 }
 
-// PhaseObsJSON is one phase's encoded observability distributions.
+// PhaseObsJSON is one phase's encoded observability distributions and
+// engine time series.
 type PhaseObsJSON struct {
-	Latency HistJSON `json:"latency"`
-	Hops    HistJSON `json:"hops"`
+	Latency HistJSON    `json:"latency"`
+	Hops    HistJSON    `json:"hops"`
+	Series  *SeriesJSON `json:"series,omitempty"`
+}
+
+// SeriesJSON encodes one phase's engine time series: the column names and
+// one point per sample, each with the phase-relative virtual-time offset in
+// seconds and the column values.
+type SeriesJSON struct {
+	Columns []string          `json:"columns"`
+	Points  []SeriesPointJSON `json:"points"`
+	Dropped int               `json:"dropped,omitempty"`
+}
+
+// SeriesPointJSON is one encoded time-series point.
+type SeriesPointJSON struct {
+	T      float64   `json:"t"`
+	Values []float64 `json:"values"`
+}
+
+func seriesJSON(s obs.SeriesSnapshot) *SeriesJSON {
+	if len(s.Points) == 0 {
+		return nil
+	}
+	out := &SeriesJSON{Columns: s.Columns, Dropped: s.Dropped}
+	for _, p := range s.Points {
+		out.Points = append(out.Points, SeriesPointJSON{T: p.At.Seconds(), Values: p.Values})
+	}
+	return out
 }
 
 // ObsJSON is the run-level observability section: the final metrics
@@ -129,7 +157,11 @@ func EncodeReport(r *scenario.Report) *ReportJSON {
 			pj.DeliveryPct = 100 * float64(p.OpsDelivered) / float64(p.OpsSent)
 		}
 		if p.Obs != nil {
-			pj.Obs = &PhaseObsJSON{Latency: histJSON(p.Obs.Latency), Hops: histJSON(p.Obs.Hops)}
+			pj.Obs = &PhaseObsJSON{
+				Latency: histJSON(p.Obs.Latency),
+				Hops:    histJSON(p.Obs.Hops),
+				Series:  seriesJSON(p.Obs.Series),
+			}
 		}
 		pj.Checks = p.Checks
 		out.Phases = append(out.Phases, pj)

@@ -8,10 +8,12 @@ package metrics
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 	"time"
 
+	"macedon/internal/obs"
 	"macedon/internal/overlay"
 	"macedon/internal/scenario"
 	"macedon/internal/simnet"
@@ -271,7 +273,82 @@ func SweepTable(rep *scenario.SweepReport) string {
 			b.WriteString("\n")
 		}
 	}
+	sweepObsSection(&b, rep)
 	return b.String()
+}
+
+// sweepObsColumns maps the obs-snapshot table's column heads to the merged
+// exposition families they read (engine workload plus the scheduler
+// telemetry — obs-enabled sweeps run cold, so every variant carries both).
+var sweepObsColumns = []struct{ head, family string }{
+	{"ops_deliv", "macedon_ops_delivered_total"},
+	{"sched_events", "macedon_sched_events_total"},
+	{"stall_ns", "macedon_sched_barrier_stall_ns_total"},
+	{"ev_per_vs", "macedon_sched_window_utilization"},
+	{"pool_gets", "macedon_sched_pool_gets_total"},
+	{"recycled", "macedon_sched_pool_recycled_total"},
+}
+
+// sweepObsSection appends the per-variant obs snapshot rows when the sweep
+// ran with the observability plane enabled. Values come straight from each
+// variant's merged exposition, so the section is as deterministic (and
+// shard-invariant) as the exposition itself.
+func sweepObsSection(b *strings.Builder, rep *scenario.SweepReport) {
+	withObs := false
+	for _, vr := range rep.Results {
+		if vr.Report.Obs != nil {
+			withObs = true
+			break
+		}
+	}
+	if !withObs {
+		return
+	}
+	b.WriteString("\nper-variant obs snapshot:\n")
+	fmt.Fprintf(b, "%-18s", "variant")
+	for _, c := range sweepObsColumns {
+		fmt.Fprintf(b, " %14s", c.head)
+	}
+	b.WriteString("\n")
+	for _, vr := range rep.Results {
+		fmt.Fprintf(b, "%-18s", vr.Name)
+		vals := expoFamilyTotals(vr.Report.Obs)
+		for _, c := range sweepObsColumns {
+			v, ok := vals[c.family]
+			if !ok {
+				fmt.Fprintf(b, " %14s", "-")
+				continue
+			}
+			fmt.Fprintf(b, " %14s", sweepObsValue(v))
+		}
+		b.WriteString("\n")
+	}
+}
+
+// expoFamilyTotals parses an obs report's exposition and sums its samples
+// by family name (nil-safe: returns an empty map for variants without obs).
+func expoFamilyTotals(or *scenario.ObsReport) map[string]float64 {
+	out := make(map[string]float64)
+	if or == nil {
+		return out
+	}
+	sc, err := obs.ParseText([]byte(or.Exposition))
+	if err != nil {
+		return out
+	}
+	for _, s := range sc.Samples {
+		out[s.Name] += s.Value
+	}
+	return out
+}
+
+// sweepObsValue renders one cell: integral values print exactly, the rest
+// with shortest-roundtrip precision (the exposition's own convention).
+func sweepObsValue(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%g", v)
 }
 
 // sweepDrops sums every drop class of a network counter snapshot.

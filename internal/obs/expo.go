@@ -124,6 +124,34 @@ func splitPairs(body string) []string {
 	return append(out, body[start:])
 }
 
+// Diff returns cur minus prev, per sample: each of cur's samples keeps its
+// name and labels with prev's value for the same (name, labels) key
+// subtracted (zero when prev never saw it). Types and Help carry over from
+// cur. Agents ship these deltas so a Fleet summing every delta from one
+// source reconstructs the source's latest absolute values — counters and
+// gauges alike — without the controller tracking per-agent state.
+func Diff(cur, prev *Scrape) *Scrape {
+	out := &Scrape{Types: make(map[string]string), Help: make(map[string]string)}
+	for n, t := range cur.Types {
+		out.Types[n] = t
+	}
+	for n, h := range cur.Help {
+		out.Help[n] = h
+	}
+	var base map[string]float64
+	if prev != nil {
+		base = make(map[string]float64, len(prev.Samples))
+		for _, s := range prev.Samples {
+			base[s.Name+" "+s.Labels] = s.Value
+		}
+	}
+	for _, s := range cur.Samples {
+		s.Value -= base[s.Name+" "+s.Labels]
+		out.Samples = append(out.Samples, s)
+	}
+	return out
+}
+
 // Fleet aggregates exposition pages from many sources (one scrape per
 // agent) into fleet-level families: samples with the same name and label
 // set sum. Histogram derived samples (_bucket/_sum/_count) sum too, which

@@ -70,10 +70,15 @@ type PhaseReport struct {
 
 // PhaseObs is the per-phase slice of the observability plane: distribution
 // snapshots of the op latency and hop-count histograms attributed to the
-// phase's workload.
+// phase's workload, plus the phase's engine time series.
 type PhaseObs struct {
 	Latency obs.HistSnapshot
 	Hops    obs.HistSnapshot
+	// Series holds the phase's engine time series: points at phase-relative
+	// virtual-time offsets, sampled at phase boundaries and any configured
+	// intra-phase interval. Empty (no points) when the executor records no
+	// series — live runs older than the push path, for instance.
+	Series obs.SeriesSnapshot
 }
 
 // ObsReport is the run-level observability output: the final registry
@@ -242,6 +247,9 @@ func (r *Report) FormatOpts(w func(format string, args ...any), verbose bool) {
 			if p.Obs != nil {
 				w("  obs latency: %s\n", p.Obs.Latency)
 				w("  obs hops: %s\n", p.Obs.Hops)
+				for _, line := range p.Obs.Series.Lines() {
+					w("  obs series: %s\n", line)
+				}
 			}
 		}
 		// The checks section only exists for scenarios that opted in, so
@@ -296,6 +304,22 @@ func (r *Report) ObsText() string {
 		b.WriteString("--- obs spans ---\n")
 		for _, s := range r.Obs.Spans {
 			b.WriteString(s)
+			b.WriteByte('\n')
+		}
+	}
+	wroteHeader := false
+	for pi, p := range r.Phases {
+		if p.Obs == nil || len(p.Obs.Series.Points) == 0 {
+			continue
+		}
+		if !wroteHeader {
+			b.WriteString("--- obs series ---\n")
+			wroteHeader = true
+		}
+		fmt.Fprintf(&b, "phase %d %q:\n", pi, p.Name)
+		for _, line := range p.Obs.Series.Lines() {
+			b.WriteString("  ")
+			b.WriteString(line)
 			b.WriteByte('\n')
 		}
 	}

@@ -136,10 +136,18 @@ type Network struct {
 }
 
 // packetPool is one shard's free list of packet records, padded so
-// neighbouring shards' pool headers don't share a cache line.
+// neighbouring shards' pool headers don't share a cache line. The three
+// counters account for the recycler, not the pool's residency: whether a
+// Get hits a pooled record depends on GC timing, but how many records were
+// requested, recycled, and pinned is a pure function of the event order —
+// deterministic at every shard count in aggregate. They are bumped only by
+// the owning shard's goroutine (plain adds) and summed at quiescent points.
 type packetPool struct {
-	pool sync.Pool
-	_    [40]byte
+	pool     sync.Pool
+	gets     uint64 // allocPacket calls
+	recycled uint64 // terminal packets returned to the pool
+	pinned   uint64 // terminal packets left to the GC (snapshot generation pin)
+	_        [40]byte
 }
 
 // StateCopyOpaque marks the pool as opaque to the statecopy walk: a free
@@ -385,7 +393,9 @@ type packet struct {
 
 // allocPacket takes a packet record from the executing shard's pool.
 func (n *Network) allocPacket(shard int) *packet {
-	if pkt, ok := n.pktPools[shard].pool.Get().(*packet); ok {
+	p := &n.pktPools[shard]
+	p.gets++
+	if pkt, ok := p.pool.Get().(*packet); ok {
 		pkt.gen = n.pktGen
 		return pkt
 	}
@@ -396,11 +406,33 @@ func (n *Network) allocPacket(shard int) *packet {
 // unless a snapshot generation pinned it. Fields are cleared so a recycled
 // record can never leak a prior payload or path to its next flight.
 func (n *Network) releasePacket(shard int, pkt *packet) {
+	p := &n.pktPools[shard]
 	if pkt.gen != n.pktGen {
+		p.pinned++
 		return // an older generation: some snapshot heap may reference it
 	}
+	p.recycled++
 	*pkt = packet{gen: pkt.gen}
-	n.pktPools[shard].pool.Put(pkt)
+	p.pool.Put(pkt)
+}
+
+// PoolStats aggregates the packet recycler's accounting across shards.
+type PoolStats struct {
+	Gets     uint64 // packet records requested from the pools
+	Recycled uint64 // terminal packets returned for reuse
+	Pinned   uint64 // terminal packets pinned by a snapshot generation
+}
+
+// PoolStats sums the per-shard recycler counters. Call it from the
+// coordinating goroutine (between epochs), like Stats.
+func (n *Network) PoolStats() PoolStats {
+	var s PoolStats
+	for i := range n.pktPools {
+		s.Gets += n.pktPools[i].gets
+		s.Recycled += n.pktPools[i].recycled
+		s.Pinned += n.pktPools[i].pinned
+	}
+	return s
 }
 
 func (n *Network) send(src *endpoint, dst overlay.Address, payload []byte) error {

@@ -46,6 +46,14 @@ type Scheduler struct {
 
 	executed uint64 // events run by the coordinator (barriers, Step)
 
+	// stall accumulates barrier-stall time: for every global-actor event
+	// instant, the gap between the engine frontier (the latest executed
+	// shard event, or the last barrier) and the barrier instant. lastSync
+	// is the last barrier instant noted, so one instant accrues once no
+	// matter how many global events share it. Both are coordinator-only.
+	stall    time.Duration
+	lastSync time.Duration
+
 	workers sync.Once
 	closed  sync.Once
 	started bool
@@ -112,6 +120,31 @@ func (s *Scheduler) Executed() uint64 {
 		n += sh.executedCount()
 	}
 	return n
+}
+
+// BarrierStall returns the accumulated barrier-stall time: virtual time
+// between the engine frontier and each global-actor event instant. In a
+// sharded run this is exactly the window the barrier protocol forces the
+// coordinator to drain single-threaded; the sequential loop accrues the
+// identical quantity per global-actor pop, so the total is shard-invariant.
+func (s *Scheduler) BarrierStall() time.Duration { return s.stall }
+
+// noteBarrier accrues stall for a global-actor event instant t. prev is
+// the engine frontier: the latest shard clock (the last executed shard
+// event, or the pinned time from the previous window) or the last noted
+// barrier, whichever is later. Cancelled global timers still note their
+// instant — a sharded run drains a barrier for them regardless.
+func (s *Scheduler) noteBarrier(t time.Duration) {
+	prev := s.lastSync
+	for _, sh := range s.shards {
+		if sh.now > prev {
+			prev = sh.now
+		}
+	}
+	if t > prev {
+		s.stall += t - prev
+	}
+	s.lastSync = t
 }
 
 // Pending returns the number of events waiting, cancelled ones included.
@@ -300,7 +333,8 @@ func (sh *shard) min() (event, bool) {
 }
 
 // popTop removes exactly the earliest event. run is false when it was a
-// cancelled timer (discarded); any is false when the heap was empty.
+// cancelled timer (still returned, so callers can observe its key); any is
+// false when the heap was empty.
 func (sh *shard) popTop() (e event, run, any bool) {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
@@ -310,7 +344,7 @@ func (sh *shard) popTop() (e event, run, any bool) {
 	e = sh.evts.pop()
 	if e.tm != nil {
 		if e.tm.stopped {
-			return event{}, false, true
+			return e, false, true
 		}
 		e.tm.fired = true
 	}
@@ -460,6 +494,7 @@ func (s *Scheduler) Step() bool {
 		var e event
 		if src == nil {
 			e = s.global.pop()
+			s.noteBarrier(e.at)
 			if e.tm != nil {
 				if e.tm.stopped {
 					continue
@@ -467,7 +502,10 @@ func (s *Scheduler) Step() bool {
 				e.tm.fired = true
 			}
 		} else {
-			got, run, _ := src.popTop()
+			got, run, any := src.popTop()
+			if any && got.actor == actorGlobal {
+				s.noteBarrier(got.at)
+			}
 			if !run {
 				continue
 			}
@@ -601,6 +639,7 @@ func (s *Scheduler) parallel(w window) {
 // events spawned during the drain at the same instant. All shard clocks are
 // pinned to t so barrier code observes one consistent time.
 func (s *Scheduler) drainBarrier(t time.Duration) {
+	s.noteBarrier(t) // before pinning: prev is the true engine frontier
 	s.now = t
 	for _, sh := range s.shards {
 		sh.now = t
